@@ -1,0 +1,169 @@
+// Command dangsan-bench regenerates the paper's evaluation: every figure
+// and table of §8 plus the design ablations.
+//
+// Usage:
+//
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation
+//	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
+//
+// Results go to stdout; progress (with -v) to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dangsan/internal/bench"
+	"dangsan/internal/detectors"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, exploits, ablation")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10/fig12 (default 1,2,4,8,16,32,64)")
+	verbose := flag.Bool("v", false, "print progress to stderr")
+	flag.Parse()
+
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintf(os.Stderr, "... %s\n", s) }
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Repeat: *repeat}
+
+	threads := bench.DefaultThreadCounts()
+	if *threadsFlag != "" {
+		threads = nil
+		for _, tok := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fatalf("bad -threads value %q", tok)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	// fig9/fig11/table1 share the SPEC runs where possible.
+	if want("fig9") || want("fig11") {
+		ran = true
+		rows, err := bench.RunSPEC(opts, progress)
+		check(err)
+		if want("fig9") {
+			fmt.Println(bench.FormatFig9(rows))
+		}
+		if want("fig11") {
+			fmt.Println(bench.FormatFig11(rows))
+		}
+	}
+	if want("fig10") || want("fig12") {
+		ran = true
+		rows, err := bench.RunScalability(threads, opts, progress)
+		check(err)
+		if want("fig10") {
+			fmt.Println(bench.FormatFig10(rows))
+		}
+		if want("fig12") {
+			fmt.Println(bench.FormatFig12(rows))
+		}
+	}
+	if want("table1") {
+		ran = true
+		rows, err := bench.RunTable1(opts, progress)
+		check(err)
+		fmt.Println(bench.FormatTable1(rows))
+	}
+	if want("servers") {
+		ran = true
+		rows, err := bench.RunServers(opts, progress)
+		check(err)
+		fmt.Println(bench.FormatServers(rows))
+	}
+	if want("exploits") {
+		ran = true
+		runExploits()
+	}
+	if want("ablation") {
+		ran = true
+		lb, err := bench.RunLookbackSweep(nil, opts, progress)
+		check(err)
+		fmt.Println(bench.FormatLookback(lb))
+		cp, err := bench.RunCompressionAblation(opts, progress)
+		check(err)
+		fmt.Println(bench.FormatCompression(cp))
+		mp, err := bench.RunMapperAblation(nil, opts, progress)
+		check(err)
+		fmt.Println(bench.FormatMapper(mp))
+		sp, err := bench.RunShadowAblation(nil, progress)
+		check(err)
+		fmt.Println(bench.FormatShadow(sp))
+	}
+	if !ran {
+		fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+// runExploits reproduces §8.1: each CVE scenario under the baseline (where
+// the attack succeeds) and under DangSan (where it is stopped).
+func runExploits() {
+	type scenario struct {
+		name string
+		run  func(*proc.Process) (workloads.ExploitOutcome, error)
+	}
+	scenarios := []scenario{
+		{"CVE-2010-2939 (OpenSSL double free)", workloads.DoubleFreeOpenSSL},
+		{"CVE-2016-4077 (Wireshark UAF read)", workloads.UAFWireshark},
+		{"Open LiteSpeed (UAF write)", workloads.UAFLitespeed},
+	}
+	fmt.Println("Effectiveness (§8.1): exploit scenarios under baseline vs DangSan")
+	for _, sc := range scenarios {
+		fmt.Printf("\n%s\n", sc.name)
+		base, err := sc.run(proc.New(detectors.None{}))
+		check(err)
+		fmt.Printf("  baseline: prevented=%v  %s\n", base.Prevented, base.Detail)
+		det, err := bench.NewDetector(bench.DangSan)
+		check(err)
+		ds, err := sc.run(proc.New(det))
+		check(err)
+		fmt.Printf("  dangsan:  prevented=%v  %s\n", ds.Prevented, ds.Detail)
+	}
+
+	// The §1/§9 secure-allocator bypass: quarantine vs heap spray vs DangSan.
+	fmt.Printf("\nHeap spray vs quarantine (paper §1/§9)\n")
+	const quarantineBytes = 1 << 20
+	p := proc.New(detectors.None{})
+	p.EnableQuarantine(quarantineBytes)
+	out, err := workloads.HeapSpray(p, 4)
+	check(err)
+	fmt.Printf("  quarantine, naive attack:  prevented=%v  %s\n", out.Prevented, out.Detail)
+	p = proc.New(detectors.None{})
+	p.EnableQuarantine(quarantineBytes)
+	out, err = workloads.HeapSpray(p, 2000)
+	check(err)
+	fmt.Printf("  quarantine, 2000-spray:    prevented=%v  %s\n", out.Prevented, out.Detail)
+	det, err := bench.NewDetector(bench.DangSan)
+	check(err)
+	out, err = workloads.HeapSpray(proc.New(det), 2000)
+	check(err)
+	fmt.Printf("  dangsan, 2000-spray:       prevented=%v  %s\n", out.Prevented, out.Detail)
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dangsan-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

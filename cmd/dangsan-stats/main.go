@@ -1,0 +1,83 @@
+// Command dangsan-stats runs one SPEC analog under DangSan and prints its
+// Table 1-style statistics, optionally comparing DangNULL's coverage.
+//
+// Usage:
+//
+//	dangsan-stats [-scale 1.0] [-seed 1] [-compare] <benchmark>
+//
+// where <benchmark> is a SPEC name like 403.gcc or gcc, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dangsan/internal/detectors/dangnull"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	compare := flag.Bool("compare", false, "also run DangNULL for coverage comparison")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dangsan-stats [flags] <benchmark|all>")
+		os.Exit(1)
+	}
+
+	var profs []workloads.SPECProfile
+	if flag.Arg(0) == "all" {
+		profs = workloads.SPECProfiles()
+	} else {
+		p, err := workloads.SPECProfileByName(flag.Arg(0))
+		check(err)
+		profs = []workloads.SPECProfile{p}
+	}
+
+	for _, prof := range profs {
+		prof.Objects = scaleInt(prof.Objects, *scale)
+		prof.TotalStores = scaleInt(prof.TotalStores, *scale)
+		prof.ComputeOps = scaleInt(prof.ComputeOps, *scale)
+		prof.LiveWindow = scaleInt(prof.LiveWindow, *scale)
+
+		d := dangsan.New()
+		check(workloads.RunSPEC(proc.New(d), prof, *seed))
+		s := d.Stats()
+		fmt.Printf("%s\n", prof.Name)
+		fmt.Printf("  objects tracked:  %d\n", s.ObjectsTracked)
+		fmt.Printf("  hash tables:      %d\n", s.HashTables)
+		fmt.Printf("  ptrs registered:  %d\n", s.Registered)
+		fmt.Printf("  ptrs invalidated: %d\n", s.Invalidated)
+		fmt.Printf("  stale entries:    %d\n", s.Stale)
+		fmt.Printf("  duplicates:       %d\n", s.Duplicates)
+		fmt.Printf("  compressed:       %d\n", s.Compressed)
+		fmt.Printf("  log bytes:        %d\n", s.LogBytes)
+
+		if *compare {
+			dn := dangnull.New()
+			check(workloads.RunSPEC(proc.New(dn), prof, *seed))
+			reg, inv := dn.Stats()
+			fmt.Printf("  dangnull ptrs:    %d\n", reg)
+			fmt.Printf("  dangnull inval:   %d\n", inv)
+		}
+	}
+}
+
+func scaleInt(v int, s float64) int {
+	n := int(float64(v) * s)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dangsan-stats: %v\n", err)
+		os.Exit(1)
+	}
+}

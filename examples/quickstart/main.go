@@ -1,0 +1,81 @@
+// Quickstart: the smallest end-to-end tour of the DangSan library.
+//
+// It creates a simulated process protected by DangSan, allocates an object,
+// spreads pointers to it through memory, frees it, and shows that every
+// copy was invalidated — then demonstrates the two ways a use-after-free
+// surfaces: a fault on dereference, and an allocator abort on double free.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/proc"
+	"dangsan/internal/vmem"
+)
+
+func main() {
+	det := dangsan.New()
+	p := proc.New(det)
+	th := p.NewThread()
+
+	// Allocate a 64-byte object and store pointers to it in a global
+	// variable, on the stack, and inside another heap object.
+	obj, err := th.Malloc(64)
+	must(err)
+	fmt.Printf("allocated object at         0x%x\n", obj)
+
+	globalSlot := p.AllocGlobal(8)
+	stackSlot := th.Alloca(8)
+	heapHolder, err := th.Malloc(8)
+	must(err)
+
+	must(fault(th.StorePtr(globalSlot, obj)))
+	must(fault(th.StorePtr(stackSlot, obj+16))) // interior pointer
+	must(fault(th.StorePtr(heapHolder, obj)))
+
+	// Free the object: DangSan walks its pointer log and flips the top bit
+	// of every location that still points into it.
+	must(th.Free(obj))
+
+	for _, s := range []struct {
+		name string
+		loc  uint64
+	}{{"global", globalSlot}, {"stack", stackSlot}, {"heap", heapHolder}} {
+		v, f := th.Load(s.loc)
+		must(fault(f))
+		fmt.Printf("pointer in %-6s is now     0x%x (invalid bit set: %v)\n",
+			s.name, v, v>>63 == 1)
+	}
+
+	// Using the dangling pointer faults instead of reading reused memory.
+	if _, f := th.Deref(globalSlot); f != nil {
+		fmt.Printf("dereference trapped:        %v\n", f)
+	}
+
+	// Freeing through the dangling pointer aborts in the allocator.
+	stale, _ := th.Load(heapHolder)
+	if err := th.Free(stale); err != nil {
+		fmt.Printf("double free aborted:        %v\n", err)
+	}
+
+	s := det.Stats()
+	fmt.Printf("stats: %d objects, %d pointers registered, %d invalidated, %d stale\n",
+		s.ObjectsTracked, s.Registered, s.Invalidated, s.Stale)
+}
+
+// fault converts a *vmem.Fault into an error without the typed-nil pitfall.
+func fault(f *vmem.Fault) error {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dangsan
+
+go 1.22

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/rbtree"
+	"dangsan/internal/shadow"
+	"dangsan/internal/vmem"
+	"dangsan/internal/workloads"
+)
+
+// LookbackPoint is one lookback-sweep measurement (paper §4.4: "overall
+// performance is generally similar in the range between one and four, and
+// begins to degrade with higher numbers"; the lookback also bounds log
+// growth).
+type LookbackPoint struct {
+	Lookback int
+	Seconds  float64
+	LogBytes uint64
+}
+
+// DefaultLookbacks is the sweep grid.
+func DefaultLookbacks() []int { return []int{0, 1, 2, 4, 8, 16, 32} }
+
+// RunLookbackSweep measures a duplicate-heavy workload (the perlbench
+// analog) across lookback windows.
+func RunLookbackSweep(lookbacks []int, opts Options, progress func(string)) ([]LookbackPoint, error) {
+	opts = opts.normalized()
+	if len(lookbacks) == 0 {
+		lookbacks = DefaultLookbacks()
+	}
+	prof, err := workloads.SPECProfileByName("perlbench")
+	if err != nil {
+		return nil, err
+	}
+	prof = scaleSpec(prof, opts.Scale)
+	var points []LookbackPoint
+	for _, lb := range lookbacks {
+		if progress != nil {
+			progress(fmt.Sprintf("lookback %d", lb))
+		}
+		cfg := pointerlog.DefaultConfig()
+		cfg.Lookback = lb
+		det := NewDangSanWithConfig(cfg)
+		m, err := Measure(det, func(p *proc.Process) error {
+			return workloads.RunSPEC(p, prof, opts.Seed)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lookback %d: %w", lb, err)
+		}
+		points = append(points, LookbackPoint{
+			Lookback: lb,
+			Seconds:  m.Seconds,
+			LogBytes: m.Stats.LogBytes,
+		})
+	}
+	return points, nil
+}
+
+// CompressionPoint is one compression-ablation measurement (paper §6:
+// pointer compression saves up to 3x log space on spatially local stores).
+type CompressionPoint struct {
+	Compression bool
+	Seconds     float64
+	LogBytes    uint64
+	Compressed  uint64
+}
+
+// RunCompressionAblation measures a locality-heavy workload — array-style
+// pointer fills into adjacent slots, the access pattern compression was
+// designed for — with compression on and off. Duplicates are disabled so
+// every store reaches the log and the entry-packing effect is isolated.
+func RunCompressionAblation(opts Options, progress func(string)) ([]CompressionPoint, error) {
+	opts = opts.normalized()
+	prof := workloads.SPECProfile{
+		Name:        "compression-ablation",
+		Objects:     4000,
+		TotalStores: 1_200_000,
+		DupRate:     0, // every store is a distinct adjacent slot
+		StaleRate:   0,
+		LiveWindow:  1000,
+		SizeMin:     64,
+		SizeMax:     1024,
+		ComputeOps:  50_000,
+	}
+	prof = scaleSpec(prof, opts.Scale)
+	var points []CompressionPoint
+	for _, comp := range []bool{false, true} {
+		if progress != nil {
+			progress(fmt.Sprintf("compression=%v", comp))
+		}
+		cfg := pointerlog.DefaultConfig()
+		cfg.Compression = comp
+		det := NewDangSanWithConfig(cfg)
+		m, err := Measure(det, func(p *proc.Process) error {
+			return workloads.RunSPEC(p, prof, opts.Seed)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compression=%v: %w", comp, err)
+		}
+		points = append(points, CompressionPoint{
+			Compression: comp,
+			Seconds:     m.Seconds,
+			LogBytes:    m.Stats.LogBytes,
+			Compressed:  m.Stats.Compressed,
+		})
+	}
+	return points, nil
+}
+
+// ShadowPoint compares the two shadow-memory schemes of the paper's §4.3
+// on one object size: DangSan's variable-compression-ratio metapagetable
+// against a traditional constant-ratio (8:8) shadow, on the two axes the
+// paper names — metadata bytes per object and the cost of initializing the
+// shadow at allocation time.
+type ShadowPoint struct {
+	ObjectBytes   uint64
+	FixedBytes    uint64
+	VariableBytes uint64
+	FixedNs       float64
+	VariableNs    float64
+}
+
+// DefaultShadowSizes is the object-size grid.
+func DefaultShadowSizes() []uint64 {
+	return []uint64{4 << 10, 64 << 10, 1 << 20, 4 << 20}
+}
+
+// RunShadowAblation measures both schemes.
+func RunShadowAblation(sizes []uint64, progress func(string)) ([]ShadowPoint, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultShadowSizes()
+	}
+	var points []ShadowPoint
+	for _, size := range sizes {
+		if progress != nil {
+			progress(fmt.Sprintf("shadow ablation %d KiB", size>>10))
+		}
+		iters := int(64 << 20 / size) // bound total work
+		if iters < 8 {
+			iters = 8
+		}
+
+		ft := shadow.NewFixedTable()
+		before := ft.Bytes()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			ft.CreateObject(vmem.HeapBase, size, uint64(i+1))
+		}
+		fixedNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		fixedBytes := ft.Bytes() - before
+
+		vt := shadow.NewTable()
+		beforeV := vt.Bytes()
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			vt.CreateObject(vmem.HeapBase, size, vmem.PageSize, uint64(i+1))
+		}
+		variableNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		variableBytes := vt.Bytes() - beforeV
+
+		points = append(points, ShadowPoint{
+			ObjectBytes:   size,
+			FixedBytes:    fixedBytes,
+			VariableBytes: variableBytes,
+			FixedNs:       fixedNs,
+			VariableNs:    variableNs,
+		})
+	}
+	return points, nil
+}
+
+// MapperPoint compares pointer-to-object lookup cost at a given live-object
+// count: the constant-time shadow map against the balanced tree DangNULL
+// uses (paper §4.3's design argument).
+type MapperPoint struct {
+	Objects  int
+	ShadowNs float64
+	TreeNs   float64
+}
+
+// DefaultMapperSizes is the object-count grid.
+func DefaultMapperSizes() []int { return []int{1_000, 10_000, 100_000, 1_000_000} }
+
+// RunMapperAblation measures both mappers' lookup latency.
+func RunMapperAblation(sizes []int, opts Options, progress func(string)) ([]MapperPoint, error) {
+	opts = opts.normalized()
+	if len(sizes) == 0 {
+		sizes = DefaultMapperSizes()
+	}
+	const lookups = 2_000_000
+	var points []MapperPoint
+	for _, n := range sizes {
+		if progress != nil {
+			progress(fmt.Sprintf("mapper n=%d", n))
+		}
+		// Lay out n 64-byte objects.
+		tbl := shadow.NewTable()
+		var tree rbtree.Tree
+		for i := 0; i < n; i++ {
+			base := vmem.HeapBase + uint64(i)*64
+			tbl.CreateObject(base, 64, 8, uint64(i+1))
+			tree.Insert(base, base+64, uint64(i+1))
+		}
+		probe := func(lookup func(addr uint64) bool) float64 {
+			start := time.Now()
+			addr := uint64(vmem.HeapBase)
+			stride := uint64(64*2654435761) % (uint64(n) * 64)
+			for i := 0; i < lookups; i++ {
+				if !lookup(vmem.HeapBase + addr%uint64(n*64)) {
+					panic("bench: mapper lookup miss")
+				}
+				addr += stride
+			}
+			return float64(time.Since(start).Nanoseconds()) / lookups
+		}
+		shadowNs := probe(func(a uint64) bool { return tbl.Lookup(a) != 0 })
+		treeNs := probe(func(a uint64) bool {
+			_, ok := tree.LookupContaining(a)
+			return ok
+		})
+		points = append(points, MapperPoint{Objects: n, ShadowNs: shadowNs, TreeNs: treeNs})
+	}
+	return points, nil
+}

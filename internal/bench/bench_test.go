@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+var smoke = Options{Scale: 0.02, Seed: 1}
+
+func TestNewDetectorKinds(t *testing.T) {
+	for _, k := range AllKinds() {
+		d, err := NewDetector(k)
+		if err != nil || d == nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if k != Baseline && d.Name() != string(k) {
+			t.Errorf("detector name %q != kind %q", d.Name(), k)
+		}
+	}
+	if _, err := NewDetector("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("Geomean(2,8) = %f", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Fatalf("Geomean(1s) = %f", g)
+	}
+	if g := Geomean(nil); g == g { // NaN check
+		t.Fatalf("Geomean(nil) = %f, want NaN", g)
+	}
+}
+
+func TestRunSPECSmoke(t *testing.T) {
+	rows, err := RunSPEC(smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, k := range AllKinds() {
+			m, ok := r.ByKind[k]
+			if !ok || m.Seconds <= 0 {
+				t.Fatalf("%s/%s: measurement %+v, %v", r.Benchmark, k, m, ok)
+			}
+		}
+		if r.ByKind[DangSan].PeakFootprint == 0 {
+			t.Fatalf("%s: zero footprint", r.Benchmark)
+		}
+	}
+	out := FormatFig9(rows)
+	if !strings.Contains(out, "geomean dangsan") || !strings.Contains(out, "400.perlbench") {
+		t.Fatalf("fig9 output:\n%s", out)
+	}
+	out11 := FormatFig11(rows)
+	if !strings.Contains(out11, "Figure 11") {
+		t.Fatal("fig11 output malformed")
+	}
+}
+
+func TestRunScalabilitySmoke(t *testing.T) {
+	opts := smoke
+	opts.Kinds = []Kind{Baseline, DangSan, FreeSentry}
+	rows, err := RunScalability([]int{1, 2}, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 2 {
+			t.Fatalf("%s: cells = %d", r.Benchmark, len(r.Cells))
+		}
+		// FreeSentry only at one thread.
+		if _, ok := r.Cells[0].ByKind[FreeSentry]; !ok {
+			t.Fatalf("%s: freesentry missing at 1 thread", r.Benchmark)
+		}
+		if _, ok := r.Cells[1].ByKind[FreeSentry]; ok {
+			t.Fatalf("%s: freesentry ran multithreaded", r.Benchmark)
+		}
+	}
+	if out := FormatFig10(rows); !strings.Contains(out, "Figure 10") {
+		t.Fatal("fig10 output malformed")
+	}
+	if out := FormatFig12(rows); !strings.Contains(out, "Figure 12") {
+		t.Fatal("fig12 output malformed")
+	}
+}
+
+func TestRunServersSmoke(t *testing.T) {
+	opts := smoke
+	opts.Kinds = []Kind{Baseline, DangSan}
+	rows, err := RunServers(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if out := FormatServers(rows); !strings.Contains(out, "cherokee") {
+		t.Fatal("server output malformed")
+	}
+}
+
+func TestRunTable1Smoke(t *testing.T) {
+	rows, err := RunTable1(smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// DangSan must track at least as many pointers as DangNULL everywhere.
+	for _, r := range rows {
+		if r.DangNULLPtrs > r.DangSan.Registered {
+			t.Errorf("%s: dangnull tracked more (%d > %d)",
+				r.Benchmark, r.DangNULLPtrs, r.DangSan.Registered)
+		}
+	}
+	if out := FormatTable1(rows); !strings.Contains(out, "#hashtable") {
+		t.Fatal("table1 output malformed")
+	}
+}
+
+func TestLookbackSweepSmoke(t *testing.T) {
+	points, err := RunLookbackSweep([]int{0, 4}, smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Without lookback the logs must be (weakly) larger.
+	if points[0].LogBytes < points[1].LogBytes {
+		t.Errorf("no-lookback logs (%d) smaller than lookback-4 logs (%d)",
+			points[0].LogBytes, points[1].LogBytes)
+	}
+	if out := FormatLookback(points); !strings.Contains(out, "lookback") {
+		t.Fatal("lookback output malformed")
+	}
+}
+
+func TestCompressionAblationSmoke(t *testing.T) {
+	points, err := RunCompressionAblation(smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	off, on := points[0], points[1]
+	if on.Compressed == 0 {
+		t.Error("compression never fired on the locality-heavy analog")
+	}
+	if on.LogBytes > off.LogBytes {
+		t.Errorf("compressed logs larger: %d > %d", on.LogBytes, off.LogBytes)
+	}
+	if out := FormatCompression(points); !strings.Contains(out, "compression") {
+		t.Fatal("compression output malformed")
+	}
+}
+
+func TestMapperAblationSmoke(t *testing.T) {
+	points, err := RunMapperAblation([]int{1000, 100000}, smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The tree must degrade relative to the shadow map as objects grow —
+	// the paper's §4.3 argument.
+	small := points[0].TreeNs / points[0].ShadowNs
+	large := points[1].TreeNs / points[1].ShadowNs
+	if large <= small*0.8 {
+		t.Errorf("tree did not degrade: %.1fx at 1e3 vs %.1fx at 1e5", small, large)
+	}
+	if out := FormatMapper(points); !strings.Contains(out, "rbtree") {
+		t.Fatal("mapper output malformed")
+	}
+}
+
+func TestShadowAblationSmoke(t *testing.T) {
+	points, err := RunShadowAblation([]uint64{4 << 10, 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	big := points[1]
+	// The §4.3 claims: fixed-ratio metadata ~1:1 with the object, and far
+	// more expensive to initialize than the variable-ratio scheme.
+	if big.FixedBytes < big.ObjectBytes {
+		t.Fatalf("fixed metadata %d below object size %d", big.FixedBytes, big.ObjectBytes)
+	}
+	if big.FixedNs < 4*big.VariableNs {
+		t.Fatalf("fixed create %.0fns not clearly above variable %.0fns", big.FixedNs, big.VariableNs)
+	}
+	if out := FormatShadow(points); !strings.Contains(out, "variable") {
+		t.Fatal("shadow output malformed")
+	}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+
+	"dangsan/internal/detectors"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
+)
+
+// Options scale and seed an experiment run.
+type Options struct {
+	// Scale multiplies workload sizes (1.0 = the calibrated defaults; use
+	// ~0.1 for smoke runs).
+	Scale float64
+	// Seed makes runs deterministic.
+	Seed int64
+	// Kinds selects the detectors to compare; nil means all four.
+	Kinds []Kind
+	// Repeat runs each measurement this many times and keeps the fastest
+	// (default 1; use 3 on noisy machines).
+	Repeat int
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = AllKinds()
+	}
+	if o.Repeat < 1 {
+		o.Repeat = 1
+	}
+	return o
+}
+
+func scaleSpec(p workloads.SPECProfile, s float64) workloads.SPECProfile {
+	if s == 1 {
+		return p
+	}
+	p.Objects = maxi(int(float64(p.Objects)*s), 16)
+	p.TotalStores = maxi(int(float64(p.TotalStores)*s), 8)
+	p.ComputeOps = maxi(int(float64(p.ComputeOps)*s), 8)
+	p.LiveWindow = maxi(int(float64(p.LiveWindow)*s), 8)
+	return p
+}
+
+func scaleParallel(p workloads.ParallelProfile, s float64) workloads.ParallelProfile {
+	if s == 1 {
+		return p
+	}
+	p.TotalObjects = maxi(int(float64(p.TotalObjects)*s), 64)
+	p.TotalStores = maxi(int(float64(p.TotalStores)*s), 64)
+	p.TotalCompute = maxi(int(float64(p.TotalCompute)*s), 64)
+	p.LeakPerThread = int(float64(p.LeakPerThread) * s)
+	p.LiveWindowPerThread = maxi(int(float64(p.LiveWindowPerThread)*s), 8)
+	return p
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SPECRow is one benchmark's measurements across detectors (Figures 9+11
+// and Table 1 share the runs).
+type SPECRow struct {
+	Benchmark string
+	ByKind    map[Kind]Measurement
+}
+
+// RunSPEC executes the SPEC analogs under every selected detector.
+// FreeSentry runs too: these benchmarks are single-threaded, the only
+// configuration the real FreeSentry supports.
+func RunSPEC(opts Options, progress func(string)) ([]SPECRow, error) {
+	opts = opts.normalized()
+	var rows []SPECRow
+	for _, prof := range workloads.SPECProfiles() {
+		prof := scaleSpec(prof, opts.Scale)
+		row := SPECRow{Benchmark: prof.Name, ByKind: make(map[Kind]Measurement)}
+		for _, kind := range opts.Kinds {
+			if progress != nil {
+				progress(fmt.Sprintf("%s / %s", prof.Name, kind))
+			}
+			kind := kind
+			m, err := MeasureN(opts.Repeat,
+				func() (detectors.Detector, error) { return NewDetector(kind) },
+				func(p *proc.Process) error { return workloads.RunSPEC(p, prof, opts.Seed) })
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+			}
+			row.ByKind[kind] = m
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalabilityCell is one (benchmark, threads) measurement pair.
+type ScalabilityCell struct {
+	Threads int
+	ByKind  map[Kind]Measurement
+}
+
+// ScalabilityRow is one parallel benchmark's thread sweep.
+type ScalabilityRow struct {
+	Benchmark string
+	Cells     []ScalabilityCell
+}
+
+// DefaultThreadCounts mirrors the paper's 1..64 sweep.
+func DefaultThreadCounts() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// RunScalability executes the PARSEC/SPLASH-2X analogs across thread
+// counts (Figures 10 and 12). FreeSentry is only run at one thread — its
+// data structures are not thread-safe, exactly as in the paper.
+func RunScalability(threadCounts []int, opts Options, progress func(string)) ([]ScalabilityRow, error) {
+	opts = opts.normalized()
+	if len(threadCounts) == 0 {
+		threadCounts = DefaultThreadCounts()
+	}
+	var rows []ScalabilityRow
+	for _, prof := range workloads.ParallelProfiles() {
+		prof := scaleParallel(prof, opts.Scale)
+		row := ScalabilityRow{Benchmark: prof.Name}
+		for _, threads := range threadCounts {
+			cell := ScalabilityCell{Threads: threads, ByKind: make(map[Kind]Measurement)}
+			for _, kind := range opts.Kinds {
+				if kind == FreeSentry && threads > 1 {
+					continue // thread-unsafe by design
+				}
+				if progress != nil {
+					progress(fmt.Sprintf("%s / %d threads / %s", prof.Name, threads, kind))
+				}
+				kind := kind
+				m, err := MeasureN(opts.Repeat,
+					func() (detectors.Detector, error) { return NewDetector(kind) },
+					func(p *proc.Process) error { return workloads.RunParallel(p, prof, threads, opts.Seed) })
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d/%s: %w", prof.Name, threads, kind, err)
+				}
+				cell.ByKind[kind] = m
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ServerRow is one server's measurements.
+type ServerRow struct {
+	Server   string
+	Requests int
+	ByKind   map[Kind]Measurement
+}
+
+// RunServers executes the web-server analogs (§8.2/§8.3) with the paper's
+// 32 workers.
+func RunServers(opts Options, progress func(string)) ([]ServerRow, error) {
+	opts = opts.normalized()
+	requests := maxi(int(20000*opts.Scale), 500)
+	const workers = 32
+	var rows []ServerRow
+	for _, prof := range workloads.ServerProfiles() {
+		row := ServerRow{Server: prof.Name, Requests: requests, ByKind: make(map[Kind]Measurement)}
+		for _, kind := range opts.Kinds {
+			if kind == FreeSentry {
+				continue // servers are multithreaded; FreeSentry cannot run them
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("server %s / %s", prof.Name, kind))
+			}
+			kind := kind
+			m, err := MeasureN(opts.Repeat,
+				func() (detectors.Detector, error) { return NewDetector(kind) },
+				func(p *proc.Process) error { return workloads.RunServer(p, prof, workers, requests, opts.Seed) })
+			if err != nil {
+				return nil, fmt.Errorf("server %s/%s: %w", prof.Name, kind, err)
+			}
+			row.ByKind[kind] = m
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Row mirrors the columns of the paper's Table 1: DangSan's counters
+// plus the DangNULL comparison columns.
+type Table1Row struct {
+	Benchmark string
+	DangSan   pointerlog.Snapshot
+	// DangNULL coverage comparison.
+	DangNULLPtrs  uint64
+	DangNULLInval uint64
+}
+
+// RunTable1 gathers the statistics table.
+func RunTable1(opts Options, progress func(string)) ([]Table1Row, error) {
+	opts = opts.normalized()
+	var rows []Table1Row
+	for _, prof := range workloads.SPECProfiles() {
+		prof := scaleSpec(prof, opts.Scale)
+		if progress != nil {
+			progress(prof.Name)
+		}
+		ds, err := NewDetector(DangSan)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Measure(ds, func(p *proc.Process) error {
+			return workloads.RunSPEC(p, prof, opts.Seed)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", prof.Name, err)
+		}
+		dnDet, err := NewDetector(DangNULL)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := Measure(dnDet, func(p *proc.Process) error {
+			return workloads.RunSPEC(p, prof, opts.Seed)
+		}); err != nil {
+			return nil, fmt.Errorf("%s dangnull: %w", prof.Name, err)
+		}
+		reg, inv := dnDet.(interface {
+			Stats() (uint64, uint64)
+		}).Stats()
+		rows = append(rows, Table1Row{
+			Benchmark:     prof.Name,
+			DangSan:       m.Stats,
+			DangNULLPtrs:  reg,
+			DangNULLInval: inv,
+		})
+	}
+	return rows, nil
+}

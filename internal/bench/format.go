@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tw is a minimal aligned-column writer.
+type tw struct {
+	rows [][]string
+}
+
+func (t *tw) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tw) String() string {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+func mib(b uint64) string {
+	return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+}
+
+// FormatFig9 renders the SPEC run-time overhead table (Figure 9):
+// per-benchmark slowdown factors normalized to the baseline, plus geometric
+// means overall and over the subsets the paper uses to compare against
+// DangNULL and FreeSentry.
+func FormatFig9(rows []SPECRow) string {
+	var t tw
+	t.row("benchmark", "baseline(s)", "dangsan", "dangnull", "freesentry")
+	var gmDS, gmDN, gmFS []float64
+	var gmDSonDN, gmDSonFS []float64
+	for _, r := range rows {
+		base := r.ByKind[Baseline].Seconds
+		cells := []string{r.Benchmark, fmt.Sprintf("%.3f", base)}
+		for _, k := range []Kind{DangSan, DangNULL, FreeSentry} {
+			m, ok := r.ByKind[k]
+			if !ok {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, ratio(m.Seconds, base))
+			f := m.Seconds / base
+			switch k {
+			case DangSan:
+				gmDS = append(gmDS, f)
+			case DangNULL:
+				gmDN = append(gmDN, f)
+				gmDSonDN = append(gmDSonDN, r.ByKind[DangSan].Seconds/base)
+			case FreeSentry:
+				gmFS = append(gmFS, f)
+				gmDSonFS = append(gmDSonFS, r.ByKind[DangSan].Seconds/base)
+			}
+		}
+		t.row(cells...)
+	}
+	out := "Figure 9: run-time overhead on SPEC CPU2006 analogs (normalized to baseline)\n" + t.String()
+	out += fmt.Sprintf("geomean dangsan    %.2fx  (paper: 1.41x)\n", Geomean(gmDS))
+	if len(gmDN) > 0 {
+		out += fmt.Sprintf("geomean dangnull   %.2fx  vs dangsan %.2fx on same set (paper: 1.55x vs 1.22x)\n",
+			Geomean(gmDN), Geomean(gmDSonDN))
+	}
+	if len(gmFS) > 0 {
+		out += fmt.Sprintf("geomean freesentry %.2fx  vs dangsan %.2fx on same set (paper: 1.30x vs 1.23x)\n",
+			Geomean(gmFS), Geomean(gmDSonFS))
+	}
+	return out
+}
+
+// FormatFig11 renders the SPEC memory overhead table (Figure 11).
+func FormatFig11(rows []SPECRow) string {
+	var t tw
+	t.row("benchmark", "baseline", "dangsan", "overhead", "dangnull")
+	var gm []float64
+	for _, r := range rows {
+		base := r.ByKind[Baseline].PeakFootprint
+		ds := r.ByKind[DangSan].PeakFootprint
+		cells := []string{r.Benchmark, mib(base), mib(ds), ratio(float64(ds), float64(base))}
+		if m, ok := r.ByKind[DangNULL]; ok {
+			cells = append(cells, ratio(float64(m.PeakFootprint), float64(base)))
+		} else {
+			cells = append(cells, "-")
+		}
+		t.row(cells...)
+		if base > 0 {
+			gm = append(gm, float64(ds)/float64(base))
+		}
+	}
+	return "Figure 11: memory overhead on SPEC CPU2006 analogs (peak RSS + metadata)\n" +
+		t.String() +
+		fmt.Sprintf("geomean dangsan %.2fx  (paper: 2.4x)\n", Geomean(gm))
+}
+
+// FormatFig10 renders the scalability series (Figure 10): run time per
+// thread count, with the DangSan overhead factor per point.
+func FormatFig10(rows []ScalabilityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: scalability on PARSEC and SPLASH-2X analogs (seconds; overhead vs baseline)\n")
+	var perThreadOverheads map[int][]float64 = map[int][]float64{}
+	for _, r := range rows {
+		var t tw
+		header := []string{r.Benchmark, "baseline(s)", "dangsan(s)", "overhead", "dangnull(s)"}
+		t.row(header...)
+		for _, c := range r.Cells {
+			base := c.ByKind[Baseline].Seconds
+			ds := c.ByKind[DangSan].Seconds
+			cells := []string{
+				fmt.Sprintf("%d threads", c.Threads),
+				fmt.Sprintf("%.3f", base),
+				fmt.Sprintf("%.3f", ds),
+				ratio(ds, base),
+			}
+			if m, ok := c.ByKind[DangNULL]; ok {
+				cells = append(cells, fmt.Sprintf("%.3f", m.Seconds))
+			} else {
+				cells = append(cells, "-")
+			}
+			t.row(cells...)
+			if base > 0 {
+				perThreadOverheads[c.Threads] = append(perThreadOverheads[c.Threads], ds/base)
+			}
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	var t tw
+	t.row("threads", "geomean dangsan overhead")
+	for _, c := range rows[0].Cells {
+		ov := Geomean(perThreadOverheads[c.Threads])
+		t.row(fmt.Sprintf("%d", c.Threads), fmt.Sprintf("%.2fx", ov))
+	}
+	sb.WriteString("summary (paper: 1.12x @1T, 1.17-1.21x @2-16T, 1.30x @32T, 1.34x @64T):\n")
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// FormatFig12 renders the scalability memory series (Figure 12).
+func FormatFig12(rows []ScalabilityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: memory usage on PARSEC and SPLASH-2X analogs (peak RSS + metadata)\n")
+	perThread := map[int][]float64{}
+	for _, r := range rows {
+		var t tw
+		t.row(r.Benchmark, "baseline", "dangsan", "overhead")
+		for _, c := range r.Cells {
+			base := c.ByKind[Baseline].PeakFootprint
+			ds := c.ByKind[DangSan].PeakFootprint
+			t.row(fmt.Sprintf("%d threads", c.Threads), mib(base), mib(ds),
+				ratio(float64(ds), float64(base)))
+			if base > 0 {
+				perThread[c.Threads] = append(perThread[c.Threads], float64(ds)/float64(base))
+			}
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	var t tw
+	t.row("threads", "geomean dangsan memory overhead")
+	for _, c := range rows[0].Cells {
+		t.row(fmt.Sprintf("%d", c.Threads), fmt.Sprintf("%.2fx", Geomean(perThread[c.Threads])))
+	}
+	sb.WriteString("summary (paper: 1.56x @1T growing to 1.67x @16T, then level):\n")
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// FormatServers renders the web-server throughput and memory table
+// (§8.2/§8.3).
+func FormatServers(rows []ServerRow) string {
+	var t tw
+	t.row("server", "baseline req/s", "dangsan req/s", "slowdown", "mem baseline", "mem dangsan", "mem overhead")
+	for _, r := range rows {
+		base := r.ByKind[Baseline]
+		ds := r.ByKind[DangSan]
+		baseRPS := float64(r.Requests) / base.Seconds
+		dsRPS := float64(r.Requests) / ds.Seconds
+		t.row(r.Server,
+			fmt.Sprintf("%.0f", baseRPS),
+			fmt.Sprintf("%.0f", dsRPS),
+			fmt.Sprintf("%.0f%%", (1-dsRPS/baseRPS)*100),
+			mib(base.PeakFootprint), mib(ds.PeakFootprint),
+			ratio(float64(ds.PeakFootprint), float64(base.PeakFootprint)))
+	}
+	return "Web servers (paper: apache -21% 4.5x mem, nginx -30% 1.8x mem, cherokee ~0% 1.1x mem)\n" + t.String()
+}
+
+// FormatTable1 renders the statistics table.
+func FormatTable1(rows []Table1Row) string {
+	var t tw
+	t.row("benchmark", "#obj", "#hashtable", "#ptrs", "#inval", "#stale", "#dup", "dangnull #ptrs", "dangnull #inval")
+	for _, r := range rows {
+		s := r.DangSan
+		t.row(r.Benchmark,
+			fmt.Sprintf("%d", s.ObjectsTracked),
+			fmt.Sprintf("%d", s.HashTables),
+			fmt.Sprintf("%d", s.Registered),
+			fmt.Sprintf("%d", s.Invalidated),
+			fmt.Sprintf("%d", s.Stale),
+			fmt.Sprintf("%d", s.Duplicates),
+			fmt.Sprintf("%d", r.DangNULLPtrs),
+			fmt.Sprintf("%d", r.DangNULLInval))
+	}
+	return "Table 1: pointer-tracking statistics on the SPEC analogs (scaled counts)\n" + t.String()
+}
+
+// FormatLookback renders the lookback sweep.
+func FormatLookback(points []LookbackPoint) string {
+	var t tw
+	t.row("lookback", "seconds", "log bytes")
+	for _, p := range points {
+		t.row(fmt.Sprintf("%d", p.Lookback), fmt.Sprintf("%.3f", p.Seconds), mib(p.LogBytes))
+	}
+	return "Ablation: lookback window on the perlbench analog (paper §4.4: flat 1-4, memory grows without lookback)\n" + t.String()
+}
+
+// FormatCompression renders the compression ablation.
+func FormatCompression(points []CompressionPoint) string {
+	var t tw
+	t.row("compression", "seconds", "log bytes", "entries folded")
+	for _, p := range points {
+		t.row(fmt.Sprintf("%v", p.Compression), fmt.Sprintf("%.3f", p.Seconds),
+			mib(p.LogBytes), fmt.Sprintf("%d", p.Compressed))
+	}
+	return "Ablation: pointer compression on an adjacent-slot fill workload (paper §6: up to 3x log-space saving)\n" + t.String()
+}
+
+// FormatShadow renders the shadow-scheme comparison.
+func FormatShadow(points []ShadowPoint) string {
+	var t tw
+	t.row("object size", "fixed-ratio meta", "variable meta", "fixed create", "variable create")
+	for _, p := range points {
+		t.row(fmt.Sprintf("%dKiB", p.ObjectBytes>>10),
+			mib(p.FixedBytes), mib(p.VariableBytes),
+			fmt.Sprintf("%.0fns", p.FixedNs), fmt.Sprintf("%.0fns", p.VariableNs))
+	}
+	return "Ablation: constant vs variable compression-ratio shadow (paper §4.3: constant ratio pays O(size) init and ~1:1 metadata)\n" + t.String()
+}
+
+// FormatMapper renders the mapper comparison.
+func FormatMapper(points []MapperPoint) string {
+	var t tw
+	t.row("live objects", "shadow ns/lookup", "rbtree ns/lookup", "tree/shadow")
+	for _, p := range points {
+		t.row(fmt.Sprintf("%d", p.Objects),
+			fmt.Sprintf("%.1f", p.ShadowNs),
+			fmt.Sprintf("%.1f", p.TreeNs),
+			fmt.Sprintf("%.1fx", p.TreeNs/p.ShadowNs))
+	}
+	return "Ablation: pointer-to-object mapper (paper §4.3: trees degrade with object count, shadow stays constant)\n" + t.String()
+}

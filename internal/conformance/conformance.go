@@ -1,0 +1,197 @@
+// Package conformance generates random — but use-after-free-free — programs
+// and runs them under every detector, checking the properties that define
+// correct sanitizer behaviour:
+//
+//   - soundness of the program's view: a well-behaved program (no dangling
+//     use) must run identically under every detector — no false positives;
+//   - the invalidation contract: after free, every location that still held
+//     a pointer into the object carries the detector's invalid value, and
+//     every location that was overwritten is untouched;
+//   - allocator integrity: no leaks, no double-free reports for valid
+//     programs.
+//
+// The generator drives the proc API directly with a recorded "oracle" of
+// where pointers should be after every free, making the checks exact.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dangsan/internal/proc"
+)
+
+// Op kinds the generator emits.
+const (
+	opMalloc = iota
+	opFree
+	opStorePtr
+	opStoreInt
+	opRealloc
+	numOps
+)
+
+// Program is a deterministic random op sequence, generated once and
+// executable against any detector.
+type Program struct {
+	Seed  int64
+	Steps int
+}
+
+// object tracks a live allocation in the oracle.
+type object struct {
+	base, size uint64
+}
+
+// slotState is the oracle's view of one pointer slot.
+type slotState struct {
+	// val is the last value the program stored (0 = none).
+	val uint64
+	// obj is the live object val points into, nil after that object dies.
+	obj *object
+	// isPtr distinguishes pointer stores from integer stores.
+	isPtr bool
+}
+
+// Result is the observable outcome of running a Program.
+type Result struct {
+	// Slots is the final value of every slot.
+	Slots []uint64
+	// LiveObjects is the allocator's live count at the end.
+	LiveObjects uint64
+	// Err is any runtime error (must be nil for conforming detectors).
+	Err error
+}
+
+// CheckFn validates a slot's value after the object it pointed to died.
+// orig is the pointer value the program stored.
+type CheckFn func(orig, got uint64) error
+
+// Run executes the program against the process and verifies the oracle at
+// every free using check (nil disables invalidation checking, for the
+// baseline). It returns the final observable state.
+func (pr *Program) Run(p *proc.Process, check CheckFn) Result {
+	rng := rand.New(rand.NewSource(pr.Seed))
+	th := p.NewThread()
+	defer th.Exit()
+
+	const numSlots = 256
+	slotBase := p.AllocGlobal(numSlots * 8)
+	slots := make([]slotState, numSlots)
+	var live []*object
+
+	fail := func(err error) Result {
+		return Result{Err: err}
+	}
+
+	verifyFree := func(victim *object) error {
+		for i := range slots {
+			s := &slots[i]
+			if s.obj != victim {
+				continue
+			}
+			loc := slotBase + uint64(i)*8
+			got, f := p.AddressSpace().LoadWord(loc)
+			if f != nil {
+				return fmt.Errorf("slot %d: %v", i, f)
+			}
+			if s.isPtr && check != nil {
+				if err := check(s.val, got); err != nil {
+					return fmt.Errorf("slot %d after free of 0x%x: %w", i, victim.base, err)
+				}
+			}
+			if !s.isPtr && got != s.val {
+				return fmt.Errorf("slot %d: integer %d clobbered to %d", i, s.val, got)
+			}
+			s.obj = nil // object gone; slot's pointer is now (neutralized) garbage
+		}
+		return nil
+	}
+
+	for step := 0; step < pr.Steps; step++ {
+		switch rng.Intn(numOps) {
+		case opMalloc:
+			size := uint64(rng.Intn(4000) + 1)
+			base, err := th.Malloc(size)
+			if err != nil {
+				return fail(err)
+			}
+			usable, _ := p.Allocator().UsableSize(base)
+			live = append(live, &object{base: base, size: usable})
+		case opFree:
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			victim := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := th.Free(victim.base); err != nil {
+				return fail(err)
+			}
+			if err := verifyFree(victim); err != nil {
+				return fail(err)
+			}
+		case opStorePtr:
+			if len(live) == 0 {
+				continue
+			}
+			obj := live[rng.Intn(len(live))]
+			i := rng.Intn(numSlots)
+			val := obj.base + uint64(rng.Int63n(int64(obj.size)))&^7
+			if f := th.StorePtr(slotBase+uint64(i)*8, val); f != nil {
+				return fail(f)
+			}
+			slots[i] = slotState{val: val, obj: obj, isPtr: true}
+		case opStoreInt:
+			i := rng.Intn(numSlots)
+			val := rng.Uint64() >> 16 // avoid accidental canonical-pointer look
+			if f := th.StoreInt(slotBase+uint64(i)*8, val); f != nil {
+				return fail(f)
+			}
+			slots[i] = slotState{val: val, isPtr: false}
+		case opRealloc:
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			obj := live[i]
+			newSize := uint64(rng.Intn(8000) + 1)
+			newBase, err := th.Realloc(obj.base, newSize)
+			if err != nil {
+				return fail(err)
+			}
+			usable, _ := p.Allocator().UsableSize(newBase)
+			if newBase == obj.base {
+				// In place: existing pointers stay valid; only the extent
+				// changed.
+				obj.size = usable
+				continue
+			}
+			// Moved: every slot pointing into the old object must obey the
+			// invalidation contract, as on free.
+			if err := verifyFree(obj); err != nil {
+				return fail(err)
+			}
+			live[i] = &object{base: newBase, size: usable}
+		}
+	}
+	// Tear down remaining objects, still checking.
+	for _, obj := range live {
+		if err := th.Free(obj.base); err != nil {
+			return fail(err)
+		}
+		if err := verifyFree(obj); err != nil {
+			return fail(err)
+		}
+	}
+
+	res := Result{LiveObjects: p.Allocator().Stats().LiveObjects}
+	for i := range slots {
+		v, f := p.AddressSpace().LoadWord(slotBase + uint64(i)*8)
+		if f != nil {
+			return fail(fmt.Errorf("final slot %d: %v", i, f))
+		}
+		res.Slots = append(res.Slots, v)
+	}
+	return res
+}

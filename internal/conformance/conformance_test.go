@@ -1,0 +1,142 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/dangnull"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+)
+
+// Per-detector invalidation contracts for a pointer stored in a GLOBAL slot
+// whose object has just died.
+func invalidBitCheck(orig, got uint64) error {
+	if got != orig|pointerlog.InvalidBit {
+		return fmt.Errorf("want 0x%x (invalid bit set), got 0x%x", orig|pointerlog.InvalidBit, got)
+	}
+	return nil
+}
+
+func untouchedCheck(orig, got uint64) error {
+	if got != orig {
+		return fmt.Errorf("want untouched 0x%x, got 0x%x", orig, got)
+	}
+	return nil
+}
+
+func contracts() map[string]struct {
+	mk    func() detectors.Detector
+	check CheckFn
+} {
+	return map[string]struct {
+		mk    func() detectors.Detector
+		check CheckFn
+	}{
+		// Baseline: dangling pointers survive untouched.
+		"baseline": {func() detectors.Detector { return detectors.None{} }, untouchedCheck},
+		// DangSan and FreeSentry invalidate pointers anywhere in memory.
+		"dangsan":    {func() detectors.Detector { return dangsan.New() }, invalidBitCheck},
+		"freesentry": {func() detectors.Detector { return freesentry.New() }, invalidBitCheck},
+		// DangNULL only tracks heap-resident pointer slots; the conformance
+		// slots are globals, so they must pass through untouched — the
+		// coverage gap the paper criticizes.
+		"dangnull": {func() detectors.Detector { return dangnull.New() }, untouchedCheck},
+	}
+}
+
+// TestRandomProgramsConform runs many random programs under every detector,
+// checking the invalidation contract at each free and that no false
+// positives (errors, clobbered integers) occur.
+func TestRandomProgramsConform(t *testing.T) {
+	for name, c := range contracts() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				prog := &Program{Seed: seed, Steps: 2500}
+				res := prog.Run(proc.New(c.mk()), c.check)
+				if res.Err != nil {
+					t.Fatalf("seed %d: %v", seed, res.Err)
+				}
+				if res.LiveObjects != 0 {
+					t.Fatalf("seed %d: leaked %d objects", seed, res.LiveObjects)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossDetectors verifies that the program's own
+// observable behaviour (modulo invalidation bits) is detector-independent:
+// integer slots end with identical values everywhere, and pointer slots
+// differ at most by the detector's neutralization.
+func TestDeterministicAcrossDetectors(t *testing.T) {
+	prog := &Program{Seed: 99, Steps: 3000}
+
+	base := prog.Run(proc.New(detectors.None{}), nil)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	ds := prog.Run(proc.New(dangsan.New()), nil)
+	if ds.Err != nil {
+		t.Fatal(ds.Err)
+	}
+	if len(base.Slots) != len(ds.Slots) {
+		t.Fatal("slot count mismatch")
+	}
+	diff := 0
+	for i := range base.Slots {
+		b, d := base.Slots[i], ds.Slots[i]
+		if b == d {
+			continue
+		}
+		// Allowed divergences: dangsan invalidated a dangling pointer, or
+		// heap layout shifted the value by the allocation pad — the value
+		// must still be a plausible neutralized/retargeted heap pointer,
+		// never an arbitrary corruption of an integer.
+		if d&pointerlog.InvalidBit != 0 {
+			diff++
+			continue
+		}
+		t.Errorf("slot %d: baseline 0x%x vs dangsan 0x%x (not an invalidation)", i, b, d)
+	}
+	if diff == 0 {
+		t.Log("note: no dangling pointers were left at program end for this seed")
+	}
+}
+
+// TestZeroOnFreeConforms layers secure deallocation on top of DangSan: the
+// random programs must still complete without errors or leaks.
+func TestZeroOnFreeConforms(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		p := proc.New(dangsan.New())
+		p.EnableZeroOnFree()
+		prog := &Program{Seed: seed, Steps: 1500}
+		// Zeroing happens after invalidation, so a still-pointing slot may
+		// read 0 instead of the invalid value when the slot lives INSIDE
+		// the freed object; our slots are globals, so the invalid-bit
+		// contract holds unchanged.
+		res := prog.Run(p, invalidBitCheck)
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+	}
+}
+
+// TestMemcpyHookConforms: enabling the §7 memcpy extension must not break
+// any contract (it only adds registrations).
+func TestMemcpyHookConforms(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		p := proc.New(dangsan.New())
+		if !p.EnableMemcpyHook() {
+			t.Fatal("hook unavailable")
+		}
+		prog := &Program{Seed: seed, Steps: 1500}
+		res := prog.Run(p, invalidBitCheck)
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package dangnull
+
+import (
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+func newBound(t *testing.T) (*Detector, *vmem.AddressSpace) {
+	t.Helper()
+	d := New()
+	as := vmem.New()
+	d.Bind(as)
+	as.Heap().MapPages(vmem.HeapBase, 16)
+	return d, as
+}
+
+func TestHeapOnlyTracking(t *testing.T) {
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, 64, 8)
+
+	heapSlot := uint64(vmem.HeapBase + 4096)
+	d.OnAlloc(heapSlot, 8, 8)
+	globalSlot := uint64(vmem.GlobalsBase + 8)
+
+	as.StoreWord(heapSlot, obj)
+	as.StoreWord(globalSlot, obj)
+	d.OnPtrStore(heapSlot, obj, 0)
+	d.OnPtrStore(globalSlot, obj, 0)
+
+	if reg, _ := d.Stats(); reg != 1 {
+		t.Fatalf("registered %d, want 1 (heap slot only)", reg)
+	}
+	d.OnFree(obj, 64, 8)
+	if v, _ := as.LoadWord(heapSlot); v != InvalidValue {
+		t.Fatalf("heap slot = 0x%x, want nullified", v)
+	}
+	if v, _ := as.LoadWord(globalSlot); v != obj {
+		t.Fatalf("global slot = 0x%x, want untouched (coverage gap)", v)
+	}
+}
+
+func TestUnregisterOnOverwrite(t *testing.T) {
+	d, as := newBound(t)
+	objA, objB := uint64(vmem.HeapBase), uint64(vmem.HeapBase+64)
+	d.OnAlloc(objA, 64, 8)
+	d.OnAlloc(objB, 64, 8)
+	slot := uint64(vmem.HeapBase + 4096)
+	d.OnAlloc(slot, 8, 8)
+
+	as.StoreWord(slot, objA)
+	d.OnPtrStore(slot, objA, 0)
+	as.StoreWord(slot, objB)
+	d.OnPtrStore(slot, objB, 0)
+
+	// DangNULL removed the slot from objA's set: freeing A must not
+	// nullify the pointer to B.
+	d.OnFree(objA, 64, 8)
+	if v, _ := as.LoadWord(slot); v != objB {
+		t.Fatalf("slot = 0x%x, want objB", v)
+	}
+	d.OnFree(objB, 64, 8)
+	if v, _ := as.LoadWord(slot); v != InvalidValue {
+		t.Fatalf("slot = 0x%x after B's free", v)
+	}
+}
+
+func TestNullificationDestroysAddressBits(t *testing.T) {
+	// The design contrast with DangSan: after nullification nothing
+	// relates the value back to the original pointer.
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, 64, 8)
+	slot := uint64(vmem.HeapBase + 4096)
+	d.OnAlloc(slot, 8, 8)
+	as.StoreWord(slot, obj+32)
+	d.OnPtrStore(slot, obj+32, 0)
+	d.OnFree(obj, 64, 8)
+	v, _ := as.LoadWord(slot)
+	if v&0xFFFFFFFF == (obj+32)&0xFFFFFFFF {
+		t.Fatalf("nullified value 0x%x retains address bits", v)
+	}
+	// Dereferencing still faults (kernel-space address).
+	if _, f := as.LoadWord(v); f == nil {
+		t.Fatal("nullified pointer dereference did not fault")
+	}
+}
+
+func TestReallocInPlaceExtends(t *testing.T) {
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, vmem.PageSize, vmem.PageSize)
+	d.OnReallocInPlace(obj, vmem.PageSize, 2*vmem.PageSize, vmem.PageSize)
+	slot := uint64(vmem.HeapBase + 8*vmem.PageSize)
+	d.OnAlloc(slot, 8, 8)
+	grown := obj + vmem.PageSize + 16
+	as.StoreWord(slot, grown)
+	d.OnPtrStore(slot, grown, 0)
+	d.OnFree(obj, 2*vmem.PageSize, vmem.PageSize)
+	if v, _ := as.LoadWord(slot); v != InvalidValue {
+		t.Fatalf("pointer into grown range = 0x%x", v)
+	}
+}

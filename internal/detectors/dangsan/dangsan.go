@@ -1,0 +1,146 @@
+// Package dangsan implements the paper's use-after-free detection system:
+// the heap tracker and pointer tracker glue that connects the
+// pointer-to-object mapper (internal/shadow) with the pointer logger
+// (internal/pointerlog).
+//
+// Event flow, matching the paper's Figures 2-4:
+//
+//   - malloc  -> createobj: allocate per-object metadata, write its handle
+//     into every shadow slot the object covers.
+//   - pointer store -> ptr2obj (shadow lookup of the stored VALUE) then
+//     logptr (append the store LOCATION to the object's per-thread log).
+//   - free    -> ptr2obj then invalptrs: re-verify every logged location
+//     and overwrite still-valid pointers with their most-significant-bit
+//     set; then clear the shadow slots and recycle the metadata.
+package dangsan
+
+import (
+	"dangsan/internal/detectors"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/shadow"
+)
+
+// Detector is the DangSan system. Create with New; it must be bound to the
+// process's memory (done automatically by proc.New) before use.
+type Detector struct {
+	table  *shadow.Table
+	logger *pointerlog.Logger
+	mem    detectors.Memory
+}
+
+var _ detectors.Detector = (*Detector)(nil)
+var _ detectors.Binder = (*Detector)(nil)
+
+// New creates a DangSan detector with the paper's default configuration.
+func New() *Detector {
+	return NewWithConfig(pointerlog.DefaultConfig())
+}
+
+// NewWithConfig creates a DangSan detector with explicit pointer-log
+// tunables (used by the ablation benchmarks).
+func NewWithConfig(cfg pointerlog.Config) *Detector {
+	return &Detector{
+		table:  shadow.NewTable(),
+		logger: pointerlog.NewLogger(cfg),
+	}
+}
+
+// Bind implements detectors.Binder.
+func (d *Detector) Bind(mem detectors.Memory) { d.mem = mem }
+
+// Name implements detectors.Detector.
+func (d *Detector) Name() string { return "dangsan" }
+
+// AllocPad implements detectors.Detector: every allocation grows by one
+// byte so a one-past-the-end pointer still maps to its object (paper §4.4).
+func (d *Detector) AllocPad() uint64 { return 1 }
+
+// OnAlloc implements detectors.Detector (the heap tracker's malloc hook).
+func (d *Detector) OnAlloc(base, size, align uint64) {
+	_, handle := d.logger.CreateMeta(base, size)
+	d.table.CreateObject(base, size, align, handle)
+}
+
+// OnReallocInPlace implements detectors.Detector. Growth extends the shadow
+// mapping by re-running createobj (paper §4.2); shrinking additionally
+// clears the no-longer-covered tail.
+func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
+	handle := d.table.Lookup(base)
+	if handle == 0 {
+		return
+	}
+	meta := d.logger.MetaAt(handle)
+	if meta == nil || meta.Base != base {
+		return
+	}
+	meta.Size = newSize
+	d.table.CreateObject(base, newSize, align, handle)
+	if newSize < oldSize {
+		d.table.ClearObject(base+newSize, oldSize-newSize, align)
+	}
+}
+
+// OnFree implements detectors.Detector (the heap tracker's free hook): this
+// is where dangling pointers die.
+func (d *Detector) OnFree(base, size, align uint64) {
+	handle := d.table.Lookup(base)
+	if handle == 0 {
+		return
+	}
+	meta := d.logger.MetaAt(handle)
+	if meta == nil || meta.Base != base {
+		return
+	}
+	d.logger.Invalidate(meta, d.mem)
+	d.table.ClearObject(base, size, align)
+	d.logger.ReleaseMeta(handle)
+}
+
+// OnPtrStore implements detectors.Detector (the pointer tracker's
+// registerptr): look up the object the stored value points into, then log
+// the store location against it. Values that point outside any tracked
+// object — NULL, globals, stack, freed memory — cost exactly one shadow
+// lookup.
+func (d *Detector) OnPtrStore(loc, val uint64, tid int32) {
+	handle := d.table.Lookup(val)
+	if handle == 0 {
+		return
+	}
+	meta := d.logger.MetaAt(handle)
+	if meta == nil {
+		return
+	}
+	d.logger.Register(meta, loc, tid)
+}
+
+// OnMemcpy implements detectors.MemcpyHooker (the §7 extension): scan every
+// aligned word of the copied destination; values that land in tracked
+// objects get their new location registered, so pointers copied
+// type-unsafely (memcpy, realloc moves) are invalidated at free time like
+// any other copy. False registrations of integers that happen to look like
+// object addresses are harmless: free-time verification treats a location
+// whose value moved on as stale, and invalidating a true look-alike only
+// flips a bit the paper argues is vanishingly unlikely to matter (§4.4).
+func (d *Detector) OnMemcpy(dst, src, n uint64, tid int32) {
+	start := (dst + 7) &^ 7
+	for loc := start; loc+8 <= dst+n; loc += 8 {
+		val, fault := d.mem.LoadWord(loc)
+		if fault != nil {
+			return
+		}
+		d.OnPtrStore(loc, val, tid)
+	}
+}
+
+// MetadataBytes implements detectors.Detector.
+func (d *Detector) MetadataBytes() uint64 {
+	return d.table.Bytes() + d.logger.Stats().LogBytes.Load()
+}
+
+// Stats exposes the pointer-log counters for the Table 1 experiments.
+func (d *Detector) Stats() pointerlog.Snapshot {
+	return d.logger.Stats().Snapshot()
+}
+
+// Logger exposes the underlying logger (tests and ablations).
+func (d *Detector) Logger() *pointerlog.Logger { return d.logger }

@@ -1,0 +1,141 @@
+package dangsan
+
+import (
+	"testing"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/vmem"
+)
+
+// newBound builds a detector bound to a fresh address space with the first
+// heap pages mapped, bypassing proc for focused unit tests.
+func newBound(t *testing.T) (*Detector, *vmem.AddressSpace) {
+	t.Helper()
+	d := New()
+	as := vmem.New()
+	d.Bind(as)
+	as.Heap().MapPages(vmem.HeapBase, 16)
+	return d, as
+}
+
+func TestAllocStoreFreeWiring(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 64, 8)
+
+	loc := uint64(vmem.GlobalsBase + 0x100)
+	as.StoreWord(loc, base+8)
+	d.OnPtrStore(loc, base+8, 0)
+
+	d.OnFree(base, 64, 8)
+	if v, _ := as.LoadWord(loc); v != (base+8)|pointerlog.InvalidBit {
+		t.Fatalf("loc = 0x%x", v)
+	}
+	// A second free of the same range is a no-op (shadow cleared).
+	d.OnFree(base, 64, 8)
+	s := d.Stats()
+	if s.Invalidated != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestFreeOfUntrackedBase(t *testing.T) {
+	d, _ := newBound(t)
+	// Must not panic, must not count anything.
+	d.OnFree(vmem.HeapBase+4096, 64, 8)
+	if s := d.Stats(); s.Invalidated != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReallocShrinkClearsTail(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 4*vmem.PageSize, vmem.PageSize)
+
+	// A pointer into the tail that will be shrunk away.
+	tailLoc := uint64(vmem.GlobalsBase + 0x10)
+	tailPtr := base + 3*vmem.PageSize + 8
+	as.StoreWord(tailLoc, tailPtr)
+	d.OnPtrStore(tailLoc, tailPtr, 0)
+
+	d.OnReallocInPlace(base, 4*vmem.PageSize, 2*vmem.PageSize, vmem.PageSize)
+	// Values in the abandoned tail no longer resolve to the object.
+	headLoc := uint64(vmem.GlobalsBase + 0x20)
+	as.StoreWord(headLoc, base+8)
+	d.OnPtrStore(headLoc, base+8, 0)
+	d.OnPtrStore(tailLoc, tailPtr, 0) // should find no object now
+
+	d.OnFree(base, 2*vmem.PageSize, vmem.PageSize)
+	if v, _ := as.LoadWord(headLoc); v&pointerlog.InvalidBit == 0 {
+		t.Fatalf("head pointer not invalidated: 0x%x", v)
+	}
+	if v, _ := as.LoadWord(tailLoc); v != tailPtr {
+		t.Fatalf("tail pointer should be untouched garbage: 0x%x", v)
+	}
+}
+
+func TestReallocGrowExtendsMapping(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 2*vmem.PageSize, vmem.PageSize)
+	d.OnReallocInPlace(base, 2*vmem.PageSize, 4*vmem.PageSize, vmem.PageSize)
+
+	loc := uint64(vmem.GlobalsBase + 0x30)
+	grownPtr := base + 3*vmem.PageSize
+	as.StoreWord(loc, grownPtr)
+	d.OnPtrStore(loc, grownPtr, 0)
+	d.OnFree(base, 4*vmem.PageSize, vmem.PageSize)
+	if v, _ := as.LoadWord(loc); v != grownPtr|pointerlog.InvalidBit {
+		t.Fatalf("pointer into grown region = 0x%x", v)
+	}
+}
+
+func TestOnMemcpyUnalignedEdges(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 64, 8)
+
+	src := uint64(vmem.GlobalsBase + 0x100)
+	dst := uint64(vmem.GlobalsBase + 0x200)
+	as.StoreWord(src+8, base)
+	as.Memmove(dst+3, src, 24) // unaligned destination
+	// OnMemcpy must only consider aligned words inside [dst+3, dst+27).
+	d.OnMemcpy(dst+3, src, 24, 0)
+	// The aligned word dst+8 holds a misaligned fragment, not base; the
+	// aligned word dst+16 holds bytes of base shifted — neither should
+	// match the object unless bytes happen to align. The call must simply
+	// not panic and not corrupt stats badly.
+	_ = d.Stats()
+}
+
+func TestMetadataBytesGrows(t *testing.T) {
+	d, as := newBound(t)
+	before := d.MetadataBytes()
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 64, 8)
+	for i := 0; i < 100; i++ {
+		loc := vmem.GlobalsBase + uint64(i)*0x300
+		as.StoreWord(loc, base)
+		d.OnPtrStore(loc, base, 0)
+	}
+	if d.MetadataBytes() <= before {
+		t.Fatal("metadata accounting did not grow")
+	}
+}
+
+func TestDecodeFault(t *testing.T) {
+	orig := uint64(vmem.HeapBase + 0x123456)
+	got, ok := pointerlog.DecodeFault(orig | pointerlog.InvalidBit)
+	if !ok || got != orig {
+		t.Fatalf("DecodeFault = 0x%x, %v", got, ok)
+	}
+	// A plain non-canonical address is not an invalidated pointer.
+	if _, ok := pointerlog.DecodeFault(1 << 47); ok {
+		t.Fatal("bit-47 address misdecoded as invalidated")
+	}
+	// A canonical address is not a fault we can decode.
+	if _, ok := pointerlog.DecodeFault(orig); ok {
+		t.Fatal("canonical address misdecoded")
+	}
+}

@@ -1,0 +1,98 @@
+// Package detectors defines the interface between the simulated process
+// runtime (internal/proc) and use-after-free detection systems, plus the
+// uninstrumented baseline. Concrete systems live in subpackages:
+// detectors/dangsan (the paper's contribution), detectors/dangnull and
+// detectors/freesentry (the baselines it is evaluated against).
+package detectors
+
+import "dangsan/internal/vmem"
+
+// Detector observes the allocation and pointer-store events of a simulated
+// process. Implementations must be safe for concurrent use: events arrive
+// from every thread of the process.
+type Detector interface {
+	// Name identifies the detector in benchmark output.
+	Name() string
+
+	// AllocPad returns extra bytes the runtime adds to every allocation
+	// request. DangSan returns 1 so that a one-past-the-end pointer still
+	// lies within its object (paper §4.4); baselines return 0.
+	AllocPad() uint64
+
+	// OnAlloc fires after an object is allocated. size is the usable
+	// (rounded) size; align is the allocator's alignment guarantee for the
+	// object's pages.
+	OnAlloc(base, size, align uint64)
+
+	// OnReallocInPlace fires when an object changed extent without moving
+	// (tcmalloc resized a large span). The detector must refresh its
+	// mapping for [base, base+newSize) and drop any tail mapping when the
+	// object shrank.
+	OnReallocInPlace(base, oldSize, newSize, align uint64)
+
+	// OnFree fires before the allocator releases a (valid) object. This is
+	// where invalidation-based detectors neutralize dangling pointers.
+	OnFree(base, size, align uint64)
+
+	// OnPtrStore fires after the program stores the pointer-typed value
+	// val to the memory location loc from thread tid.
+	OnPtrStore(loc, val uint64, tid int32)
+
+	// MetadataBytes reports the detector's current metadata footprint, for
+	// the memory-overhead experiments.
+	MetadataBytes() uint64
+}
+
+// Binder is implemented by detectors that need access to the process's
+// simulated memory (e.g. to read pointer values back during invalidation).
+// The process runtime calls Bind exactly once, before any other hook.
+type Binder interface {
+	Bind(mem Memory)
+}
+
+// Memory is the view of simulated memory detectors may use: checked reads
+// (reporting the simulated SIGSEGV instead of crashing) and
+// compare-and-swap for race-free invalidation. *vmem.AddressSpace
+// implements it.
+type Memory interface {
+	LoadWord(addr uint64) (uint64, *vmem.Fault)
+	CASWord(addr, old, new uint64) (bool, *vmem.Fault)
+	StoreWord(addr, val uint64) *vmem.Fault
+}
+
+// MemcpyHooker is implemented by detectors that support the paper's §7
+// extension for type-unsafe pointer copies: after a memcpy (including the
+// copy inside a moving realloc), OnMemcpy scans the destination for values
+// that point into tracked objects and re-registers them, closing the
+// coverage gap at the cost of a slower memcpy. The paper's authors chose
+// not to enable this in their prototype; it is optional here too
+// (proc.Process.EnableMemcpyHook).
+type MemcpyHooker interface {
+	OnMemcpy(dst, src, n uint64, tid int32)
+}
+
+// None is the uninstrumented baseline: every hook is a no-op. Benchmarks
+// divide instrumented run time by the None run time to obtain the overhead
+// factors reported in the paper's figures.
+type None struct{}
+
+// Name implements Detector.
+func (None) Name() string { return "baseline" }
+
+// AllocPad implements Detector.
+func (None) AllocPad() uint64 { return 0 }
+
+// OnAlloc implements Detector.
+func (None) OnAlloc(base, size, align uint64) {}
+
+// OnReallocInPlace implements Detector.
+func (None) OnReallocInPlace(base, oldSize, newSize, align uint64) {}
+
+// OnFree implements Detector.
+func (None) OnFree(base, size, align uint64) {}
+
+// OnPtrStore implements Detector.
+func (None) OnPtrStore(loc, val uint64, tid int32) {}
+
+// MetadataBytes implements Detector.
+func (None) MetadataBytes() uint64 { return 0 }

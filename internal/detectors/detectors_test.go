@@ -1,0 +1,153 @@
+package detectors_test
+
+import (
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/dangnull"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/proc"
+	"dangsan/internal/vmem"
+)
+
+// TestDetectorContracts runs the same scenario under every detector and
+// checks each system's documented behaviour: who invalidates what, and with
+// which value.
+func TestDetectorContracts(t *testing.T) {
+	type outcome struct {
+		heapPtr   func(obj uint64) uint64 // expected value of heap-stored ptr after free
+		globalPtr func(obj uint64) uint64 // expected value of global-stored ptr after free
+	}
+	cases := []struct {
+		name string
+		mk   func() detectors.Detector
+		want outcome
+	}{
+		{
+			name: "baseline",
+			mk:   func() detectors.Detector { return detectors.None{} },
+			want: outcome{
+				heapPtr:   func(obj uint64) uint64 { return obj },
+				globalPtr: func(obj uint64) uint64 { return obj },
+			},
+		},
+		{
+			name: "dangsan",
+			mk:   func() detectors.Detector { return dangsan.New() },
+			want: outcome{
+				heapPtr:   func(obj uint64) uint64 { return obj | 1<<63 },
+				globalPtr: func(obj uint64) uint64 { return obj | 1<<63 },
+			},
+		},
+		{
+			name: "dangnull",
+			mk:   func() detectors.Detector { return dangnull.New() },
+			want: outcome{
+				// DangNULL nullifies heap-resident pointers with a fixed
+				// value but misses pointers outside the heap entirely.
+				heapPtr:   func(obj uint64) uint64 { return dangnull.InvalidValue },
+				globalPtr: func(obj uint64) uint64 { return obj },
+			},
+		},
+		{
+			name: "freesentry",
+			mk:   func() detectors.Detector { return freesentry.New() },
+			want: outcome{
+				heapPtr:   func(obj uint64) uint64 { return obj | 1<<63 },
+				globalPtr: func(obj uint64) uint64 { return obj | 1<<63 },
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := proc.New(c.mk())
+			th := p.NewThread()
+			obj, err := th.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heapSlot, _ := th.Malloc(8)
+			globalSlot := p.AllocGlobal(8)
+			th.StorePtr(heapSlot, obj)
+			th.StorePtr(globalSlot, obj)
+			if err := th.Free(obj); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := th.Load(heapSlot); v != c.want.heapPtr(obj) {
+				t.Errorf("heap ptr = 0x%x, want 0x%x", v, c.want.heapPtr(obj))
+			}
+			if v, _ := th.Load(globalSlot); v != c.want.globalPtr(obj) {
+				t.Errorf("global ptr = 0x%x, want 0x%x", v, c.want.globalPtr(obj))
+			}
+		})
+	}
+}
+
+func TestDangNullStaleNotClobbered(t *testing.T) {
+	p := proc.New(dangnull.New())
+	th := p.NewThread()
+	objA, _ := th.Malloc(64)
+	objB, _ := th.Malloc(64)
+	slot, _ := th.Malloc(8)
+	th.StorePtr(slot, objA)
+	th.StorePtr(slot, objB) // unregisters the slot from objA
+	th.Free(objA)
+	if v, _ := th.Load(slot); v != objB {
+		t.Fatalf("slot = 0x%x, want objB", v)
+	}
+}
+
+func TestDangNullTreeTracksLiveObjects(t *testing.T) {
+	d := dangnull.New()
+	p := proc.New(d)
+	th := p.NewThread()
+	objs := make([]uint64, 100)
+	for i := range objs {
+		objs[i], _ = th.Malloc(32)
+	}
+	if d.LiveObjects() != 100 {
+		t.Fatalf("live = %d", d.LiveObjects())
+	}
+	for _, o := range objs {
+		th.Free(o)
+	}
+	if d.LiveObjects() != 0 {
+		t.Fatalf("live after frees = %d", d.LiveObjects())
+	}
+}
+
+func TestFreeSentryInterior(t *testing.T) {
+	p := proc.New(freesentry.New())
+	th := p.NewThread()
+	obj, _ := th.Malloc(128)
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, obj+64)
+	th.Free(obj)
+	if v, _ := th.Load(slot); v != (obj+64)|freesentry.InvalidBit {
+		t.Fatalf("interior ptr = 0x%x", v)
+	}
+	// A dereference faults.
+	if _, f := th.Deref(slot); f == nil || f.Kind != vmem.FaultNonCanonical {
+		t.Fatalf("deref: %v", f)
+	}
+}
+
+func TestFreeSentryObjectRecycling(t *testing.T) {
+	d := freesentry.New()
+	p := proc.New(d)
+	th := p.NewThread()
+	a, _ := th.Malloc(64)
+	th.Free(a)
+	b, _ := th.Malloc(64)
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, b)
+	th.Free(b)
+	if v, _ := th.Load(slot); v != b|freesentry.InvalidBit {
+		t.Fatalf("recycled object ptr = 0x%x", v)
+	}
+	reg, inv := d.Stats()
+	if reg != 1 || inv != 1 {
+		t.Fatalf("stats = %d, %d", reg, inv)
+	}
+}

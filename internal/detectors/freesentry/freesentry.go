@@ -1,0 +1,141 @@
+// Package freesentry implements a baseline modelled on FreeSentry (Younan,
+// NDSS 2015), the fast but thread-unsafe pointer-invalidation system the
+// paper compares against. Its published design points:
+//
+//   - pointers anywhere in memory (heap, stack, globals) are tracked, like
+//     DangSan and unlike DangNULL;
+//   - invalidation flips a high bit, preserving the pointer's address bits;
+//   - tracking structures are completely unsynchronized — the reason
+//     FreeSentry cannot run multithreaded programs (paper §9). This
+//     implementation is likewise only correct when the process runs a
+//     single thread; the scalability benchmarks therefore use it at one
+//     thread only, exactly as the paper's authors had to.
+package freesentry
+
+import (
+	"sync/atomic"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/shadow"
+)
+
+// InvalidBit mirrors FreeSentry's invalidation: set a bit that cannot occur
+// in user-space pointers.
+const InvalidBit = uint64(1) << 63
+
+type object struct {
+	base, end uint64
+	locs      []uint64
+}
+
+// Detector is the FreeSentry-style baseline.
+type Detector struct {
+	table *shadow.Table // constant-time value->object mapping (label table)
+	objs  []*object     // index+1 stored in the shadow table
+	free  []uint64
+	mem   detectors.Memory
+
+	// Stats are atomic only so that a concurrent observer (the benchmark
+	// harness's memory sampler) can read them; the tracking structures
+	// themselves remain deliberately unsynchronized.
+	statRegistered  atomic.Uint64
+	statInvalidated atomic.Uint64
+	metadataBytes   atomic.Uint64
+}
+
+var _ detectors.Detector = (*Detector)(nil)
+var _ detectors.Binder = (*Detector)(nil)
+
+// New creates the baseline detector.
+func New() *Detector {
+	return &Detector{table: shadow.NewTable()}
+}
+
+// Bind implements detectors.Binder.
+func (d *Detector) Bind(mem detectors.Memory) { d.mem = mem }
+
+// Name implements detectors.Detector.
+func (d *Detector) Name() string { return "freesentry" }
+
+// AllocPad implements detectors.Detector.
+func (d *Detector) AllocPad() uint64 { return 0 }
+
+// OnAlloc implements detectors.Detector.
+func (d *Detector) OnAlloc(base, size, align uint64) {
+	obj := &object{base: base, end: base + size}
+	var handle uint64
+	if n := len(d.free); n > 0 {
+		handle = d.free[n-1]
+		d.free = d.free[:n-1]
+		d.objs[handle-1] = obj
+	} else {
+		d.objs = append(d.objs, obj)
+		handle = uint64(len(d.objs))
+	}
+	d.table.CreateObject(base, size, align, handle)
+	d.metadataBytes.Add(48)
+}
+
+// OnReallocInPlace implements detectors.Detector.
+func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
+	handle := d.table.Lookup(base)
+	if handle == 0 {
+		return
+	}
+	obj := d.objs[handle-1]
+	obj.end = base + newSize
+	d.table.CreateObject(base, newSize, align, handle)
+	if newSize < oldSize {
+		d.table.ClearObject(base+newSize, oldSize-newSize, align)
+	}
+}
+
+// OnFree implements detectors.Detector.
+func (d *Detector) OnFree(base, size, align uint64) {
+	handle := d.table.Lookup(base)
+	if handle == 0 {
+		return
+	}
+	obj := d.objs[handle-1]
+	if obj == nil || obj.base != base {
+		return
+	}
+	for _, loc := range obj.locs {
+		w, fault := d.mem.LoadWord(loc)
+		if fault != nil || w < obj.base || w >= obj.end {
+			continue
+		}
+		d.mem.StoreWord(loc, w|InvalidBit)
+		d.statInvalidated.Add(1)
+	}
+	d.metadataBytes.Add(^(uint64(len(obj.locs))*8 - 1))
+	d.table.ClearObject(base, size, align)
+	d.objs[handle-1] = nil
+	d.free = append(d.free, handle)
+}
+
+// OnPtrStore implements detectors.Detector: an unsynchronized append to the
+// target object's location list.
+func (d *Detector) OnPtrStore(loc, val uint64, tid int32) {
+	handle := d.table.Lookup(val)
+	if handle == 0 {
+		return
+	}
+	obj := d.objs[handle-1]
+	if obj == nil {
+		return
+	}
+	obj.locs = append(obj.locs, loc)
+	d.statRegistered.Add(1)
+	d.metadataBytes.Add(8)
+}
+
+// MetadataBytes implements detectors.Detector.
+func (d *Detector) MetadataBytes() uint64 {
+	return d.table.Bytes() + d.metadataBytes.Load()
+}
+
+// Stats reports (registered, invalidated) counters.
+func (d *Detector) Stats() (registered, invalidated uint64) {
+	return d.statRegistered.Load(), d.statInvalidated.Load()
+}

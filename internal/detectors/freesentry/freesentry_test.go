@@ -1,0 +1,91 @@
+package freesentry
+
+import (
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+func newBound(t *testing.T) (*Detector, *vmem.AddressSpace) {
+	t.Helper()
+	d := New()
+	as := vmem.New()
+	d.Bind(as)
+	as.Heap().MapPages(vmem.HeapBase, 16)
+	return d, as
+}
+
+func TestTracksAllLocationKinds(t *testing.T) {
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, 64, 8)
+
+	locs := []uint64{
+		vmem.GlobalsBase + 8, // global
+		vmem.HeapBase + 4096, // heap (mapped above)
+	}
+	for _, loc := range locs {
+		as.StoreWord(loc, obj)
+		d.OnPtrStore(loc, obj, 0)
+	}
+	if reg, _ := d.Stats(); reg != 2 {
+		t.Fatalf("registered %d, want 2", reg)
+	}
+	d.OnFree(obj, 64, 8)
+	for _, loc := range locs {
+		if v, _ := as.LoadWord(loc); v != obj|InvalidBit {
+			t.Fatalf("loc 0x%x = 0x%x", loc, v)
+		}
+	}
+	if _, inv := d.Stats(); inv != 2 {
+		t.Fatalf("invalidated = %d", inv)
+	}
+}
+
+func TestStaleEntriesSkipped(t *testing.T) {
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, 64, 8)
+	loc := uint64(vmem.GlobalsBase + 8)
+	as.StoreWord(loc, obj)
+	d.OnPtrStore(loc, obj, 0)
+	as.StoreWord(loc, 42) // overwritten before free
+	d.OnFree(obj, 64, 8)
+	if v, _ := as.LoadWord(loc); v != 42 {
+		t.Fatalf("stale slot clobbered: 0x%x", v)
+	}
+}
+
+func TestHandleRecycling(t *testing.T) {
+	d, as := newBound(t)
+	a := uint64(vmem.HeapBase)
+	d.OnAlloc(a, 64, 8)
+	d.OnFree(a, 64, 8)
+	// Same address recycled: the new object gets a fresh (recycled) handle
+	// and independent tracking.
+	d.OnAlloc(a, 64, 8)
+	loc := uint64(vmem.GlobalsBase + 16)
+	as.StoreWord(loc, a+8)
+	d.OnPtrStore(loc, a+8, 0)
+	d.OnFree(a, 64, 8)
+	if v, _ := as.LoadWord(loc); v != (a+8)|InvalidBit {
+		t.Fatalf("recycled-handle pointer = 0x%x", v)
+	}
+}
+
+func TestAppendOnlyGrowth(t *testing.T) {
+	// FreeSentry has no lookback: duplicate stores append every time,
+	// which is exactly the memory behaviour DangSan's lookback avoids.
+	d, as := newBound(t)
+	obj := uint64(vmem.HeapBase)
+	d.OnAlloc(obj, 64, 8)
+	loc := uint64(vmem.GlobalsBase + 8)
+	as.StoreWord(loc, obj)
+	before := d.MetadataBytes()
+	for i := 0; i < 1000; i++ {
+		d.OnPtrStore(loc, obj, 0)
+	}
+	if got := d.MetadataBytes() - before; got < 8000 {
+		t.Fatalf("metadata grew by %d, want >= 8000 (no dedup)", got)
+	}
+}

@@ -1,0 +1,164 @@
+package gc
+
+import (
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/proc"
+)
+
+func setup(t *testing.T) (*Collector, *proc.Process, *proc.Thread) {
+	t.Helper()
+	p := proc.New(detectors.None{})
+	c := New(p)
+	th := p.NewThread()
+	c.AddRootThread(th)
+	return c, p, th
+}
+
+func TestUnreachableReclaimed(t *testing.T) {
+	c, _, th := setup(t)
+	obj, err := c.Alloc(th, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = obj // no reference stored anywhere
+	n, err := c.Collect(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || c.Live() != 0 {
+		t.Fatalf("reclaimed %d, live %d", n, c.Live())
+	}
+}
+
+func TestGlobalRootRetains(t *testing.T) {
+	c, p, th := setup(t)
+	obj, _ := c.Alloc(th, 64)
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, obj)
+	if n, _ := c.Collect(th); n != 0 {
+		t.Fatalf("reclaimed %d referenced objects", n)
+	}
+	// Dropping the reference frees it on the next cycle.
+	th.StoreInt(slot, 0)
+	if n, _ := c.Collect(th); n != 1 {
+		t.Fatalf("reclaimed %d after dropping reference", n)
+	}
+}
+
+func TestStackRootRetains(t *testing.T) {
+	c, _, th := setup(t)
+	obj, _ := c.Alloc(th, 64)
+	slot := th.Alloca(8)
+	th.StorePtr(slot, obj)
+	if n, _ := c.Collect(th); n != 0 {
+		t.Fatalf("reclaimed %d stack-referenced objects", n)
+	}
+}
+
+func TestInteriorPointerRetains(t *testing.T) {
+	c, p, th := setup(t)
+	obj, _ := c.Alloc(th, 256)
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, obj+200) // interior only
+	if n, _ := c.Collect(th); n != 0 {
+		t.Fatal("interior pointer did not retain (conservatism broken)")
+	}
+}
+
+func TestTransitiveReachability(t *testing.T) {
+	c, p, th := setup(t)
+	// global -> a -> b -> c; d unreachable.
+	a, _ := c.Alloc(th, 64)
+	b, _ := c.Alloc(th, 64)
+	cc, _ := c.Alloc(th, 64)
+	d, _ := c.Alloc(th, 64)
+	_ = d
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, a)
+	th.StorePtr(a, b)
+	th.StorePtr(b, cc)
+	n, _ := c.Collect(th)
+	if n != 1 || c.Live() != 3 {
+		t.Fatalf("reclaimed %d, live %d; want 1, 3", n, c.Live())
+	}
+	// Cut the chain at a->b.
+	th.StoreInt(a, 0)
+	n, _ = c.Collect(th)
+	if n != 2 || c.Live() != 1 {
+		t.Fatalf("after cut: reclaimed %d, live %d; want 2, 1", n, c.Live())
+	}
+}
+
+func TestCycleCollected(t *testing.T) {
+	c, _, th := setup(t)
+	// a <-> b cycle with no external reference: mark-sweep reclaims both
+	// (the advantage over reference counting).
+	a, _ := c.Alloc(th, 64)
+	b, _ := c.Alloc(th, 64)
+	th.StorePtr(a, b)
+	th.StorePtr(b, a)
+	if n, _ := c.Collect(th); n != 2 {
+		t.Fatalf("cycle not collected: %d", n)
+	}
+}
+
+// The §9 story: with GC, a use-after-free is downgraded to a leak — the
+// dangling pointer still reads the original data, the attacker cannot
+// groom the memory, but the object is never reclaimed.
+func TestUAFBecomesLeak(t *testing.T) {
+	c, p, th := setup(t)
+	obj, _ := c.Alloc(th, 64)
+	th.StoreInt(obj, 0x736563726574)
+	slot := p.AllocGlobal(8)
+	th.StorePtr(slot, obj)
+
+	c.GCFree(obj) // program thinks it freed the object
+	if n, _ := c.Collect(th); n != 0 {
+		t.Fatal("explicitly freed but referenced object was reclaimed")
+	}
+	// The "use after free" reads the original, uncorrupted data.
+	v, fault := th.Deref(slot)
+	if fault != nil {
+		t.Fatalf("GC'd UAF faulted: %v", fault)
+	}
+	if v != 0x736563726574 {
+		t.Fatalf("stale read = 0x%x, want original data", v)
+	}
+	// And the memory leaks as long as the dangling reference exists.
+	if c.Live() != 1 {
+		t.Fatal("object reclaimed while dangling reference exists")
+	}
+}
+
+// Conservatism's false-retention cost: an integer that happens to equal a
+// managed address keeps the object alive.
+func TestIntegerLookAlikeRetains(t *testing.T) {
+	c, p, th := setup(t)
+	obj, _ := c.Alloc(th, 64)
+	slot := p.AllocGlobal(8)
+	th.StoreInt(slot, obj) // an integer, but the collector cannot know
+	if n, _ := c.Collect(th); n != 0 {
+		t.Fatal("look-alike integer did not retain; collector is not conservative")
+	}
+}
+
+func TestStatsAndRepeatedCollections(t *testing.T) {
+	c, _, th := setup(t)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Alloc(th, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Collect(th)
+	c.Collect(th) // second cycle is a no-op
+	collections, reclaimed := c.Stats()
+	if collections != 2 || reclaimed != 10 {
+		t.Fatalf("stats = %d, %d", collections, reclaimed)
+	}
+	// Allocator agrees nothing leaked.
+	if live := c.Live(); live != 0 {
+		t.Fatalf("live = %d", live)
+	}
+}

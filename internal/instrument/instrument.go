@@ -1,0 +1,260 @@
+// Package instrument implements the DangSan pointer-tracker compiler pass
+// (paper §4.1 and §6): it scans every function for stores of pointer-typed
+// values and inserts a registerptr hook (ir.OpRegPtr) after each one, except
+// where static analysis proves the registration redundant:
+//
+//   - Pointer-arithmetic elision: a store of the form p = p ± k into the
+//     slot p was loaded from cannot change which object the slot refers to
+//     (out-of-bounds arithmetic is undefined behaviour, and the +1
+//     allocation pad covers one-past-the-end), so no re-registration is
+//     needed.
+//   - Loop-invariant hoisting: a registration whose location and value are
+//     loop-invariant, inside a loop that provably cannot call free, is
+//     moved to the loop preheader and executed once.
+package instrument
+
+import (
+	"fmt"
+
+	"dangsan/internal/ir"
+	"dangsan/internal/ir/analysis"
+)
+
+// Result reports what the pass did, for tests and the compiler example.
+type Result struct {
+	// PtrStores is the number of pointer-typed stores seen.
+	PtrStores int
+	// Inserted is the number of inline registerptr hooks inserted.
+	Inserted int
+	// Hoisted is the number of registrations moved to loop preheaders.
+	Hoisted int
+	// ElidedArithmetic is the number of registrations removed by the
+	// pointer-arithmetic rule.
+	ElidedArithmetic int
+}
+
+// Options control which optimizations run (for ablation).
+type Options struct {
+	// HoistLoopInvariant enables the loop optimization.
+	HoistLoopInvariant bool
+	// ElideArithmetic enables the pointer-arithmetic optimization.
+	ElideArithmetic bool
+}
+
+// DefaultOptions enables every optimization, as DangSan does.
+func DefaultOptions() Options {
+	return Options{HoistLoopInvariant: true, ElideArithmetic: true}
+}
+
+// Pass instruments the module in place and returns statistics. The module
+// must be finalized; it is re-finalized before returning.
+func Pass(m *ir.Module, opts Options) (Result, error) {
+	var res Result
+	mayFree := analysis.MayFree(m)
+	for _, f := range m.Funcs {
+		instrumentFunc(m, f, mayFree, opts, &res)
+	}
+	if err := m.Finalize(); err != nil {
+		return res, fmt.Errorf("instrument: %w", err)
+	}
+	return res, nil
+}
+
+// hoistTarget identifies a loop that will receive hoisted registrations.
+type hoistTarget struct {
+	loop *analysis.Loop
+	// regs are the (loc, val) operand pairs to register in the preheader,
+	// deduplicated.
+	regs []ir.Instr
+	seen map[[2]ir.Value]bool
+}
+
+func instrumentFunc(m *ir.Module, f *ir.Func, mayFree map[string]bool, opts Options, res *Result) {
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	loops := analysis.NaturalLoops(cfg, idom)
+
+	// Precompute loop metadata: def sets and freedom from free.
+	type loopInfo struct {
+		loop     *analysis.Loop
+		defs     map[int]bool
+		freeless bool
+		size     int
+	}
+	infos := make([]loopInfo, 0, len(loops))
+	for _, l := range loops {
+		infos = append(infos, loopInfo{
+			loop:     l,
+			defs:     analysis.DefsIn(f, l),
+			freeless: !analysis.LoopMayFree(f, l, mayFree),
+			size:     len(l.Blocks),
+		})
+	}
+
+	hoists := make(map[*analysis.Loop]*hoistTarget)
+
+	nBlocks := len(f.Blocks) // original blocks only; preheaders appended later
+	for bi := 0; bi < nBlocks; bi++ {
+		b := f.Blocks[bi]
+		out := make([]ir.Instr, 0, len(b.Instrs)+4)
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			out = append(out, in)
+			if in.Op != ir.OpStore || in.StoreType != ir.Ptr {
+				continue
+			}
+			res.PtrStores++
+
+			if opts.ElideArithmetic && isArithmeticUpdate(b, ii) {
+				res.ElidedArithmetic++
+				continue
+			}
+
+			if opts.HoistLoopInvariant {
+				// Pick the largest free-less loop containing this block in
+				// which both operands are invariant.
+				var best *loopInfo
+				for i := range infos {
+					li := &infos[i]
+					if !li.loop.Blocks[bi] || !li.freeless {
+						continue
+					}
+					// A loop whose header is the function entry has no
+					// out-of-loop edge to splice a preheader onto.
+					if li.loop.Header == 0 {
+						continue
+					}
+					if !analysis.Invariant(in.A, li.defs) || !analysis.Invariant(in.B, li.defs) {
+						continue
+					}
+					if best == nil || li.size > best.size {
+						best = li
+					}
+				}
+				if best != nil {
+					ht := hoists[best.loop]
+					if ht == nil {
+						ht = &hoistTarget{loop: best.loop, seen: make(map[[2]ir.Value]bool)}
+						hoists[best.loop] = ht
+					}
+					key := [2]ir.Value{in.A, in.B}
+					if !ht.seen[key] {
+						ht.seen[key] = true
+						ht.regs = append(ht.regs, ir.Instr{
+							Op: ir.OpRegPtr, Dst: -1, A: in.A, B: in.B,
+						})
+					}
+					res.Hoisted++
+					continue
+				}
+			}
+
+			out = append(out, ir.Instr{Op: ir.OpRegPtr, Dst: -1, A: in.A, B: in.B})
+			res.Inserted++
+		}
+		b.Instrs = out
+	}
+
+	// Materialize preheaders and place hoisted registrations.
+	for _, ht := range hoists {
+		ph := ensurePreheader(f, cfg, ht.loop)
+		ph.Instrs = append(ph.Instrs, ht.regs...)
+	}
+}
+
+// isArithmeticUpdate recognizes, within a single block:
+//
+//	rX = load ptr [A]
+//	rY = gep rX, <k>           (possibly through moves)
+//	store ptr [A], rY          <- the store at index si
+//
+// with no intervening instruction that could write memory, free, or
+// redefine the involved registers. Such a store keeps the slot pointing
+// into the same object, so its registration can be elided (paper §6).
+func isArithmeticUpdate(b *ir.Block, si int) bool {
+	st := &b.Instrs[si]
+	if !st.B.IsReg {
+		return false
+	}
+	// Walk backwards resolving the stored register through gep/mov chains
+	// until we reach a load from the same address operand.
+	reg := st.B.Reg
+	sawGep := false
+	for i := si - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		// Instructions that may write memory or free invalidate the window.
+		switch in.Op {
+		case ir.OpStore, ir.OpCall, ir.OpSpawn, ir.OpFree, ir.OpRealloc:
+			return false
+		}
+		if in.Dst != reg {
+			// Redefinition of the address operand's register also breaks
+			// the pattern.
+			if st.A.IsReg && in.Dst == st.A.Reg {
+				return false
+			}
+			continue
+		}
+		switch in.Op {
+		case ir.OpGep:
+			if !in.A.IsReg {
+				return false
+			}
+			reg = in.A.Reg
+			sawGep = true
+		case ir.OpMov:
+			if !in.A.IsReg {
+				return false
+			}
+			reg = in.A.Reg
+		case ir.OpLoad:
+			return sawGep && in.LoadType == ir.Ptr && sameValue(in.A, st.A)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func sameValue(a, b ir.Value) bool {
+	return a.IsReg == b.IsReg && a.Reg == b.Reg && a.Imm == b.Imm
+}
+
+// ensurePreheader returns a block that executes exactly once before the
+// loop is entered: the unique out-of-loop predecessor when it has a single
+// successor, or a freshly created block spliced onto every out-of-loop edge
+// into the header.
+func ensurePreheader(f *ir.Func, cfg *analysis.CFG, l *analysis.Loop) *ir.Block {
+	header := l.Header
+	var outside []int
+	for _, p := range cfg.Preds[header] {
+		if !l.Blocks[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		p := f.Blocks[outside[0]]
+		if p.Term.Kind == ir.TermBr && p.Term.Then == header {
+			return p
+		}
+	}
+	ph := &ir.Block{
+		Name: fmt.Sprintf("%s.preheader", f.Blocks[header].Name),
+		Term: ir.Terminator{Kind: ir.TermBr, Then: header},
+	}
+	f.Blocks = append(f.Blocks, ph)
+	phIdx := len(f.Blocks) - 1
+	ph.Index = phIdx
+	for _, pi := range outside {
+		t := &f.Blocks[pi].Term
+		if t.Kind == ir.TermBr || t.Kind == ir.TermCondBr {
+			if t.Then == header {
+				t.Then = phIdx
+			}
+			if t.Kind == ir.TermCondBr && t.Else == header {
+				t.Else = phIdx
+			}
+		}
+	}
+	return ph
+}

@@ -1,0 +1,298 @@
+package instrument_test
+
+import (
+	"strings"
+	"testing"
+
+	"dangsan/internal/instrument"
+	"dangsan/internal/ir"
+	"dangsan/internal/irparse"
+)
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestInsertAfterPtrStore(t *testing.T) {
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  store ptr [r1], r0
+  store i64 [r1], 42
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PtrStores != 1 || res.Inserted != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	f := m.Funcs["main"]
+	if countOps(f, ir.OpRegPtr) != 1 {
+		t.Fatal("regptr count wrong")
+	}
+	// The hook must directly follow the pointer store with its operands.
+	instrs := f.Blocks[0].Instrs
+	for i := range instrs {
+		if instrs[i].Op == ir.OpStore && instrs[i].StoreType == ir.Ptr {
+			next := instrs[i+1]
+			if next.Op != ir.OpRegPtr || next.A != instrs[i].A || next.B != instrs[i].B {
+				t.Fatalf("hook after store: %+v", next)
+			}
+			return
+		}
+	}
+	t.Fatal("pointer store not found")
+}
+
+func TestElideArithmeticUpdate(t *testing.T) {
+	// p = p + 8 into the slot p was loaded from: no re-registration needed.
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  store ptr [r1], r0
+  r2 = load ptr [r1]
+  r3 = gep r2, 8
+  store ptr [r1], r3
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PtrStores != 2 || res.Inserted != 1 || res.ElidedArithmetic != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestNoElisionAcrossClobber(t *testing.T) {
+	// A call between the load and the store may free or overwrite: the
+	// elision must not fire.
+	m := mustParse(t, `
+global g 8
+func clobber() {
+entry:
+  ret
+}
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  store ptr [r1], r0
+  r2 = load ptr [r1]
+  r3 = gep r2, 8
+  call clobber()
+  store ptr [r1], r3
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElidedArithmetic != 0 || res.Inserted != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestNoElisionWithoutGep(t *testing.T) {
+	// Storing back an unmodified loaded pointer is not the arithmetic
+	// pattern (it is the lookback's job at run time).
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  store ptr [r1], r0
+  r2 = load ptr [r1]
+  store ptr [r1], r2
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElidedArithmetic != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+const loopStoreSrc = `
+global g 8
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  r2 = mov 0
+  br head
+head:
+  r3 = icmp lt r2, 100
+  br r3, body, exit
+body:
+  store ptr [r1], r0
+  r2 = add r2, 1
+  br head
+exit:
+  free r0
+  ret
+}`
+
+func TestHoistLoopInvariant(t *testing.T) {
+	m := mustParse(t, loopStoreSrc)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hoisted != 1 || res.Inserted != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	f := m.Funcs["main"]
+	// The hook landed in a block that is not part of the loop body.
+	var hookBlock *ir.Block
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpRegPtr {
+				hookBlock = b
+			}
+		}
+	}
+	if hookBlock == nil {
+		t.Fatal("no hook found")
+	}
+	if hookBlock.Name == "body" || hookBlock.Name == "head" {
+		t.Fatalf("hook still inside the loop: %s", hookBlock.Name)
+	}
+	// The module must still validate and print.
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.String(), "regptr") {
+		t.Fatal("printed module lost the hook")
+	}
+}
+
+func TestNoHoistWhenLoopFrees(t *testing.T) {
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r1 = global g
+  r2 = mov 0
+  br head
+head:
+  r3 = icmp lt r2, 10
+  br r3, body, exit
+body:
+  r0 = malloc 64
+  store ptr [r1], r0
+  free r0
+  r2 = add r2, 1
+  br head
+exit:
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hoisted != 0 || res.Inserted != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestNoHoistWhenValueVaries(t *testing.T) {
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r1 = global g
+  r2 = mov 0
+  br head
+head:
+  r3 = icmp lt r2, 10
+  br r3, body, exit
+body:
+  r0 = malloc 64
+  store ptr [r1], r0
+  r2 = add r2, 1
+  br head
+exit:
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r0 is redefined each iteration: the store's value is loop-variant.
+	if res.Hoisted != 0 || res.Inserted != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestOptionsDisableOptimizations(t *testing.T) {
+	m := mustParse(t, loopStoreSrc)
+	res, err := instrument.Pass(m, instrument.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hoisted != 0 || res.ElidedArithmetic != 0 || res.Inserted != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestHoistDeduplicates(t *testing.T) {
+	// Two identical invariant stores in one loop produce one hoisted hook.
+	m := mustParse(t, `
+global g 8
+func main() {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  r2 = mov 0
+  br head
+head:
+  r3 = icmp lt r2, 10
+  br r3, body, exit
+body:
+  store ptr [r1], r0
+  store ptr [r1], r0
+  r2 = add r2, 1
+  br head
+exit:
+  ret
+}`)
+	res, err := instrument.Pass(m, instrument.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hoisted != 2 {
+		t.Fatalf("hoisted = %d", res.Hoisted)
+	}
+	if n := countOps(m.Funcs["main"], ir.OpRegPtr); n != 1 {
+		t.Fatalf("regptr instructions = %d, want 1 (deduplicated)", n)
+	}
+}

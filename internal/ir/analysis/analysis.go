@@ -1,0 +1,253 @@
+// Package analysis provides the control-flow and call-graph analyses the
+// DangSan instrumentation pass needs: predecessors, dominators, natural
+// loops, and a transitive "may this call free memory" property. These are
+// the same facts the paper's LLVM pass relies on for its loop-invariant
+// registration hoisting (§6): hoisting is only sound when the loop body
+// cannot call free, because only then is a registration for a location that
+// is overwritten on every iteration redundant.
+package analysis
+
+import "dangsan/internal/ir"
+
+// CFG holds the per-function control-flow graph.
+type CFG struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// BuildCFG computes successor and predecessor lists.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	cfg := &CFG{
+		F:     f,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	for i, b := range f.Blocks {
+		cfg.Succs[i] = b.Succs()
+		for _, s := range cfg.Succs[i] {
+			cfg.Preds[s] = append(cfg.Preds[s], i)
+		}
+	}
+	return cfg
+}
+
+// postorder returns the blocks reachable from entry in postorder.
+func (cfg *CFG) postorder() []int {
+	seen := make([]bool, len(cfg.Succs))
+	var order []int
+	var visit func(int)
+	visit = func(b int) {
+		seen[b] = true
+		for _, s := range cfg.Succs[b] {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, b)
+	}
+	visit(0)
+	return order
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper-Harvey-Kennedy iterative algorithm. idom[0] == 0;
+// unreachable blocks get idom -1.
+func Dominators(cfg *CFG) []int {
+	n := len(cfg.Succs)
+	post := cfg.postorder()
+	postIdx := make([]int, n)
+	for i := range postIdx {
+		postIdx[i] = -1
+	}
+	for i, b := range post {
+		postIdx[b] = i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for postIdx[a] < postIdx[b] {
+				a = idom[a]
+			}
+			for postIdx[b] < postIdx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder, skipping the entry.
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i]
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range cfg.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop: the set of blocks from which the header is
+// reachable without passing through the header.
+type Loop struct {
+	// Header is the loop entry block.
+	Header int
+	// Blocks is the loop body, including the header.
+	Blocks map[int]bool
+	// Latches are the blocks with back edges to the header.
+	Latches []int
+}
+
+// NaturalLoops finds all natural loops (one per header; loops sharing a
+// header are merged, as LLVM's LoopInfo does).
+func NaturalLoops(cfg *CFG, idom []int) []*Loop {
+	byHeader := make(map[int]*Loop)
+	var headers []int
+	for b := range cfg.Succs {
+		for _, s := range cfg.Succs[b] {
+			if idom[b] != -1 && Dominates(idom, s, b) {
+				// Back edge b -> s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the loop body by walking predecessors from the
+				// latch until the header.
+				stack := []int{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks[x] {
+						continue
+					}
+					l.Blocks[x] = true
+					for _, p := range cfg.Preds[x] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// MayFree computes, for every function, whether calling it can (directly or
+// transitively) free memory. Spawning a thread that frees counts as
+// freeing: the freed object's pointers may be invalidated while the loop
+// runs.
+func MayFree(m *ir.Module) map[string]bool {
+	direct := make(map[string]bool, len(m.Funcs))
+	calls := make(map[string][]string)
+	for name, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpFree, ir.OpRealloc:
+					direct[name] = true
+				case ir.OpCall, ir.OpSpawn:
+					calls[name] = append(calls[name], b.Instrs[i].Name)
+				}
+			}
+		}
+	}
+	// Propagate to a fixed point over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for name, callees := range calls {
+			if direct[name] {
+				continue
+			}
+			for _, c := range callees {
+				if direct[c] {
+					direct[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// LoopMayFree reports whether any block of the loop contains a free, a
+// realloc, or a call to a function that may free.
+func LoopMayFree(f *ir.Func, l *Loop, mayFree map[string]bool) bool {
+	for bi := range l.Blocks {
+		for i := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[i]
+			switch in.Op {
+			case ir.OpFree, ir.OpRealloc:
+				return true
+			case ir.OpCall, ir.OpSpawn:
+				if mayFree[in.Name] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// DefsIn returns the set of registers assigned anywhere inside the loop.
+// A value is loop-invariant when it is a constant or a register not in this
+// set.
+func DefsIn(f *ir.Func, l *Loop) map[int]bool {
+	defs := make(map[int]bool)
+	for bi := range l.Blocks {
+		for i := range f.Blocks[bi].Instrs {
+			if d := f.Blocks[bi].Instrs[i].Dst; d >= 0 {
+				defs[d] = true
+			}
+		}
+	}
+	return defs
+}
+
+// Invariant reports whether v is loop-invariant given the loop's def set.
+func Invariant(v ir.Value, defs map[int]bool) bool {
+	return !v.IsReg || !defs[v.Reg]
+}

@@ -1,0 +1,248 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dangsan/internal/ir"
+	"dangsan/internal/ir/analysis"
+	"dangsan/internal/irparse"
+)
+
+const loopProgram = `
+func main() {
+entry:
+  r0 = mov 0
+  br head
+head:
+  r1 = icmp lt r0, 10
+  br r1, body, exit
+body:
+  r0 = add r0, 1
+  br head
+exit:
+  ret
+}
+
+func freer(p ptr) {
+entry:
+  free p
+  ret
+}
+
+func callsFreer(p ptr) {
+entry:
+  call freer(p)
+  ret
+}
+
+func pure(n i64) i64 {
+entry:
+  r1 = mul n, 2
+  ret r1
+}
+
+func loopWithFree(p ptr) {
+entry:
+  r1 = mov 0
+  br head
+head:
+  r2 = icmp lt r1, 4
+  br r2, body, exit
+body:
+  call callsFreer(p)
+  r1 = add r1, 1
+  br head
+exit:
+  ret
+}
+`
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCFGAndDominators(t *testing.T) {
+	m := mustParse(t, loopProgram)
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	// entry(0) -> head(1); head -> body(2), exit(3); body -> head.
+	if len(cfg.Succs[0]) != 1 || cfg.Succs[0][0] != 1 {
+		t.Fatalf("entry succs: %v", cfg.Succs[0])
+	}
+	if len(cfg.Preds[1]) != 2 {
+		t.Fatalf("head preds: %v", cfg.Preds[1])
+	}
+	idom := analysis.Dominators(cfg)
+	if idom[1] != 0 || idom[2] != 1 || idom[3] != 1 {
+		t.Fatalf("idom = %v", idom)
+	}
+	if !analysis.Dominates(idom, 0, 3) || !analysis.Dominates(idom, 1, 2) {
+		t.Fatal("expected dominance missing")
+	}
+	if analysis.Dominates(idom, 2, 3) {
+		t.Fatal("body should not dominate exit")
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	m := mustParse(t, loopProgram)
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	loops := analysis.NaturalLoops(cfg, idom)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Fatalf("header = %d", l.Header)
+	}
+	if !l.Blocks[1] || !l.Blocks[2] || l.Blocks[0] || l.Blocks[3] {
+		t.Fatalf("loop blocks: %v", l.Blocks)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != 2 {
+		t.Fatalf("latches: %v", l.Latches)
+	}
+}
+
+func TestMayFree(t *testing.T) {
+	m := mustParse(t, loopProgram)
+	mf := analysis.MayFree(m)
+	cases := map[string]bool{
+		"freer":        true,
+		"callsFreer":   true, // transitively
+		"pure":         false,
+		"main":         false,
+		"loopWithFree": true,
+	}
+	for name, want := range cases {
+		if mf[name] != want {
+			t.Errorf("MayFree[%s] = %v, want %v", name, mf[name], want)
+		}
+	}
+}
+
+func TestLoopMayFree(t *testing.T) {
+	m := mustParse(t, loopProgram)
+	mf := analysis.MayFree(m)
+
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	loops := analysis.NaturalLoops(cfg, analysis.Dominators(cfg))
+	if analysis.LoopMayFree(f, loops[0], mf) {
+		t.Error("main's loop flagged as freeing")
+	}
+
+	f2 := m.Funcs["loopWithFree"]
+	cfg2 := analysis.BuildCFG(f2)
+	loops2 := analysis.NaturalLoops(cfg2, analysis.Dominators(cfg2))
+	if len(loops2) != 1 {
+		t.Fatalf("loopWithFree loops = %d", len(loops2))
+	}
+	if !analysis.LoopMayFree(f2, loops2[0], mf) {
+		t.Error("loop calling a freeing function not flagged")
+	}
+}
+
+func TestDefsAndInvariance(t *testing.T) {
+	m := mustParse(t, loopProgram)
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	loops := analysis.NaturalLoops(cfg, analysis.Dominators(cfg))
+	defs := analysis.DefsIn(f, loops[0])
+	// r0 and r1 are written in the loop.
+	if !defs[0] || !defs[1] {
+		t.Fatalf("defs: %v", defs)
+	}
+	if analysis.Invariant(ir.R(0), defs) {
+		t.Error("r0 reported invariant")
+	}
+	if !analysis.Invariant(ir.R(9), defs) {
+		t.Error("unused register reported variant")
+	}
+	if !analysis.Invariant(ir.C(5), defs) {
+		t.Error("constant reported variant")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+func main() {
+entry:
+  r0 = mov 0
+  br ohead
+ohead:
+  r1 = icmp lt r0, 3
+  br r1, ibodyinit, exit
+ibodyinit:
+  r2 = mov 0
+  br ihead
+ihead:
+  r3 = icmp lt r2, 3
+  br r3, ibody, olatch
+ibody:
+  r2 = add r2, 1
+  br ihead
+olatch:
+  r0 = add r0, 1
+  br ohead
+exit:
+  ret
+}`
+	m := mustParse(t, src)
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	loops := analysis.NaturalLoops(cfg, analysis.Dominators(cfg))
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	var outer, inner *analysis.Loop
+	for _, l := range loops {
+		if f.Blocks[l.Header].Name == "ohead" {
+			outer = l
+		}
+		if f.Blocks[l.Header].Name == "ihead" {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing loop headers")
+	}
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Fatalf("outer (%d blocks) should contain inner (%d)", len(outer.Blocks), len(inner.Blocks))
+	}
+	for b := range inner.Blocks {
+		if !outer.Blocks[b] {
+			t.Fatalf("inner block %d not in outer loop", b)
+		}
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	src := `
+func main() {
+entry:
+  ret
+dead:
+  br dead
+}`
+	m := mustParse(t, src)
+	f := m.Funcs["main"]
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	if idom[1] != -1 {
+		t.Fatalf("unreachable block has idom %d", idom[1])
+	}
+	// Natural loops must not include unreachable self-loops.
+	loops := analysis.NaturalLoops(cfg, idom)
+	for _, l := range loops {
+		if l.Header == 1 {
+			t.Fatal("unreachable self-loop reported")
+		}
+	}
+}

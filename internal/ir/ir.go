@@ -1,0 +1,304 @@
+// Package ir defines a small typed intermediate representation standing in
+// for LLVM bitcode. It exists so that the DangSan pointer-tracker pass
+// (internal/instrument) can be implemented as a real compiler pass: it sees
+// typed store instructions, a control-flow graph, loops and a call graph —
+// the same information the paper's LLVM pass consumes — and decides where
+// to insert registerptr calls (the RegPtr instruction) and where the static
+// optimizations of §6 allow eliding them.
+//
+// The IR is a register machine (registers are mutable, no SSA/phi) with two
+// value types, I64 and Ptr. Programs are interpreted by internal/interp on
+// top of the simulated process runtime.
+package ir
+
+import "fmt"
+
+// Type is a value type.
+type Type uint8
+
+const (
+	// I64 is a 64-bit integer.
+	I64 Type = iota
+	// Ptr is a pointer. Stores of Ptr-typed values are what the pointer
+	// tracker instruments.
+	Ptr
+	// Void is the return type of functions that return nothing.
+	Void
+)
+
+func (t Type) String() string {
+	switch t {
+	case I64:
+		return "i64"
+	case Ptr:
+		return "ptr"
+	case Void:
+		return "void"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	// OpMov: dst = a.
+	OpMov Op = iota
+	// OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+	// dst = a <op> b (i64 arithmetic).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	// OpICmp: dst = a <pred> b (0 or 1).
+	OpICmp
+	// OpGep: dst = a + b, pointer arithmetic (a: Ptr, b: I64, dst: Ptr).
+	OpGep
+	// OpLoad: dst = *(a); LoadType gives the loaded type.
+	OpLoad
+	// OpStore: *(a) = b; StoreType gives b's type. Stores with StoreType
+	// Ptr are candidates for instrumentation.
+	OpStore
+	// OpRegPtr: runtime hook registerptr(loc=a, val=b). Inserted by the
+	// instrumentation pass; never written by hand.
+	OpRegPtr
+	// OpAlloca: dst = address of Size fresh stack bytes.
+	OpAlloca
+	// OpGlobal: dst = address of the named global (resolved at link time).
+	OpGlobal
+	// OpMalloc: dst = malloc(a).
+	OpMalloc
+	// OpFree: free(a).
+	OpFree
+	// OpRealloc: dst = realloc(a, b).
+	OpRealloc
+	// OpCall: dst = Callee(Args...).
+	OpCall
+	// OpSpawn: dst = handle of a new thread running Callee(Args...).
+	OpSpawn
+	// OpJoin: join the thread whose handle is a.
+	OpJoin
+	// OpPrint: print a (debugging aid for example programs).
+	OpPrint
+)
+
+var opNames = map[Op]string{
+	OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpICmp: "icmp", OpGep: "gep", OpLoad: "load",
+	OpStore: "store", OpRegPtr: "regptr", OpAlloca: "alloca",
+	OpGlobal: "global", OpMalloc: "malloc", OpFree: "free",
+	OpRealloc: "realloc", OpCall: "call", OpSpawn: "spawn", OpJoin: "join",
+	OpPrint: "print",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Pred is an integer comparison predicate for OpICmp.
+type Pred uint8
+
+const (
+	// PredEQ etc. follow the usual comparison semantics on uint64 values
+	// except PredSLT/PredSGT which compare as signed.
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+	PredSLT
+	PredSGT
+)
+
+var predNames = map[Pred]string{
+	PredEQ: "eq", PredNE: "ne", PredLT: "lt", PredLE: "le",
+	PredGT: "gt", PredGE: "ge", PredSLT: "slt", PredSGT: "sgt",
+}
+
+func (p Pred) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// Value is an instruction operand: a register or an immediate constant.
+type Value struct {
+	// IsReg selects between Reg and Imm.
+	IsReg bool
+	// Reg is the register number when IsReg.
+	Reg int
+	// Imm is the constant when !IsReg.
+	Imm uint64
+}
+
+// R makes a register operand.
+func R(n int) Value { return Value{IsReg: true, Reg: n} }
+
+// C makes a constant operand.
+func C(v uint64) Value { return Value{Imm: v} }
+
+func (v Value) String() string {
+	if v.IsReg {
+		return fmt.Sprintf("r%d", v.Reg)
+	}
+	return fmt.Sprintf("%d", v.Imm)
+}
+
+// Instr is one instruction. Fields are used according to Op; unused fields
+// are zero.
+type Instr struct {
+	Op Op
+	// Dst is the destination register (-1 when none).
+	Dst int
+	// A and B are the operands.
+	A, B Value
+	// Pred applies to OpICmp.
+	Pred Pred
+	// LoadType/StoreType give the value type for OpLoad/OpStore.
+	LoadType  Type
+	StoreType Type
+	// Size applies to OpAlloca.
+	Size uint64
+	// Name is the callee for OpCall/OpSpawn and the symbol for OpGlobal.
+	Name string
+	// Args are the call/spawn arguments.
+	Args []Value
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpStore:
+		return fmt.Sprintf("store %s [%s], %s", in.StoreType, in.A, in.B)
+	case OpRegPtr:
+		return fmt.Sprintf("regptr [%s], %s", in.A, in.B)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load %s [%s]", in.Dst, in.LoadType, in.A)
+	case OpICmp:
+		return fmt.Sprintf("r%d = icmp %s %s, %s", in.Dst, in.Pred, in.A, in.B)
+	case OpAlloca:
+		return fmt.Sprintf("r%d = alloca %d", in.Dst, in.Size)
+	case OpGlobal:
+		return fmt.Sprintf("r%d = global %s", in.Dst, in.Name)
+	case OpMalloc:
+		return fmt.Sprintf("r%d = malloc %s", in.Dst, in.A)
+	case OpFree:
+		return fmt.Sprintf("free %s", in.A)
+	case OpRealloc:
+		return fmt.Sprintf("r%d = realloc %s, %s", in.Dst, in.A, in.B)
+	case OpCall, OpSpawn:
+		s := fmt.Sprintf("%s %s(", in.Op, in.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += a.String()
+		}
+		s += ")"
+		if in.Dst >= 0 {
+			s = fmt.Sprintf("r%d = %s", in.Dst, s)
+		}
+		return s
+	case OpJoin:
+		return fmt.Sprintf("join %s", in.A)
+	case OpPrint:
+		return fmt.Sprintf("print %s", in.A)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov %s", in.Dst, in.A)
+	default:
+		return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// TermKind distinguishes block terminators.
+type TermKind uint8
+
+const (
+	// TermBr is an unconditional branch.
+	TermBr TermKind = iota
+	// TermCondBr branches on a condition value.
+	TermCondBr
+	// TermRet returns from the function.
+	TermRet
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind TermKind
+	// Cond is the condition for TermCondBr; the returned value for TermRet
+	// (HasVal selects whether a value is returned).
+	Cond   Value
+	HasVal bool
+	// Then and Else are successor block indices (Then also serves TermBr).
+	Then, Else int
+}
+
+// Block is a basic block.
+type Block struct {
+	// Name labels the block in the textual form.
+	Name string
+	// Index is the block's position in its function.
+	Index  int
+	Instrs []Instr
+	Term   Terminator
+}
+
+// Param is a function parameter; parameter i occupies register i on entry.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Func is a function.
+type Func struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Blocks []*Block
+	// NumRegs is the register frame size (max register index + 1).
+	NumRegs int
+}
+
+// Global is a module-level variable of Size bytes in the globals segment.
+type Global struct {
+	Name string
+	Size uint64
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Funcs   map[string]*Func
+	Globals []Global
+}
+
+// NewModule creates an empty module.
+func NewModule() *Module {
+	return &Module{Funcs: make(map[string]*Func)}
+}
+
+// Succs returns the successor block indices of b.
+func (b *Block) Succs() []int {
+	switch b.Term.Kind {
+	case TermBr:
+		return []int{b.Term.Then}
+	case TermCondBr:
+		if b.Term.Then == b.Term.Else {
+			return []int{b.Term.Then}
+		}
+		return []int{b.Term.Then, b.Term.Else}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,154 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildValid returns a minimal valid module: main calls helper.
+func buildValid() *Module {
+	m := NewModule()
+	m.Globals = append(m.Globals, Global{Name: "g", Size: 8})
+	helper := &Func{
+		Name:   "helper",
+		Params: []Param{{Name: "n", Type: I64}},
+		Ret:    I64,
+		Blocks: []*Block{{
+			Name: "entry",
+			Instrs: []Instr{
+				{Op: OpAdd, Dst: 1, A: R(0), B: C(1)},
+			},
+			Term: Terminator{Kind: TermRet, HasVal: true, Cond: R(1)},
+		}},
+	}
+	main := &Func{
+		Name: "main",
+		Ret:  Void,
+		Blocks: []*Block{{
+			Name: "entry",
+			Instrs: []Instr{
+				{Op: OpGlobal, Dst: 0, Name: "g"},
+				{Op: OpCall, Dst: 1, Name: "helper", Args: []Value{C(41)}},
+				{Op: OpStore, Dst: -1, StoreType: I64, A: R(0), B: R(1)},
+			},
+			Term: Terminator{Kind: TermRet},
+		}},
+	}
+	m.Funcs["helper"] = helper
+	m.Funcs["main"] = main
+	return m
+}
+
+func TestFinalizeValid(t *testing.T) {
+	m := buildValid()
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Funcs["helper"].NumRegs != 2 {
+		t.Fatalf("helper NumRegs = %d", m.Funcs["helper"].NumRegs)
+	}
+	if m.Funcs["main"].Blocks[0].Index != 0 {
+		t.Fatal("block index not set")
+	}
+}
+
+func TestFinalizeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Module)
+		want   string
+	}{
+		{"empty function", func(m *Module) {
+			m.Funcs["main"].Blocks = nil
+		}, "no blocks"},
+		{"branch out of range", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Term = Terminator{Kind: TermBr, Then: 9}
+		}, "invalid block"},
+		{"void return with value", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Term = Terminator{Kind: TermRet, HasVal: true, Cond: C(1)}
+		}, "value returned"},
+		{"missing return value", func(m *Module) {
+			m.Funcs["helper"].Blocks[0].Term = Terminator{Kind: TermRet}
+		}, "missing return value"},
+		{"unknown global", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[0].Name = "nope"
+		}, "unknown global"},
+		{"unknown callee", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[1].Name = "nope"
+		}, "unknown function"},
+		{"arg count", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[1].Args = nil
+		}, "args"},
+		{"void used as value", func(m *Module) {
+			m.Funcs["helper"].Ret = Void
+			m.Funcs["helper"].Blocks[0].Term = Terminator{Kind: TermRet}
+		}, "void function used as value"},
+		{"missing destination", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[0] = Instr{Op: OpAdd, Dst: -1, A: C(1), B: C(2)}
+		}, "missing destination"},
+		{"zero alloca", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[0] = Instr{Op: OpAlloca, Dst: 0, Size: 0}
+		}, "alloca of zero"},
+		{"bad store type", func(m *Module) {
+			m.Funcs["main"].Blocks[0].Instrs[2].StoreType = Void
+		}, "store of type"},
+		{"duplicate global", func(m *Module) {
+			m.Globals = append(m.Globals, Global{Name: "g", Size: 8})
+		}, "duplicate global"},
+		{"zero-size global", func(m *Module) {
+			m.Globals = append(m.Globals, Global{Name: "h", Size: 0})
+		}, "zero size"},
+		{"duplicate block name", func(m *Module) {
+			f := m.Funcs["main"]
+			f.Blocks = append(f.Blocks, &Block{Name: "entry", Term: Terminator{Kind: TermRet}})
+		}, "duplicate block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := buildValid()
+			c.mutate(m)
+			err := m.Finalize()
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	b := &Block{Term: Terminator{Kind: TermCondBr, Then: 1, Else: 2}}
+	if s := b.Succs(); len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("condbr succs = %v", s)
+	}
+	// Degenerate conditional with equal targets collapses.
+	b.Term.Else = 1
+	if s := b.Succs(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("degenerate condbr succs = %v", s)
+	}
+	b.Term = Terminator{Kind: TermRet}
+	if s := b.Succs(); s != nil {
+		t.Fatalf("ret succs = %v", s)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpStore, StoreType: Ptr, A: R(1), B: R(0)}, "store ptr [r1], r0"},
+		{Instr{Op: OpRegPtr, A: R(1), B: R(0)}, "regptr [r1], r0"},
+		{Instr{Op: OpICmp, Dst: 2, Pred: PredSLT, A: R(0), B: C(5)}, "r2 = icmp slt r0, 5"},
+		{Instr{Op: OpCall, Dst: 3, Name: "f", Args: []Value{C(1), R(2)}}, "r3 = call f(1, r2)"},
+		{Instr{Op: OpCall, Dst: -1, Name: "f"}, "call f()"},
+		{Instr{Op: OpMov, Dst: 0, A: C(7)}, "r0 = mov 7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

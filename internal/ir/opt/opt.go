@@ -1,0 +1,378 @@
+// Package opt implements classic scalar and control-flow optimizations for
+// the IR: constant folding, dead code elimination, and CFG simplification.
+// They model the "link-time optimization" environment the paper's pass runs
+// in (DangSan instruments LLVM bitcode at -O2/LTO): the instrumentation
+// pass sees optimized code, and the optimizer must preserve the RegPtr
+// hooks and the memory behaviour the detectors observe.
+//
+// Run the optimizer before instrumentation, as DangSan does; running it
+// after is also safe because RegPtr instructions are treated as
+// side-effecting uses of their operands.
+package opt
+
+import (
+	"dangsan/internal/ir"
+	"dangsan/internal/ir/analysis"
+)
+
+// Result summarizes what the pipeline changed.
+type Result struct {
+	// Folded counts instructions replaced by constants.
+	Folded int
+	// Eliminated counts dead instructions removed.
+	Eliminated int
+	// BlocksRemoved counts unreachable or merged-away blocks.
+	BlocksRemoved int
+}
+
+// Optimize runs the pipeline to a fixed point (bounded) and re-finalizes
+// the module.
+func Optimize(m *ir.Module) (Result, error) {
+	var total Result
+	for round := 0; round < 8; round++ {
+		var r Result
+		for _, f := range m.Funcs {
+			r.Folded += foldConstants(f)
+			r.Eliminated += eliminateDead(f)
+			r.BlocksRemoved += simplifyCFG(f)
+		}
+		total.Folded += r.Folded
+		total.Eliminated += r.Eliminated
+		total.BlocksRemoved += r.BlocksRemoved
+		if r == (Result{}) {
+			break
+		}
+	}
+	if err := m.Finalize(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// evalBin computes a binary op over constants; ok=false for traps (division
+// by zero) which must stay as runtime instructions.
+func evalBin(op ir.Op, a, b uint64) (uint64, bool) {
+	switch op {
+	case ir.OpAdd, ir.OpGep:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (b & 63), true
+	case ir.OpShr:
+		return a >> (b & 63), true
+	default:
+		return 0, false
+	}
+}
+
+func evalCmp(p ir.Pred, a, b uint64) uint64 {
+	var r bool
+	switch p {
+	case ir.PredEQ:
+		r = a == b
+	case ir.PredNE:
+		r = a != b
+	case ir.PredLT:
+		r = a < b
+	case ir.PredLE:
+		r = a <= b
+	case ir.PredGT:
+		r = a > b
+	case ir.PredGE:
+		r = a >= b
+	case ir.PredSLT:
+		r = int64(a) < int64(b)
+	case ir.PredSGT:
+		r = int64(a) > int64(b)
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+// foldConstants performs local constant propagation and folding within each
+// block: it tracks registers currently known to hold constants and
+// rewrites instructions whose operands are all known.
+func foldConstants(f *ir.Func) int {
+	folded := 0
+	for _, b := range f.Blocks {
+		known := map[int]uint64{}
+		resolve := func(v ir.Value) ir.Value {
+			if v.IsReg {
+				if c, ok := known[v.Reg]; ok {
+					return ir.C(c)
+				}
+			}
+			return v
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			in.A = resolve(in.A)
+			in.B = resolve(in.B)
+			for j := range in.Args {
+				in.Args[j] = resolve(in.Args[j])
+			}
+			switch in.Op {
+			case ir.OpMov:
+				if !in.A.IsReg {
+					known[in.Dst] = in.A.Imm
+					continue
+				}
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd,
+				ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpGep:
+				if !in.A.IsReg && !in.B.IsReg {
+					if v, ok := evalBin(in.Op, in.A.Imm, in.B.Imm); ok {
+						*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: ir.C(v)}
+						known[in.Dst] = v
+						folded++
+						continue
+					}
+				}
+			case ir.OpICmp:
+				if !in.A.IsReg && !in.B.IsReg {
+					v := evalCmp(in.Pred, in.A.Imm, in.B.Imm)
+					*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: ir.C(v)}
+					known[in.Dst] = v
+					folded++
+					continue
+				}
+			}
+			// Any other definition invalidates knowledge of Dst.
+			if in.Dst >= 0 {
+				delete(known, in.Dst)
+			}
+		}
+		if b.Term.Kind == ir.TermCondBr {
+			b.Term.Cond = resolve(b.Term.Cond)
+		}
+		if b.Term.Kind == ir.TermRet && b.Term.HasVal {
+			b.Term.Cond = resolve(b.Term.Cond)
+		}
+	}
+	return folded
+}
+
+// hasSideEffects reports whether removing the instruction could change
+// program behaviour even if its result is unused.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpICmp, ir.OpGep, ir.OpGlobal:
+		return false
+	case ir.OpDiv, ir.OpRem:
+		// May trap on a zero divisor; only removable when the divisor is a
+		// nonzero constant.
+		return in.B.IsReg || in.B.Imm == 0
+	default:
+		// Loads can fault; stores, calls, allocation, RegPtr, print, spawn
+		// and join all have effects.
+		return true
+	}
+}
+
+// eliminateDead removes pure instructions whose destination is never read
+// before being redefined, using a backward liveness analysis over the CFG.
+func eliminateDead(f *ir.Func) int {
+	cfg := analysis.BuildCFG(f)
+	n := len(f.Blocks)
+
+	// Per-block use/def (use = read before any write in the block).
+	use := make([]map[int]bool, n)
+	def := make([]map[int]bool, n)
+	addUse := func(i int, v ir.Value, defs map[int]bool) {
+		if v.IsReg && !defs[v.Reg] {
+			use[i][v.Reg] = true
+		}
+	}
+	for i, b := range f.Blocks {
+		use[i] = map[int]bool{}
+		def[i] = map[int]bool{}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			addUse(i, in.A, def[i])
+			addUse(i, in.B, def[i])
+			for _, a := range in.Args {
+				addUse(i, a, def[i])
+			}
+			if in.Dst >= 0 {
+				def[i][in.Dst] = true
+			}
+		}
+		if b.Term.Kind == ir.TermCondBr || (b.Term.Kind == ir.TermRet && b.Term.HasVal) {
+			addUse(i, b.Term.Cond, def[i])
+		}
+	}
+
+	// liveOut[i] via iteration to a fixed point.
+	liveOut := make([]map[int]bool, n)
+	liveIn := make([]map[int]bool, n)
+	for i := range liveOut {
+		liveOut[i] = map[int]bool{}
+		liveIn[i] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[int]bool{}
+			for _, s := range cfg.Succs[i] {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			in := map[int]bool{}
+			for r := range use[i] {
+				in[r] = true
+			}
+			for r := range out {
+				if !def[i][r] {
+					in[r] = true
+				}
+			}
+			if len(out) != len(liveOut[i]) || len(in) != len(liveIn[i]) {
+				changed = true
+			} else {
+				for r := range in {
+					if !liveIn[i][r] {
+						changed = true
+						break
+					}
+				}
+			}
+			liveOut[i], liveIn[i] = out, in
+		}
+	}
+
+	// Backward sweep per block, removing dead pure definitions.
+	removed := 0
+	for i, b := range f.Blocks {
+		live := map[int]bool{}
+		for r := range liveOut[i] {
+			live[r] = true
+		}
+		if b.Term.Kind == ir.TermCondBr || (b.Term.Kind == ir.TermRet && b.Term.HasVal) {
+			if b.Term.Cond.IsReg {
+				live[b.Term.Cond.Reg] = true
+			}
+		}
+		keep := make([]ir.Instr, 0, len(b.Instrs))
+		for j := len(b.Instrs) - 1; j >= 0; j-- {
+			in := b.Instrs[j]
+			dead := in.Dst >= 0 && !live[in.Dst] && !hasSideEffects(&in)
+			if dead {
+				removed++
+				continue
+			}
+			if in.Dst >= 0 {
+				delete(live, in.Dst)
+			}
+			mark := func(v ir.Value) {
+				if v.IsReg {
+					live[v.Reg] = true
+				}
+			}
+			mark(in.A)
+			mark(in.B)
+			for _, a := range in.Args {
+				mark(a)
+			}
+			keep = append(keep, in)
+		}
+		// Reverse keep.
+		for l, r := 0, len(keep)-1; l < r; l, r = l+1, r-1 {
+			keep[l], keep[r] = keep[r], keep[l]
+		}
+		b.Instrs = keep
+	}
+	return removed
+}
+
+// simplifyCFG folds constant conditional branches, merges trivial
+// straight-line block pairs, and drops unreachable blocks.
+func simplifyCFG(f *ir.Func) int {
+	// Fold condbr on constants.
+	for _, b := range f.Blocks {
+		if b.Term.Kind == ir.TermCondBr && !b.Term.Cond.IsReg {
+			t := b.Term.Then
+			if b.Term.Cond.Imm == 0 {
+				t = b.Term.Else
+			}
+			b.Term = ir.Terminator{Kind: ir.TermBr, Then: t}
+		}
+		if b.Term.Kind == ir.TermCondBr && b.Term.Then == b.Term.Else {
+			b.Term = ir.Terminator{Kind: ir.TermBr, Then: b.Term.Then}
+		}
+	}
+	// Merge b -> s when b ends in an unconditional branch to s and s has
+	// exactly one predecessor (and is not the entry).
+	cfg := analysis.BuildCFG(f)
+	for i, b := range f.Blocks {
+		if b.Term.Kind != ir.TermBr {
+			continue
+		}
+		s := b.Term.Then
+		if s == 0 || s == i || len(cfg.Preds[s]) != 1 {
+			continue
+		}
+		succ := f.Blocks[s]
+		b.Instrs = append(b.Instrs, succ.Instrs...)
+		b.Term = succ.Term
+		succ.Instrs = nil
+		succ.Term = ir.Terminator{Kind: ir.TermBr, Then: i} // will become unreachable
+		cfg = analysis.BuildCFG(f)                          // conservative refresh
+	}
+	// Drop unreachable blocks, remapping indices.
+	reachable := map[int]bool{}
+	stack := []int{0}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[x] {
+			continue
+		}
+		reachable[x] = true
+		stack = append(stack, f.Blocks[x].Succs()...)
+	}
+	if len(reachable) == len(f.Blocks) {
+		return 0
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reachable[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	removed := len(f.Blocks) - len(kept)
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case ir.TermBr:
+			b.Term.Then = remap[b.Term.Then]
+		case ir.TermCondBr:
+			b.Term.Then = remap[b.Term.Then]
+			b.Term.Else = remap[b.Term.Else]
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

@@ -1,0 +1,288 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/instrument"
+	"dangsan/internal/interp"
+	"dangsan/internal/ir"
+	"dangsan/internal/ir/opt"
+	"dangsan/internal/irparse"
+)
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func countInstrs(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 6
+  r1 = mov 7
+  r2 = mul r0, r1
+  r3 = add r2, 0x100
+  r4 = icmp lt r3, 1000
+  ret r3
+}`)
+	res, err := opt.Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded < 2 {
+		t.Fatalf("folded = %d", res.Folded)
+	}
+	// The return value must be computable without arithmetic: after
+	// folding + DCE only movs (or nothing) remain.
+	for _, b := range m.Funcs["main"].Blocks {
+		for i := range b.Instrs {
+			if op := b.Instrs[i].Op; op != ir.OpMov {
+				t.Fatalf("non-mov instruction survived: %s", b.Instrs[i].String())
+			}
+		}
+	}
+	r, err := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if err != nil || r.Trap != nil {
+		t.Fatal(err, r.Trap)
+	}
+	if r.Ret != 6*7+0x100 {
+		t.Fatalf("ret = %d", r.Ret)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 1
+  r1 = add r0, 2     ; dead: r1 never read
+  r2 = mov 42
+  ret r2
+}`)
+	res, err := opt.Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eliminated == 0 {
+		t.Fatal("nothing eliminated")
+	}
+	r, _ := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if r.Ret != 42 {
+		t.Fatalf("ret = %d", r.Ret)
+	}
+}
+
+func TestDivByZeroNotRemoved(t *testing.T) {
+	// A dead div with an unknown (or zero) divisor may trap: it must stay.
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 0
+  r1 = div 5, r0     ; result unused, but traps
+  ret 1
+}`)
+	if _, err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if r.Trap == nil || !strings.Contains(r.Trap.Err.Error(), "division by zero") {
+		t.Fatalf("trap = %v", r.Trap)
+	}
+}
+
+func TestLoadsNotRemoved(t *testing.T) {
+	// A dead load may fault (that is how UAF detection surfaces): keep it.
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 0
+  r1 = load i64 [r0]   ; dead result, but faults on NULL
+  ret 1
+}`)
+	if _, err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if r.Trap == nil || r.Trap.Fault == nil {
+		t.Fatalf("trap = %v", r.Trap)
+	}
+}
+
+func TestBranchFoldingAndUnreachable(t *testing.T) {
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 1
+  br r0, yes, no
+yes:
+  ret 10
+no:
+  ret 20
+}`)
+	res, err := opt.Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksRemoved == 0 {
+		t.Fatal("unreachable block kept")
+	}
+	r, _ := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if r.Ret != 10 {
+		t.Fatalf("ret = %d", r.Ret)
+	}
+}
+
+func TestBlockMerging(t *testing.T) {
+	m := mustParse(t, `
+func main() i64 {
+entry:
+  r0 = mov 5
+  br middle
+middle:
+  r1 = add r0, 1
+  br tail
+tail:
+  ret r1
+}`)
+	if _, err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.Funcs["main"].Blocks); n != 1 {
+		t.Fatalf("blocks = %d, want 1 after merging", n)
+	}
+	r, _ := interp.New(m, detectors.None{}, interp.Options{}).Run()
+	if r.Ret != 6 {
+		t.Fatalf("ret = %d", r.Ret)
+	}
+}
+
+func TestRegPtrHooksPreserved(t *testing.T) {
+	// Instrument first, optimize second: the hooks are side-effecting and
+	// must survive, and protection must still work.
+	src := `
+global slot 8
+func main() i64 {
+entry:
+  r0 = malloc 64
+  r1 = global slot
+  store ptr [r1], r0
+  free r0
+  r2 = load ptr [r1]
+  r3 = load i64 [r2]
+  ret r3
+}`
+	m := mustParse(t, src)
+	if _, err := instrument.Pass(m, instrument.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range m.Funcs["main"].Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpRegPtr {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("optimizer removed the instrumentation hook")
+	}
+	r, err := interp.New(m, dangsan.New(), interp.Options{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trap == nil || r.Trap.Fault == nil {
+		t.Fatalf("optimized program lost protection: %v", r.Trap)
+	}
+}
+
+// Semantic preservation on a real program: the linked-list example computes
+// the same sum before and after optimization, under baseline and DangSan.
+func TestSemanticPreservation(t *testing.T) {
+	src := `
+global head 8
+func main() i64 {
+entry:
+  r9 = global head
+  store ptr [r9], 0
+  r0 = mov 0
+  br build
+build:
+  r1 = icmp lt r0, 30
+  br r1, body, sum
+body:
+  r2 = malloc 16
+  r3 = load ptr [r9]
+  store ptr [r2], r3
+  r4 = gep r2, 8
+  r5 = mul r0, 3
+  store i64 [r4], r5
+  store ptr [r9], r2
+  r0 = add r0, 1
+  br build
+sum:
+  r6 = mov 0
+  r7 = load ptr [r9]
+  br loop
+loop:
+  r8 = icmp ne r7, 0
+  br r8, sbody, done
+sbody:
+  r10 = gep r7, 8
+  r11 = load i64 [r10]
+  r6 = add r6, r11
+  r12 = load ptr [r7]
+  free r7
+  r7 = mov r12
+  br loop
+done:
+  ret r6
+}`
+	want := uint64(0)
+	for i := 0; i < 30; i++ {
+		want += uint64(i * 3)
+	}
+	for _, optimize := range []bool{false, true} {
+		m := mustParse(t, src)
+		if _, err := instrument.Pass(m, instrument.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if optimize {
+			if _, err := opt.Optimize(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, det := range []func() detectorsDetector{newNone, newDangSan} {
+			r, err := interp.New(m, det(), interp.Options{}).Run()
+			if err != nil || r.Trap != nil {
+				t.Fatalf("optimize=%v: %v %v", optimize, err, r.Trap)
+			}
+			if r.Ret != want {
+				t.Fatalf("optimize=%v: ret = %d, want %d", optimize, r.Ret, want)
+			}
+		}
+	}
+}
+
+type detectorsDetector = detectors.Detector
+
+func newNone() detectorsDetector    { return detectors.None{} }
+func newDangSan() detectorsDetector { return dangsan.New() }

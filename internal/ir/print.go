@@ -1,0 +1,67 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the module in the textual form accepted by
+// internal/irparse, enabling round-trip tests and dumping instrumented
+// programs for inspection.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s %d\n", g.Name, g.Size)
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	names := make([]string, 0, len(m.Funcs))
+	for name := range m.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		m.Funcs[name].print(&sb)
+	}
+	return sb.String()
+}
+
+func (f *Func) print(sb *strings.Builder) {
+	fmt.Fprintf(sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%s %s", p.Name, p.Type)
+	}
+	sb.WriteString(")")
+	if f.Ret != Void {
+		fmt.Fprintf(sb, " %s", f.Ret)
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for i := range b.Instrs {
+			fmt.Fprintf(sb, "  %s\n", b.Instrs[i].String())
+		}
+		switch b.Term.Kind {
+		case TermBr:
+			fmt.Fprintf(sb, "  br %s\n", f.Blocks[b.Term.Then].Name)
+		case TermCondBr:
+			fmt.Fprintf(sb, "  br %s, %s, %s\n", b.Term.Cond,
+				f.Blocks[b.Term.Then].Name, f.Blocks[b.Term.Else].Name)
+		case TermRet:
+			if b.Term.HasVal {
+				fmt.Fprintf(sb, "  ret %s\n", b.Term.Cond)
+			} else {
+				sb.WriteString("  ret\n")
+			}
+		}
+	}
+	sb.WriteString("}\n")
+}

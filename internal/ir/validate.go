@@ -1,0 +1,150 @@
+package ir
+
+import "fmt"
+
+// Finalize computes derived fields (block indices, register counts) and
+// validates structural invariants. Call after building or parsing a module
+// and before running passes or interpreting.
+func (m *Module) Finalize() error {
+	names := make(map[string]bool)
+	for _, g := range m.Globals {
+		if names[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		if g.Size == 0 {
+			return fmt.Errorf("ir: global %q has zero size", g.Name)
+		}
+		names[g.Name] = true
+	}
+	for name, f := range m.Funcs {
+		if f.Name != name {
+			return fmt.Errorf("ir: function map key %q != name %q", name, f.Name)
+		}
+		if err := m.finalizeFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) finalizeFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	blockNames := make(map[string]bool)
+	maxReg := len(f.Params) - 1
+	touch := func(v Value) {
+		if v.IsReg && v.Reg > maxReg {
+			maxReg = v.Reg
+		}
+	}
+	for i, b := range f.Blocks {
+		b.Index = i
+		if b.Name != "" {
+			if blockNames[b.Name] {
+				return fmt.Errorf("duplicate block %q", b.Name)
+			}
+			blockNames[b.Name] = true
+		}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if in.Dst > maxReg {
+				maxReg = in.Dst
+			}
+			touch(in.A)
+			touch(in.B)
+			for _, a := range in.Args {
+				touch(a)
+			}
+			if err := m.checkInstr(in); err != nil {
+				return fmt.Errorf("block %s instr %d (%s): %w", b.Name, j, in, err)
+			}
+		}
+		switch b.Term.Kind {
+		case TermBr:
+			if b.Term.Then < 0 || b.Term.Then >= len(f.Blocks) {
+				return fmt.Errorf("block %s: branch to invalid block %d", b.Name, b.Term.Then)
+			}
+		case TermCondBr:
+			touch(b.Term.Cond)
+			if b.Term.Then < 0 || b.Term.Then >= len(f.Blocks) ||
+				b.Term.Else < 0 || b.Term.Else >= len(f.Blocks) {
+				return fmt.Errorf("block %s: conditional branch out of range", b.Name)
+			}
+		case TermRet:
+			if b.Term.HasVal {
+				touch(b.Term.Cond)
+			}
+			if f.Ret == Void && b.Term.HasVal {
+				return fmt.Errorf("block %s: value returned from void function", b.Name)
+			}
+			if f.Ret != Void && !b.Term.HasVal {
+				return fmt.Errorf("block %s: missing return value", b.Name)
+			}
+		default:
+			return fmt.Errorf("block %s: bad terminator kind %d", b.Name, b.Term.Kind)
+		}
+	}
+	f.NumRegs = maxReg + 1
+	return nil
+}
+
+func (m *Module) checkInstr(in *Instr) error {
+	needDst := func() error {
+		if in.Dst < 0 {
+			return fmt.Errorf("missing destination")
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpICmp, OpGep, OpLoad, OpMalloc, OpRealloc:
+		if err := needDst(); err != nil {
+			return err
+		}
+	case OpAlloca:
+		if err := needDst(); err != nil {
+			return err
+		}
+		if in.Size == 0 {
+			return fmt.Errorf("alloca of zero bytes")
+		}
+	case OpGlobal:
+		if err := needDst(); err != nil {
+			return err
+		}
+		found := false
+		for _, g := range m.Globals {
+			if g.Name == in.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown global %q", in.Name)
+		}
+	case OpStore:
+		if in.StoreType != I64 && in.StoreType != Ptr {
+			return fmt.Errorf("store of type %s", in.StoreType)
+		}
+	case OpCall, OpSpawn:
+		f, ok := m.Funcs[in.Name]
+		if !ok {
+			return fmt.Errorf("unknown function %q", in.Name)
+		}
+		if len(in.Args) != len(f.Params) {
+			return fmt.Errorf("call %s: %d args, want %d", in.Name, len(in.Args), len(f.Params))
+		}
+		if in.Op == OpCall && in.Dst >= 0 && f.Ret == Void {
+			return fmt.Errorf("call %s: void function used as value", in.Name)
+		}
+	case OpFree, OpJoin, OpPrint, OpRegPtr:
+		// No destination; nothing further to check.
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	if in.Op == OpLoad && in.LoadType != I64 && in.LoadType != Ptr {
+		return fmt.Errorf("load of type %s", in.LoadType)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package irparse
+
+import (
+	"strings"
+	"testing"
+
+	"dangsan/internal/ir"
+)
+
+const sampleProgram = `
+global counter 8
+
+func main() i64 {
+entry:
+  r0 = malloc 64          ; heap object
+  r1 = global counter
+  store ptr [r1], r0
+  r2 = mov 0
+  br loop
+loop:
+  r3 = icmp lt r2, 10
+  br r3, body, done
+body:
+  r2 = add r2, 1
+  br loop
+done:
+  free r0
+  ret r2
+}
+
+func helper(p ptr, n i64) ptr {
+entry:
+  r2 = gep p, n
+  ret r2
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	main := m.Funcs["main"]
+	if main.Ret != ir.I64 || len(main.Params) != 0 {
+		t.Fatalf("main signature wrong: %+v", main)
+	}
+	if len(main.Blocks) != 4 {
+		t.Fatalf("main blocks = %d", len(main.Blocks))
+	}
+	helper := m.Funcs["helper"]
+	if len(helper.Params) != 2 || helper.Params[0].Type != ir.Ptr || helper.Params[1].Type != ir.I64 {
+		t.Fatalf("helper params: %+v", helper.Params)
+	}
+	if helper.Ret != ir.Ptr {
+		t.Fatalf("helper ret = %v", helper.Ret)
+	}
+	// Parameters map to registers 0 and 1; r2 = gep p, n uses them.
+	gep := helper.Blocks[0].Instrs[0]
+	if gep.Op != ir.OpGep || !gep.A.IsReg || gep.A.Reg != 0 || !gep.B.IsReg || gep.B.Reg != 1 {
+		t.Fatalf("gep operands: %+v", gep)
+	}
+	if len(m.Globals) != 1 || m.Globals[0].Name != "counter" || m.Globals[0].Size != 8 {
+		t.Fatalf("globals: %+v", m.Globals)
+	}
+}
+
+func TestParseBranchTargets(t *testing.T) {
+	m, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := m.Funcs["main"]
+	entry := main.Blocks[0]
+	if entry.Term.Kind != ir.TermBr || main.Blocks[entry.Term.Then].Name != "loop" {
+		t.Fatalf("entry terminator: %+v", entry.Term)
+	}
+	loop := main.Blocks[1]
+	if loop.Term.Kind != ir.TermCondBr {
+		t.Fatalf("loop terminator: %+v", loop.Term)
+	}
+	if main.Blocks[loop.Term.Then].Name != "body" || main.Blocks[loop.Term.Else].Name != "done" {
+		t.Fatalf("condbr targets: %+v", loop.Term)
+	}
+}
+
+func TestNoFallthrough(t *testing.T) {
+	src := "func main() {\na:\n  r0 = mov 1\nb:\n  ret\n}"
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("fallthrough accepted: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, m2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown instr", "func main() {\nentry:\n  frobnicate r0\n  ret\n}", "unknown instruction"},
+		{"unknown label", "func main() {\nentry:\n  br nowhere\n}", "unknown label"},
+		{"unknown global", "func main() {\nentry:\n  r0 = global g\n  ret\n}", "unknown global"},
+		{"unknown callee", "func main() {\nentry:\n  call nope()\n  ret\n}", "unknown function"},
+		{"missing terminator", "func main() {\nentry:\n  r0 = mov 1\n}", "terminator"},
+		{"arg count", "func f(n i64) {\nentry:\n  ret\n}\nfunc main() {\nentry:\n  call f()\n  ret\n}", "args"},
+		{"dup label", "func main() {\na:\n  br a\na:\n  ret\n}", "duplicate label"},
+		{"instr after term", "func main() {\nentry:\n  ret\n  r0 = mov 1\n}", "after terminator"},
+		{"void with value", "func main() {\nentry:\n  ret 3\n}", "value returned"},
+		{"missing ret value", "func main() i64 {\nentry:\n  ret\n}", "missing return value"},
+		{"bad operand", "func main() {\nentry:\n  r0 = mov $x\n  ret\n}", "bad operand"},
+		{"dup function", "func f() {\nentry:\n  ret\n}\nfunc f() {\nentry:\n  ret\n}", "duplicate function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseNegativeAndHex(t *testing.T) {
+	src := `
+func main() i64 {
+entry:
+  r0 = mov -1
+  r1 = mov 0xff
+  r2 = add r0, r1
+  ret r2
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := m.Funcs["main"].Blocks[0].Instrs
+	if instrs[0].A.Imm != ^uint64(0) {
+		t.Fatalf("mov -1 parsed as %d", instrs[0].A.Imm)
+	}
+	if instrs[1].A.Imm != 255 {
+		t.Fatalf("mov 0xff parsed as %d", instrs[1].A.Imm)
+	}
+}
+
+func TestParseSpawnJoin(t *testing.T) {
+	src := `
+func worker(n i64) {
+entry:
+  print n
+  ret
+}
+func main() {
+entry:
+  r0 = spawn worker(7)
+  join r0
+  ret
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := m.Funcs["main"].Blocks[0].Instrs
+	if instrs[0].Op != ir.OpSpawn || instrs[0].Name != "worker" {
+		t.Fatalf("spawn: %+v", instrs[0])
+	}
+	if instrs[1].Op != ir.OpJoin {
+		t.Fatalf("join: %+v", instrs[1])
+	}
+}

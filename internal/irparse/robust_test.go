@@ -1,0 +1,73 @@
+package irparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics, whatever bytes it is fed — it either
+// produces a module or an error.
+func TestParseNeverPanicsQuick(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutation robustness: valid programs with random line-level corruption
+// must parse or fail cleanly, never panic, and never mis-parse into a
+// module that fails finalization later.
+func TestParseMutationRobustness(t *testing.T) {
+	base := `
+global g 8
+func helper(p ptr) i64 {
+entry:
+  r1 = load i64 [p]
+  ret r1
+}
+func main() i64 {
+entry:
+  r0 = malloc 64
+  r1 = global g
+  store ptr [r1], r0
+  r2 = call helper(r0)
+  free r0
+  ret r2
+}`
+	tokens := []string{"r0", "free", "[", "]", "=", "ptr", "br", "}", "{", "call", "###", ","}
+	rng := rand.New(rand.NewSource(5))
+	lines := strings.Split(base, "\n")
+	for iter := 0; iter < 500; iter++ {
+		mutated := make([]string, len(lines))
+		copy(mutated, lines)
+		li := rng.Intn(len(mutated))
+		switch rng.Intn(3) {
+		case 0: // inject a token
+			mutated[li] += " " + tokens[rng.Intn(len(tokens))]
+		case 1: // truncate a line
+			if len(mutated[li]) > 2 {
+				mutated[li] = mutated[li][:rng.Intn(len(mutated[li]))]
+			}
+		case 2: // duplicate a line
+			mutated = append(mutated[:li], append([]string{mutated[li]}, mutated[li:]...)...)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d panicked: %v\n%s", iter, r, strings.Join(mutated, "\n"))
+				}
+			}()
+			_, _ = Parse(strings.Join(mutated, "\n"))
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+// Package pointerlog implements DangSan's pointer logger: per-thread,
+// lock-free, append-only logs of the memory locations that hold pointers
+// into each heap object, plus the invalidation pass that runs at free time.
+//
+// The design follows the paper's log-structured-file-system insight (§4.4):
+// pointer tracking is extremely write-heavy (every pointer-typed store) and
+// read-rare (only free reads the log), and it needs no consistency between
+// threads because every logged location is re-verified at free time — a
+// location that no longer holds a pointer into the object is simply skipped
+// as stale. Each object therefore keeps a singly linked list of per-thread
+// logs; a thread appends to its own log without synchronization, and only
+// list insertion uses compare-and-swap.
+//
+// Three mechanisms bound log growth (paper §4.4 and §6):
+//
+//   - a fixed lookback over the most recent entries suppresses tight
+//     duplicate cycles (e.g. loop iterator slots);
+//   - pointer compression packs up to three locations that differ only in
+//     their least significant byte into one 8-byte entry;
+//   - a hash-table fallback replaces the log once it exceeds a threshold,
+//     bounding memory on pathological duplicate patterns the lookback
+//     cannot catch.
+package pointerlog
+
+// DefaultLookback is the paper's chosen lookback window: "we have chosen to
+// use a lookback size of four" — performance is flat between one and four
+// and degrades beyond.
+const DefaultLookback = 4
+
+// DefaultMaxLogEntries is the log size (embedded + indirect blocks, counted
+// in 8-byte entries) beyond which an object's per-thread log switches to the
+// hash-table fallback.
+const DefaultMaxLogEntries = 128
+
+// MaxLookback bounds the configurable lookback window.
+const MaxLookback = 64
+
+// Config carries the tunables that the paper's design discussion and our
+// ablation benchmarks vary. The zero value is not valid; use
+// DefaultConfig().
+type Config struct {
+	// Lookback is the number of recent entries checked for duplicates
+	// before appending (0 disables the lookback).
+	Lookback int
+	// MaxLogEntries is the per-thread log length that triggers the
+	// hash-table fallback.
+	MaxLogEntries int
+	// Compression enables packing up to three nearby locations into one
+	// log entry.
+	Compression bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Lookback:      DefaultLookback,
+		MaxLogEntries: DefaultMaxLogEntries,
+		Compression:   true,
+	}
+}
+
+func (c Config) validated() Config {
+	if c.Lookback < 0 {
+		c.Lookback = 0
+	}
+	if c.Lookback > MaxLookback {
+		c.Lookback = MaxLookback
+	}
+	if c.MaxLogEntries < embedEntries {
+		c.MaxLogEntries = embedEntries
+	}
+	return c
+}

@@ -1,0 +1,116 @@
+package pointerlog
+
+import "sync/atomic"
+
+// locSet is the hash-table fallback: an open-addressing set of pointer
+// locations. It has exactly one writer (the thread that owns the enclosing
+// ThreadLog) and potentially concurrent readers (the thread running free).
+// Writers publish entries and grown tables with atomic stores; readers that
+// race with a grow may miss entries added concurrently, which the design
+// tolerates — a missed location is the same benign race as a pointer
+// propagated during free (paper §7).
+type locSet struct {
+	table atomic.Pointer[locTable]
+}
+
+type locTable struct {
+	mask    uint64
+	entries []uint64 // atomic access; 0 = empty slot
+	used    int      // owner-only
+}
+
+const locSetInitial = 64 // slots; must be a power of two
+
+func newLocSet() *locSet {
+	s := &locSet{}
+	s.table.Store(&locTable{
+		mask:    locSetInitial - 1,
+		entries: make([]uint64, locSetInitial),
+	})
+	return s
+}
+
+// hashLoc mixes a pointer location; Fibonacci hashing on the aligned bits.
+func hashLoc(loc uint64) uint64 {
+	return (loc >> 3) * 0x9E3779B97F4A7C15
+}
+
+// insert adds loc to the set, reporting whether it was newly added.
+// Owner-only. loc must be nonzero.
+func (s *locSet) insert(loc uint64) bool {
+	t := s.table.Load()
+	if t.used*10 >= len(t.entries)*7 {
+		t = s.grow(t)
+	}
+	i := hashLoc(loc) & t.mask
+	for {
+		e := atomic.LoadUint64(&t.entries[i])
+		if e == loc {
+			return false
+		}
+		if e == 0 {
+			atomic.StoreUint64(&t.entries[i], loc)
+			t.used++
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// contains reports whether loc is in the set. Safe for any thread.
+func (s *locSet) contains(loc uint64) bool {
+	t := s.table.Load()
+	i := hashLoc(loc) & t.mask
+	for {
+		e := atomic.LoadUint64(&t.entries[i])
+		if e == loc {
+			return true
+		}
+		if e == 0 {
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table. Owner-only.
+func (s *locSet) grow(old *locTable) *locTable {
+	t := &locTable{
+		mask:    old.mask*2 + 1,
+		entries: make([]uint64, len(old.entries)*2),
+		used:    old.used,
+	}
+	for _, e := range old.entries {
+		if e == 0 {
+			continue
+		}
+		i := hashLoc(e) & t.mask
+		for t.entries[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.entries[i] = e
+	}
+	s.table.Store(t)
+	return t
+}
+
+// forEach calls fn for every location in the set. Safe for any thread;
+// entries inserted concurrently may or may not be visited.
+func (s *locSet) forEach(fn func(loc uint64)) {
+	t := s.table.Load()
+	for i := range t.entries {
+		if e := atomic.LoadUint64(&t.entries[i]); e != 0 {
+			fn(e)
+		}
+	}
+}
+
+// len returns the number of entries (owner's view).
+func (s *locSet) len() int {
+	return s.table.Load().used
+}
+
+// bytes reports the memory footprint of the current table.
+func (s *locSet) bytes() uint64 {
+	return uint64(len(s.table.Load().entries)) * 8
+}

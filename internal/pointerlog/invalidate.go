@@ -1,0 +1,69 @@
+package pointerlog
+
+import "dangsan/internal/vmem"
+
+// InvalidBit is OR-ed into a pointer value to invalidate it. Setting the
+// most significant bit makes the address non-canonical on x86-64 — any
+// dereference faults — while keeping the low bits intact so the fault
+// address can be related back to the original pointer, pointer differences
+// still work, and partial type-unsafe reuse only sees its top byte change
+// (paper §4.4's argument for bit-setting over nullification).
+const InvalidBit = uint64(1) << 63
+
+// DecodeFault inspects a faulting address: if it is an invalidated pointer
+// (InvalidBit set over an otherwise-canonical address), it returns the
+// original pointer and true — the debugging affordance the paper's §4.4
+// chooses bit-setting for, letting a crash report name the freed object.
+func DecodeFault(addr uint64) (orig uint64, invalidated bool) {
+	orig = addr &^ InvalidBit
+	if addr&InvalidBit != 0 && vmem.Canonical(orig) {
+		return orig, true
+	}
+	return addr, false
+}
+
+// Memory is the slice of the simulated address space the invalidator needs:
+// checked word reads (which report the simulated SIGSEGV instead of
+// crashing) and compare-and-swap.
+type Memory interface {
+	LoadWord(addr uint64) (uint64, *vmem.Fault)
+	CASWord(addr, old, new uint64) (bool, *vmem.Fault)
+}
+
+// Invalidate implements the paper's invalptrs: walk every location recorded
+// for meta's object and overwrite, with compare-and-swap, every value that
+// still points into [Base, Base+Size). Stale locations — overwritten since
+// being logged, or in memory since returned to the OS — are skipped; that
+// deferred reconciliation is what lets Register run without locks.
+func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
+	base, end := meta.Base, meta.Base+meta.Size
+	meta.ForEachLocation(func(loc uint64) {
+		lg.invalidateLocation(loc, base, end, mem)
+	})
+}
+
+func (lg *Logger) invalidateLocation(loc, base, end uint64, mem Memory) {
+	for {
+		w, fault := mem.LoadWord(loc)
+		if fault != nil {
+			// The memory holding the pointer was itself freed and returned
+			// to the OS; DangSan catches the SIGSEGV and skips the entry.
+			lg.stats.Faulted.Add(1)
+			return
+		}
+		if w < base || w >= end {
+			lg.stats.Stale.Add(1)
+			return
+		}
+		ok, fault := mem.CASWord(loc, w, w|InvalidBit)
+		if fault != nil {
+			lg.stats.Faulted.Add(1)
+			return
+		}
+		if ok {
+			lg.stats.Invalidated.Add(1)
+			return
+		}
+		// Lost a race with a concurrent store; re-check the fresh value.
+	}
+}

@@ -1,0 +1,344 @@
+package pointerlog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// embedEntries is the number of log entries embedded directly in the
+	// ThreadLog, serving the common case of objects with few pointers
+	// without a second allocation (paper Fig. 7's static log).
+	embedEntries = 12
+	// blockEntries is the size of each indirect log block.
+	blockEntries = 32
+)
+
+// logBlock is one chunk of the indirect log. Blocks form a singly linked
+// list appended to by the owning thread; the invalidating thread walks it
+// concurrently.
+type logBlock struct {
+	next    atomic.Pointer[logBlock]
+	entries [blockEntries]uint64 // atomic access; 0 = unused
+}
+
+// ThreadLog holds the pointer locations recorded by one thread for one
+// object. Only the owning thread writes it (append-only, except for
+// in-place compression of the most recent entry); the freeing thread reads
+// it concurrently without synchronization, relying on atomic word access
+// and free-time verification instead of locks.
+type ThreadLog struct {
+	tid  int32
+	next atomic.Pointer[ThreadLog]
+
+	embed  [embedEntries]uint64 // atomic access
+	blocks atomic.Pointer[logBlock]
+	hash   atomic.Pointer[locSet]
+
+	// Owner-only state.
+	count    int       // entries appended (embed + blocks)
+	tail     *logBlock // block being filled
+	tailUsed int
+	lastSlot *uint64 // most recent entry, target for compression
+	lookback []uint64
+	lookPos  int
+}
+
+// ObjectMeta is the per-object metadata the shadow map points at: the
+// object's extent and the head of its thread-log list.
+type ObjectMeta struct {
+	// Base is the object's start address.
+	Base uint64
+	// Size is the object's usable size in bytes (including DangSan's +1
+	// allocation pad).
+	Size uint64
+
+	logs atomic.Pointer[ThreadLog]
+}
+
+// Logger owns the pointer-log state for one simulated process.
+type Logger struct {
+	cfg   Config
+	stats Stats
+
+	// Metadata registry. MetaAt (the pointer-store hot path) is lock-free:
+	// slabs are published with atomic stores and never move; the mutex
+	// only guards allocation and the free list (malloc/free frequency,
+	// which is orders of magnitude rarer than pointer stores).
+	mu    sync.Mutex
+	slabs []atomic.Pointer[metaSlab]
+	free  []uint64
+	next  atomic.Uint64
+}
+
+const metaSlabSize = 1 << 12
+
+// maxMetaSlabs bounds live tracked objects to maxMetaSlabs*metaSlabSize
+// (256M), far beyond any workload here.
+const maxMetaSlabs = 1 << 16
+
+type metaSlab [metaSlabSize]ObjectMeta
+
+// NewLogger creates a Logger with the given configuration.
+func NewLogger(cfg Config) *Logger {
+	return &Logger{
+		cfg:   cfg.validated(),
+		slabs: make([]atomic.Pointer[metaSlab], maxMetaSlabs),
+	}
+}
+
+// Config returns the logger's configuration.
+func (lg *Logger) Config() Config { return lg.cfg }
+
+// Stats returns the logger's counters.
+func (lg *Logger) Stats() *Stats { return &lg.stats }
+
+// CreateMeta allocates (or recycles) an ObjectMeta for a new object and
+// returns it together with the nonzero handle to store in the shadow map.
+func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
+	lg.mu.Lock()
+	var idx uint64
+	if n := len(lg.free); n > 0 {
+		idx = lg.free[n-1]
+		lg.free = lg.free[:n-1]
+	} else {
+		idx = lg.next.Load()
+		si := int(idx >> 12)
+		if si >= maxMetaSlabs {
+			lg.mu.Unlock()
+			panic("pointerlog: metadata registry exhausted")
+		}
+		if lg.slabs[si].Load() == nil {
+			lg.slabs[si].Store(new(metaSlab))
+		}
+		lg.next.Store(idx + 1)
+	}
+	m := &lg.slabs[idx>>12].Load()[idx&(metaSlabSize-1)]
+	lg.mu.Unlock()
+	m.Base = base
+	m.Size = size
+	m.logs.Store(nil)
+	lg.stats.ObjectsTracked.Add(1)
+	return m, idx + 1
+}
+
+// MetaAt resolves a handle previously returned by CreateMeta (and stored in
+// the shadow map) back to its ObjectMeta. Handle 0 returns nil. Lock-free:
+// called on every instrumented pointer store.
+func (lg *Logger) MetaAt(handle uint64) *ObjectMeta {
+	if handle == 0 {
+		return nil
+	}
+	idx := handle - 1
+	if idx >= lg.next.Load() {
+		return nil
+	}
+	slab := lg.slabs[idx>>12].Load()
+	if slab == nil {
+		return nil
+	}
+	return &slab[idx&(metaSlabSize-1)]
+}
+
+// ReleaseMeta recycles the meta behind handle. Call only after Invalidate;
+// a racing Register may still append to the dying log list, which is benign
+// because every entry is re-verified at the next free of whatever object
+// the meta gets recycled for.
+func (lg *Logger) ReleaseMeta(handle uint64) {
+	if handle == 0 {
+		return
+	}
+	lg.mu.Lock()
+	lg.free = append(lg.free, handle-1)
+	lg.mu.Unlock()
+}
+
+// threadLogFor finds or creates the calling thread's log for meta. New logs
+// are pushed onto the list head with compare-and-swap — the only
+// synchronization on the entire store fast path, and it runs only the first
+// time a thread touches an object (paper §4.4: "modifications to the list
+// are rare ... few compare-and-exchange conflicts").
+func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32) *ThreadLog {
+	head := meta.logs.Load()
+	for tl := head; tl != nil; tl = tl.next.Load() {
+		if tl.tid == tid {
+			return tl
+		}
+	}
+	tl := &ThreadLog{tid: tid}
+	if lg.cfg.Lookback > 0 {
+		tl.lookback = make([]uint64, lg.cfg.Lookback)
+	}
+	lg.stats.LogBytes.Add(uint64(embedEntries*8 + 64 + lg.cfg.Lookback*8))
+	for {
+		tl.next.Store(head)
+		if meta.logs.CompareAndSwap(head, tl) {
+			return tl
+		}
+		// Lost the race: another thread inserted. Re-scan in case it was us
+		// in a recycled meta... it cannot be (one goroutine per tid), so
+		// just retry the push with the new head.
+		head = meta.logs.Load()
+		for other := head; other != nil; other = other.next.Load() {
+			if other.tid == tid {
+				return other
+			}
+		}
+	}
+}
+
+// Register records that the pointer slot at loc now holds a pointer into
+// meta's object. tid identifies the calling thread. This is the paper's
+// regptr/logptr path, invoked from every instrumented pointer store.
+func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
+	lg.stats.Registered.Add(1)
+	tl := lg.threadLogFor(meta, tid)
+
+	// Lookback: suppress duplicates within the recent window.
+	if n := len(tl.lookback); n > 0 {
+		for i := 0; i < n; i++ {
+			if tl.lookback[i] == loc {
+				lg.stats.Duplicates.Add(1)
+				return
+			}
+		}
+		tl.lookback[tl.lookPos] = loc
+		tl.lookPos++
+		if tl.lookPos == n {
+			tl.lookPos = 0
+		}
+	}
+
+	// Hash-table mode: the log overflowed earlier.
+	if h := tl.hash.Load(); h != nil {
+		before := h.bytes()
+		if !h.insert(loc) {
+			lg.stats.Duplicates.Add(1)
+			return
+		}
+		if after := h.bytes(); after > before {
+			lg.stats.LogBytes.Add(after - before)
+		}
+		lg.stats.Logged.Add(1)
+		return
+	}
+
+	// Compression: fold into the most recent entry when possible.
+	if lg.cfg.Compression && tl.tryCompress(loc) {
+		lg.stats.Logged.Add(1)
+		lg.stats.Compressed.Add(1)
+		return
+	}
+
+	// Switch to the hash table once the log hits the threshold, preventing
+	// unbounded growth when duplicates recur with cycles longer than the
+	// lookback (paper §4.4).
+	if tl.count >= lg.cfg.MaxLogEntries {
+		h := newLocSet()
+		lg.stats.HashTables.Add(1)
+		lg.stats.LogBytes.Add(h.bytes())
+		tl.hash.Store(h)
+		h.insert(loc)
+		lg.stats.Logged.Add(1)
+		return
+	}
+
+	// Append a fresh entry.
+	var slot *uint64
+	if tl.count < embedEntries {
+		slot = &tl.embed[tl.count]
+	} else {
+		if tl.tail == nil || tl.tailUsed == blockEntries {
+			b := new(logBlock)
+			lg.stats.LogBytes.Add(blockEntries*8 + 8)
+			if tl.tail == nil {
+				tl.blocks.Store(b)
+			} else {
+				tl.tail.next.Store(b)
+			}
+			tl.tail = b
+			tl.tailUsed = 0
+		}
+		slot = &tl.tail.entries[tl.tailUsed]
+		tl.tailUsed++
+	}
+	atomic.StoreUint64(slot, loc)
+	tl.lastSlot = slot
+	tl.count++
+	lg.stats.Logged.Add(1)
+}
+
+// tryCompress attempts to fold loc into the owner's most recent entry.
+func (tl *ThreadLog) tryCompress(loc uint64) bool {
+	if tl.lastSlot == nil {
+		return false
+	}
+	e := atomic.LoadUint64(tl.lastSlot)
+	if e == 0 {
+		return false
+	}
+	if isCompressed(e) {
+		if ne, ok := tryCompressAdd(e, loc); ok {
+			atomic.StoreUint64(tl.lastSlot, ne)
+			return true
+		}
+		return false
+	}
+	// Two raw locations sharing all but the LSB merge into one compressed
+	// entry. A location with LSB 0 must occupy the first slot.
+	if e>>8 != loc>>8 || e == loc {
+		return false
+	}
+	var ne uint64
+	var ok bool
+	if loc&0xff == 0 {
+		ne, ok = tryCompressAdd(compressOne(loc), e)
+	} else {
+		ne, ok = tryCompressAdd(compressOne(e), loc)
+	}
+	if !ok {
+		return false
+	}
+	atomic.StoreUint64(tl.lastSlot, ne)
+	return true
+}
+
+// forEachLocation visits every location recorded in this thread log. Any
+// thread may call it; it tolerates concurrent appends (which may or may not
+// be visited).
+func (tl *ThreadLog) forEachLocation(fn func(loc uint64)) {
+	var scratch [3]uint64
+	visit := func(e uint64) {
+		for _, loc := range decodeEntry(e, scratch[:0]) {
+			fn(loc)
+		}
+	}
+	for i := 0; i < embedEntries; i++ {
+		visit(atomic.LoadUint64(&tl.embed[i]))
+	}
+	for b := tl.blocks.Load(); b != nil; b = b.next.Load() {
+		for i := 0; i < blockEntries; i++ {
+			visit(atomic.LoadUint64(&b.entries[i]))
+		}
+	}
+	if h := tl.hash.Load(); h != nil {
+		h.forEach(fn)
+	}
+}
+
+// ForEachLocation visits every location recorded for meta across all
+// threads.
+func (meta *ObjectMeta) ForEachLocation(fn func(loc uint64)) {
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		tl.forEachLocation(fn)
+	}
+}
+
+// LogThreads returns the number of per-thread logs attached to meta.
+func (meta *ObjectMeta) LogThreads() int {
+	n := 0
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package pointerlog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dangsan/internal/vmem"
+)
+
+// Property: any set of up to three 8-byte-aligned locations in the same
+// 256-byte region with distinct nonzero low bytes (plus at most one
+// zero-low-byte location placed first) packs into one entry and decodes to
+// exactly the same set.
+func TestCompressionRoundTripQuick(t *testing.T) {
+	f := func(block uint32, lsbs [3]uint8) bool {
+		base := (vmem.HeapBase + uint64(block)<<8) &^ 0xff
+		// Force alignment and dedupe.
+		var locs []uint64
+		seen := map[uint64]bool{}
+		for _, l := range lsbs {
+			loc := base | uint64(l&0xf8)
+			if !seen[loc] {
+				seen[loc] = true
+				locs = append(locs, loc)
+			}
+		}
+		// Build the entry the way the logger does: first location seeds it,
+		// later ones join only if their LSB is nonzero.
+		e := compressOne(locs[0])
+		accepted := []uint64{locs[0]}
+		for _, loc := range locs[1:] {
+			if ne, ok := tryCompressAdd(e, loc); ok {
+				e = ne
+				accepted = append(accepted, loc)
+			}
+		}
+		got := decodeEntry(e, nil)
+		if len(got) != len(accepted) {
+			return false
+		}
+		want := map[uint64]bool{}
+		for _, l := range accepted {
+			want[l] = true
+		}
+		for _, l := range got {
+			if !want[l] {
+				return false
+			}
+		}
+		// entryContains agrees with membership for every candidate.
+		for _, l := range locs {
+			inAccepted := false
+			for _, a := range accepted {
+				if a == l {
+					inAccepted = true
+				}
+			}
+			if entryContains(e, l) != inAccepted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a location never decodes out of an entry it wasn't put into —
+// across random pairs of raw entries and probe locations.
+func TestEntryNoFalseContainsQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		locA := (vmem.HeapBase + uint64(a)) &^ 7
+		locB := (vmem.GlobalsBase + uint64(b)) &^ 7
+		if locA == locB {
+			return true
+		}
+		return !entryContains(locA, locB) && !entryContains(compressOne(locA), locB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Register/Invalidate honors the contract for arbitrary
+// object-and-slot layouts: every still-pointing slot gets the invalid bit,
+// every overwritten slot is untouched.
+func TestInvalidateContractQuick(t *testing.T) {
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 4)
+	f := func(offsets [6]uint16, overwrite [6]bool) bool {
+		lg := NewLogger(DefaultConfig())
+		meta, _ := lg.CreateMeta(vmem.HeapBase, 256)
+		type slot struct {
+			loc       uint64
+			val       uint64
+			overwrite bool
+		}
+		var slots []slot
+		seen := map[uint64]bool{}
+		for i, off := range offsets {
+			loc := vmem.GlobalsBase + uint64(off)&^7
+			if seen[loc] {
+				continue
+			}
+			seen[loc] = true
+			val := vmem.HeapBase + uint64(off)%256&^7
+			s := slot{loc: loc, val: val, overwrite: overwrite[i]}
+			as.StoreWord(s.loc, s.val)
+			lg.Register(meta, s.loc, 1)
+			slots = append(slots, s)
+		}
+		for _, s := range slots {
+			if s.overwrite {
+				as.StoreWord(s.loc, 999)
+			}
+		}
+		lg.Invalidate(meta, as)
+		for _, s := range slots {
+			got, _ := as.LoadWord(s.loc)
+			if s.overwrite && got != 999 {
+				return false
+			}
+			if !s.overwrite && got != s.val|InvalidBit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

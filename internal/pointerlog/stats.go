@@ -1,0 +1,67 @@
+package pointerlog
+
+import "sync/atomic"
+
+// Stats mirrors the per-benchmark statistics of the paper's Table 1 plus
+// the memory accounting needed for the overhead experiments. All counters
+// are cumulative and safe for concurrent update.
+type Stats struct {
+	// ObjectsTracked counts CreateMeta calls ("# obj alloc").
+	ObjectsTracked atomic.Uint64
+	// Registered counts Register calls ("# ptrs"): every instrumented
+	// pointer store that resolved to a tracked object.
+	Registered atomic.Uint64
+	// Logged counts locations actually recorded (Registered minus
+	// suppressed duplicates).
+	Logged atomic.Uint64
+	// Duplicates counts stores suppressed by the lookback or the hash
+	// table ("# dup").
+	Duplicates atomic.Uint64
+	// Compressed counts locations folded into an existing entry by pointer
+	// compression.
+	Compressed atomic.Uint64
+	// HashTables counts per-thread logs that overflowed into the
+	// hash-table fallback ("# hashtable").
+	HashTables atomic.Uint64
+	// Invalidated counts pointers overwritten at free time ("# inval").
+	Invalidated atomic.Uint64
+	// Stale counts logged locations that no longer pointed into the object
+	// at free time ("# stale").
+	Stale atomic.Uint64
+	// Faulted counts logged locations whose memory was returned to the OS
+	// (the caught-SIGSEGV path).
+	Faulted atomic.Uint64
+	// LogBytes approximates the memory consumed by thread logs, indirect
+	// blocks and hash tables.
+	LogBytes atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of Stats for reporting.
+type Snapshot struct {
+	ObjectsTracked uint64
+	Registered     uint64
+	Logged         uint64
+	Duplicates     uint64
+	Compressed     uint64
+	HashTables     uint64
+	Invalidated    uint64
+	Stale          uint64
+	Faulted        uint64
+	LogBytes       uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		ObjectsTracked: s.ObjectsTracked.Load(),
+		Registered:     s.Registered.Load(),
+		Logged:         s.Logged.Load(),
+		Duplicates:     s.Duplicates.Load(),
+		Compressed:     s.Compressed.Load(),
+		HashTables:     s.HashTables.Load(),
+		Invalidated:    s.Invalidated.Load(),
+		Stale:          s.Stale.Load(),
+		Faulted:        s.Faulted.Load(),
+		LogBytes:       s.LogBytes.Load(),
+	}
+}

@@ -1,0 +1,474 @@
+// Package proc models a C-like process running over the simulated address
+// space: a shared heap behind the tcmalloc allocator, per-thread stacks, a
+// globals segment, and pointer-aware store/load operations.
+//
+// The runtime plays the role of the instrumented binary in the paper's
+// Figure 1. StorePtr corresponds to a pointer-typed store instruction that
+// the pointer-tracker compiler pass instrumented: the store executes, then
+// the detector's OnPtrStore hook runs (the inserted registerptr call).
+// Malloc/Free/Realloc correspond to the allocator calls the heap tracker
+// hooks. Workloads written directly against this API — or IR programs run
+// by internal/interp — exercise exactly the event stream a DangSan-protected
+// C program generates.
+package proc
+
+import (
+	"fmt"
+	"sync"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/tcmalloc"
+	"dangsan/internal/vmem"
+)
+
+// Process is one simulated process: address space, allocator, detector.
+type Process struct {
+	as    *vmem.AddressSpace
+	alloc *tcmalloc.Allocator
+	det   detectors.Detector
+
+	mu          sync.Mutex
+	nextTID     int32
+	globalsBump uint64
+
+	// memcpyHook, when non-nil, receives every Memcpy (and realloc move)
+	// so the detector can re-register copied pointers (§7 extension).
+	memcpyHook detectors.MemcpyHooker
+	// zeroOnFree wipes object contents before release (secure
+	// deallocation, the mitigation the paper cites for partial
+	// type-unsafe reuse).
+	zeroOnFree bool
+	// tracer, when set, receives every traced operation (see trace.go).
+	tracer TraceSink
+
+	// Quarantine state (see EnableQuarantine).
+	quarantineLimit uint64
+	quarantineMu    sync.Mutex
+	quarantine      []quarantined
+	quarantineSet   map[uint64]bool
+	quarantineBytes uint64
+}
+
+// quarantined is one object parked in the free quarantine.
+type quarantined struct {
+	base uint64
+	size uint64
+}
+
+// New creates a process protected by the given detector (use
+// detectors.None{} for the uninstrumented baseline).
+func New(det detectors.Detector) *Process {
+	as := vmem.New()
+	if b, ok := det.(detectors.Binder); ok {
+		b.Bind(as)
+	}
+	return &Process{
+		as:          as,
+		alloc:       tcmalloc.New(as.Heap()),
+		det:         det,
+		globalsBump: vmem.GlobalsBase,
+	}
+}
+
+// EnableMemcpyHook turns on pointer re-registration on Memcpy and realloc
+// moves, if the detector supports it (detectors.MemcpyHooker). It reports
+// whether the hook is active.
+func (p *Process) EnableMemcpyHook() bool {
+	if h, ok := p.det.(detectors.MemcpyHooker); ok {
+		p.memcpyHook = h
+		return true
+	}
+	return false
+}
+
+// EnableZeroOnFree turns on secure deallocation: freed objects are wiped
+// before their memory is released.
+func (p *Process) EnableZeroOnFree() { p.zeroOnFree = true }
+
+// EnableQuarantine turns the process into a secure-allocator configuration
+// (the defense class of the paper's §9: DieHard(er), Cling, ASan): freed
+// objects are parked in a FIFO quarantine and only really released once the
+// quarantine exceeds the byte limit, delaying memory reuse. The paper's §1
+// point — and the HeapSpray exploit workload — is that an attacker defeats
+// this by spraying allocations until the victim chunk is flushed out and
+// reused.
+func (p *Process) EnableQuarantine(limitBytes uint64) {
+	p.quarantineLimit = limitBytes
+	p.quarantineSet = make(map[uint64]bool)
+}
+
+// QuarantinedBytes reports the bytes currently parked in quarantine.
+func (p *Process) QuarantinedBytes() uint64 {
+	p.quarantineMu.Lock()
+	defer p.quarantineMu.Unlock()
+	return p.quarantineBytes
+}
+
+// enqueueQuarantine parks an object and returns any objects that must now
+// really be freed to respect the limit.
+func (p *Process) enqueueQuarantine(base, size uint64) ([]quarantined, error) {
+	p.quarantineMu.Lock()
+	defer p.quarantineMu.Unlock()
+	if p.quarantineSet[base] {
+		// Double free caught while the object sits in quarantine — the
+		// immediate detection ASan's quarantine provides.
+		return nil, &tcmalloc.DoubleFreeError{Addr: base}
+	}
+	p.quarantineSet[base] = true
+	p.quarantine = append(p.quarantine, quarantined{base: base, size: size})
+	p.quarantineBytes += size
+	var evict []quarantined
+	for p.quarantineBytes > p.quarantineLimit && len(p.quarantine) > 0 {
+		q := p.quarantine[0]
+		p.quarantine = p.quarantine[1:]
+		p.quarantineBytes -= q.size
+		delete(p.quarantineSet, q.base)
+		evict = append(evict, q)
+	}
+	return evict, nil
+}
+
+// FlushQuarantine releases every quarantined object immediately (process
+// teardown, tests).
+func (th *Thread) FlushQuarantine() error {
+	p := th.proc
+	p.quarantineMu.Lock()
+	pending := p.quarantine
+	p.quarantine = nil
+	p.quarantineSet = make(map[uint64]bool)
+	p.quarantineBytes = 0
+	p.quarantineMu.Unlock()
+	for _, q := range pending {
+		if err := th.tc.Free(q.base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddressSpace exposes the process's simulated memory.
+func (p *Process) AddressSpace() *vmem.AddressSpace { return p.as }
+
+// Allocator exposes the process's allocator (read-mostly: stats, usable
+// size).
+func (p *Process) Allocator() *tcmalloc.Allocator { return p.alloc }
+
+// Detector returns the detector protecting this process.
+func (p *Process) Detector() detectors.Detector { return p.det }
+
+// AllocGlobal carves n bytes (8-byte aligned) out of the globals segment,
+// modelling a global variable. It never fails until the segment is full.
+func (p *Process) AllocGlobal(n uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr := (p.globalsBump + 7) &^ 7
+	if addr+n > vmem.GlobalsBase+vmem.GlobalsSize {
+		panic("proc: globals segment exhausted")
+	}
+	p.globalsBump = addr + n
+	p.emit(TraceGlobal, -1, n, addr, 0)
+	return addr
+}
+
+// GlobalsUsed returns the allocated extent of the globals segment, for
+// root scanning by the conservative collector (internal/gc).
+func (p *Process) GlobalsUsed() (base, end uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return vmem.GlobalsBase, p.globalsBump
+}
+
+// StackUsed returns the live extent of this thread's stack, for root
+// scanning by the conservative collector.
+func (th *Thread) StackUsed() (base, end uint64) {
+	return th.stackBase, th.stackBump
+}
+
+// MemoryFootprint reports the process's simulated resident memory plus the
+// detector's metadata, the quantity the paper's memory-overhead figures
+// compare ("mean/max RSS").
+func (p *Process) MemoryFootprint() uint64 {
+	return p.as.MappedBytes() + p.det.MetadataBytes()
+}
+
+// Thread is one simulated thread. Create with NewThread; each Thread must
+// be used by a single goroutine. Thread IDs are dense and start at 0.
+type Thread struct {
+	proc      *Process
+	id        int32
+	tc        *tcmalloc.ThreadCache
+	stackBase uint64
+	stackEnd  uint64
+	stackBump uint64
+	// stackMapped is the end of the currently mapped stack prefix; pages
+	// fault in lazily as Alloca grows past it.
+	stackMapped uint64
+	// noTrace suppresses event emission for operations nested inside a
+	// compound traced operation (realloc's internal malloc/copy/free).
+	noTrace bool
+}
+
+// emit reports a thread-scoped event unless suppressed.
+func (th *Thread) emit(kind uint8, a, b, c uint64) {
+	if !th.noTrace {
+		th.proc.emit(kind, th.id, a, b, c)
+	}
+}
+
+// NewThread registers a new thread: a thread id, an allocator cache and a
+// lazily-growing stack.
+func (p *Process) NewThread() *Thread {
+	p.mu.Lock()
+	id := p.nextTID
+	p.nextTID++
+	// Emit inside the lock so replay creates threads in id order.
+	p.emit(TraceThreadStart, id, 0, 0, 0)
+	p.mu.Unlock()
+	base, top := p.as.StackRange(int(id))
+	const initialPages = 4
+	p.as.Stacks().MapPages(base, initialPages)
+	return &Thread{
+		proc:        p,
+		id:          id,
+		tc:          p.alloc.NewThreadCache(),
+		stackBase:   base,
+		stackEnd:    top,
+		stackBump:   base,
+		stackMapped: base + initialPages*vmem.PageSize,
+	}
+}
+
+// Exit releases the thread's allocator cache and unmaps its stack. The
+// Thread must not be used afterwards.
+func (th *Thread) Exit() {
+	th.tc.Flush()
+	th.proc.as.UnmapStack(int(th.id))
+	th.proc.emit(TraceThreadExit, th.id, 0, 0, 0)
+}
+
+// ID returns the thread id.
+func (th *Thread) ID() int32 { return th.id }
+
+// Process returns the owning process.
+func (th *Thread) Process() *Process { return th.proc }
+
+// Alloca reserves n bytes (8-byte aligned) of this thread's stack,
+// modelling stack variables. The reservation lives until FreeStack.
+func (th *Thread) Alloca(n uint64) uint64 {
+	addr := (th.stackBump + 7) &^ 7
+	if addr+n > th.stackEnd {
+		panic(fmt.Sprintf("proc: thread %d stack overflow", th.id))
+	}
+	th.emit(TraceAlloca, n, addr, 0)
+	th.stackBump = addr + n
+	if th.stackBump > th.stackMapped {
+		grow := (th.stackBump - th.stackMapped + vmem.PageSize - 1) / vmem.PageSize
+		th.proc.as.Stacks().MapPages(th.stackMapped, int(grow))
+		th.stackMapped += grow * vmem.PageSize
+	}
+	return addr
+}
+
+// StackMark returns the current stack height, for use with FreeStack.
+func (th *Thread) StackMark() uint64 {
+	th.emit(TraceStackMark, th.stackBump, 0, 0)
+	return th.stackBump
+}
+
+// FreeStack pops the stack back to a mark returned by StackMark, modelling
+// function return.
+func (th *Thread) FreeStack(mark uint64) {
+	th.emit(TraceFreeStack, mark, 0, 0)
+	th.stackBump = mark
+}
+
+// Malloc allocates size bytes (plus the detector's pad) and notifies the
+// detector. The returned address is the object base.
+func (th *Thread) Malloc(size uint64) (uint64, error) {
+	p := th.proc
+	base, err := th.tc.Malloc(size + p.det.AllocPad())
+	if err != nil {
+		return 0, err
+	}
+	usable, _ := p.alloc.UsableSize(base)
+	align, _ := p.alloc.PageAlignOf(base)
+	p.det.OnAlloc(base, usable, align)
+	th.emit(TraceMalloc, size, base, 0)
+	return base, nil
+}
+
+// Free releases the object at ptr. The detector's OnFree hook — where
+// DangSan invalidates dangling pointers — runs before the memory is
+// released, exactly as the paper's free interposition does. Invalid
+// pointers (including invalidated, non-canonical ones) produce the
+// allocator's "attempt to free invalid pointer" error without invoking the
+// detector.
+func (th *Thread) Free(ptr uint64) error {
+	p := th.proc
+	usable, ok := p.alloc.UsableSize(ptr)
+	if !ok {
+		// Let the allocator classify the failure (invalid vs double free).
+		return th.tc.Free(ptr)
+	}
+	align, _ := p.alloc.PageAlignOf(ptr)
+	p.det.OnFree(ptr, usable, align)
+	if p.zeroOnFree {
+		if f := p.as.Memset(ptr, 0, usable); f != nil {
+			panic(f) // the object is live and mapped; cannot happen
+		}
+	}
+	if p.quarantineLimit > 0 {
+		// Secure-allocator mode: park the object; release evicted ones.
+		// The logical free already happened (detector notified, optional
+		// zeroing done); only memory reuse is delayed.
+		evict, err := p.enqueueQuarantine(ptr, usable)
+		if err != nil {
+			return err
+		}
+		for _, q := range evict {
+			if err := th.tc.Free(q.base); err != nil {
+				return err
+			}
+		}
+		th.emit(TraceFree, ptr, 0, 0)
+		return nil
+	}
+	err := th.tc.Free(ptr)
+	if err == nil {
+		th.emit(TraceFree, ptr, 0, 0)
+	}
+	return err
+}
+
+// Calloc allocates zeroed memory for count objects of the given size,
+// checking for multiplication overflow like the C calloc.
+func (th *Thread) Calloc(count, size uint64) (uint64, error) {
+	if size != 0 && count > ^uint64(0)/size {
+		return 0, fmt.Errorf("proc: calloc(%d, %d) overflows", count, size)
+	}
+	total := count * size
+	base, err := th.Malloc(total)
+	if err != nil {
+		return 0, err
+	}
+	if f := th.proc.as.Memset(base, 0, total); f != nil {
+		panic(f)
+	}
+	return base, nil
+}
+
+// Memcpy copies n bytes within the simulated space, modelling the C memcpy
+// the paper's §7 discusses: by default the copy is type-unsafe and copied
+// pointers lose their tracking; with EnableMemcpyHook the detector rescans
+// the destination and re-registers them.
+func (th *Thread) Memcpy(dst, src, n uint64) *vmem.Fault {
+	if f := th.proc.as.Memmove(dst, src, n); f != nil {
+		return f
+	}
+	if th.proc.memcpyHook != nil {
+		th.proc.memcpyHook.OnMemcpy(dst, src, n, th.id)
+	}
+	th.emit(TraceMemcpy, dst, src, n)
+	return nil
+}
+
+// Realloc resizes the object at ptr, dispatching the three cases of the
+// paper's §4.2: unchanged, resized in place (detector refreshes its
+// mapping), or moved (malloc of the new object, byte copy, free of the old
+// — with the detector seeing the alloc and the free, including pointer
+// invalidation for the old object).
+func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
+	p := th.proc
+	if ptr == 0 {
+		return th.Malloc(size)
+	}
+	oldUsable, ok := p.alloc.UsableSize(ptr)
+	if !ok {
+		return 0, th.tc.Free(ptr) // surfaces the allocator's error
+	}
+	padded := size + p.det.AllocPad()
+	kind, err, inPlace := th.tc.TryResizeInPlace(ptr, padded)
+	if err != nil {
+		return 0, err
+	}
+	if inPlace {
+		if kind == tcmalloc.ReallocInPlace {
+			newUsable, _ := p.alloc.UsableSize(ptr)
+			align, _ := p.alloc.PageAlignOf(ptr)
+			p.det.OnReallocInPlace(ptr, oldUsable, newUsable, align)
+		}
+		th.emit(TraceRealloc, ptr, size, ptr)
+		return ptr, nil
+	}
+	// Move: malloc + copy + free, each visible to the detector. The copy
+	// is type-unsafe (memcpy): pointers inside the buffer are copied
+	// without re-registration, the known limitation of §7 shared with
+	// FreeSentry and DangNULL. The trace records the move as one event.
+	suppressed := th.noTrace
+	th.noTrace = true
+	defer func() { th.noTrace = suppressed }()
+	newPtr, err := th.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	n := oldUsable
+	if padded < n {
+		n = padded
+	}
+	newUsable, _ := p.alloc.UsableSize(newPtr)
+	if newUsable < n {
+		n = newUsable
+	}
+	if f := p.as.Memmove(newPtr, ptr, n); f != nil {
+		panic(f) // both objects are live and mapped; cannot happen
+	}
+	if p.memcpyHook != nil {
+		p.memcpyHook.OnMemcpy(newPtr, ptr, n, th.id)
+	}
+	if err := th.Free(ptr); err != nil {
+		return 0, err
+	}
+	th.noTrace = suppressed
+	th.emit(TraceRealloc, ptr, size, newPtr)
+	return newPtr, nil
+}
+
+// StorePtr stores a pointer-typed value and notifies the detector — the
+// instrumented store. The detector hook runs after the store so that a
+// concurrent free observes either an unlogged old value or the logged new
+// one, both reconciled at invalidation time.
+func (th *Thread) StorePtr(loc, val uint64) *vmem.Fault {
+	if f := th.proc.as.StoreWord(loc, val); f != nil {
+		return f
+	}
+	th.proc.det.OnPtrStore(loc, val, th.id)
+	th.emit(TraceStorePtr, loc, val, 0)
+	return nil
+}
+
+// StoreInt stores a non-pointer word; no instrumentation (the compiler pass
+// only instruments pointer-typed stores).
+func (th *Thread) StoreInt(loc, val uint64) *vmem.Fault {
+	if f := th.proc.as.StoreWord(loc, val); f != nil {
+		return f
+	}
+	th.emit(TraceStoreInt, loc, val, 0)
+	return nil
+}
+
+// Load reads a word.
+func (th *Thread) Load(loc uint64) (uint64, *vmem.Fault) {
+	return th.proc.as.LoadWord(loc)
+}
+
+// Deref loads the pointer stored at loc and then reads the word it points
+// to — the canonical use-after-free instruction. If the pointer was
+// invalidated, the second access faults with a non-canonical address that
+// still reveals the original pointer bits.
+func (th *Thread) Deref(loc uint64) (uint64, *vmem.Fault) {
+	ptr, f := th.proc.as.LoadWord(loc)
+	if f != nil {
+		return 0, f
+	}
+	return th.proc.as.LoadWord(ptr)
+}

@@ -1,0 +1,60 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestModelEquivalenceQuick drives the tree and a map model with the same
+// random operation tape and checks they always agree — the model-based
+// property test for the DangNULL substrate.
+func TestModelEquivalenceQuick(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		model := map[uint64]uint64{} // base -> end
+		for _, op := range opsRaw {
+			base := uint64(rng.Intn(1<<12) * 16)
+			switch op % 3 {
+			case 0: // insert
+				end := base + uint64(rng.Intn(15)+1)
+				tr.Insert(base, end, end)
+				model[base] = end
+			case 1: // delete
+				okTree := tr.Delete(base)
+				_, okModel := model[base]
+				if okTree != okModel {
+					return false
+				}
+				delete(model, base)
+			case 2: // lookup containing a probe address
+				probe := base + uint64(rng.Intn(20))
+				v, ok := tr.LookupContaining(probe)
+				// Model answer: greatest base <= probe with probe < end.
+				var wantOK bool
+				var wantEnd uint64
+				var bestBase uint64
+				for b, e := range model {
+					if b <= probe && probe < e && (!wantOK || b > bestBase) {
+						wantOK, bestBase, wantEnd = true, b, e
+					}
+				}
+				if ok != wantOK {
+					return false
+				}
+				if ok && v.(uint64) != wantEnd {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return tr.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

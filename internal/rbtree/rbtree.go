@@ -1,0 +1,275 @@
+// Package rbtree implements a left-leaning red-black tree keyed by address
+// ranges. It is the object-lookup substrate for the DangNULL baseline
+// (internal/detectors/dangnull): DangNULL maps pointer values to objects
+// with a balanced tree, whose O(log n) lookups degrade as the number of
+// live objects grows — the design point the paper's §4.3 argues against and
+// the mapper ablation benchmark quantifies.
+//
+// Ranges never overlap (they are live heap objects), so the tree is keyed
+// by range base; a containing-range query finds the greatest base <= addr
+// and checks the range end.
+package rbtree
+
+// Value is the payload associated with a range.
+type Value interface{}
+
+const (
+	red   = true
+	black = false
+)
+
+type node struct {
+	base, end   uint64 // [base, end)
+	value       Value
+	left, right *node
+	color       bool
+}
+
+// Tree is a left-leaning red-black interval tree. Not safe for concurrent
+// use; DangNULL serializes access with its global lock.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of ranges in the tree.
+func (t *Tree) Len() int { return t.size }
+
+func isRed(n *node) bool { return n != nil && n.color == red }
+
+func rotateLeft(h *node) *node {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func rotateRight(h *node) *node {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func flipColors(h *node) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+func fixUp(h *node) *node {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Insert adds the range [base, end) with the given value. Inserting a range
+// with an existing base replaces its value and end.
+func (t *Tree) Insert(base, end uint64, v Value) {
+	if end <= base {
+		panic("rbtree: empty range")
+	}
+	var grew bool
+	t.root, grew = t.insert(t.root, base, end, v)
+	t.root.color = black
+	if grew {
+		t.size++
+	}
+}
+
+func (t *Tree) insert(h *node, base, end uint64, v Value) (*node, bool) {
+	if h == nil {
+		return &node{base: base, end: end, value: v, color: red}, true
+	}
+	var grew bool
+	switch {
+	case base < h.base:
+		h.left, grew = t.insert(h.left, base, end, v)
+	case base > h.base:
+		h.right, grew = t.insert(h.right, base, end, v)
+	default:
+		h.end, h.value = end, v
+	}
+	return fixUp(h), grew
+}
+
+// LookupContaining returns the value of the range containing addr.
+func (t *Tree) LookupContaining(addr uint64) (Value, bool) {
+	n := t.root
+	var candidate *node
+	for n != nil {
+		if addr < n.base {
+			n = n.left
+		} else {
+			candidate = n
+			n = n.right
+		}
+	}
+	if candidate != nil && addr < candidate.end {
+		return candidate.value, true
+	}
+	return nil, false
+}
+
+// Get returns the value of the range whose base is exactly base.
+func (t *Tree) Get(base uint64) (Value, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case base < n.base:
+			n = n.left
+		case base > n.base:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the range whose base is exactly base, reporting whether it
+// existed.
+func (t *Tree) Delete(base uint64) bool {
+	if _, ok := t.Get(base); !ok {
+		return false
+	}
+	t.root = t.delete(t.root, base)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return true
+}
+
+func moveRedLeft(h *node) *node {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *node) *node {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode(h *node) *node {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func (t *Tree) deleteMin(h *node) *node {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = t.deleteMin(h.left)
+	return fixUp(h)
+}
+
+func (t *Tree) delete(h *node, base uint64) *node {
+	if base < h.base {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, base)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if base == h.base && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if base == h.base {
+			m := minNode(h.right)
+			h.base, h.end, h.value = m.base, m.end, m.value
+			h.right = t.deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, base)
+		}
+	}
+	return fixUp(h)
+}
+
+// Walk visits every range in base order.
+func (t *Tree) Walk(fn func(base, end uint64, v Value) bool) {
+	walk(t.root, fn)
+}
+
+func walk(n *node, fn func(base, end uint64, v Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.base, n.end, n.value) {
+		return false
+	}
+	return walk(n.right, fn)
+}
+
+// CheckInvariants verifies red-black and BST invariants; used by tests.
+func (t *Tree) CheckInvariants() error {
+	_, err := check(t.root, 0, ^uint64(0))
+	return err
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+func check(n *node, lo, hi uint64) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.base < lo || n.base > hi {
+		return 0, invariantError("BST order violated")
+	}
+	if isRed(n.right) {
+		return 0, invariantError("right-leaning red link")
+	}
+	if isRed(n) && isRed(n.left) {
+		return 0, invariantError("consecutive red links")
+	}
+	lh, err := check(n.left, lo, n.base)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right, n.base, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, invariantError("black height mismatch")
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh, nil
+}

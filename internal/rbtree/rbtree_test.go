@@ -1,0 +1,178 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertLookup(t *testing.T) {
+	var tr Tree
+	tr.Insert(100, 200, "a")
+	tr.Insert(300, 350, "b")
+	tr.Insert(0, 50, "c")
+
+	cases := []struct {
+		addr uint64
+		want string
+		ok   bool
+	}{
+		{100, "a", true},
+		{199, "a", true},
+		{200, "", false},
+		{99, "", false},
+		{300, "b", true},
+		{349, "b", true},
+		{25, "c", true},
+		{50, "", false},
+		{1000, "", false},
+	}
+	for _, c := range cases {
+		v, ok := tr.LookupContaining(c.addr)
+		if ok != c.ok || (ok && v.(string) != c.want) {
+			t.Errorf("LookupContaining(%d) = %v, %v; want %q, %v", c.addr, v, ok, c.want, c.ok)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	var tr Tree
+	tr.Insert(10, 20, 1)
+	tr.Insert(10, 30, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	v, ok := tr.LookupContaining(25)
+	if !ok || v.(int) != 2 {
+		t.Fatalf("lookup in extended range: %v, %v", v, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	tr.Insert(10, 20, "x")
+	tr.Insert(30, 40, "y")
+	if !tr.Delete(10) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(10) {
+		t.Fatal("second delete succeeded")
+	}
+	if _, ok := tr.LookupContaining(15); ok {
+		t.Fatal("deleted range still found")
+	}
+	if v, ok := tr.LookupContaining(35); !ok || v.(string) != "y" {
+		t.Fatal("surviving range lost")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteEmptyAndMissing(t *testing.T) {
+	var tr Tree
+	if tr.Delete(5) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+	tr.Insert(10, 20, nil)
+	if tr.Delete(15) {
+		t.Fatal("delete of non-base address succeeded")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	var tr Tree
+	bases := []uint64{50, 10, 90, 30, 70}
+	for _, b := range bases {
+		tr.Insert(b, b+5, b)
+	}
+	var got []uint64
+	tr.Walk(func(base, end uint64, v Value) bool {
+		got = append(got, base)
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("walk out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("walked %d nodes", len(got))
+	}
+	// Early termination.
+	count := 0
+	tr.Walk(func(base, end uint64, v Value) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRandomOpsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tr Tree
+	ref := make(map[uint64]uint64) // base -> end
+	for i := 0; i < 5000; i++ {
+		if len(ref) > 0 && rng.Intn(3) == 0 {
+			// Delete a random existing base.
+			for base := range ref {
+				if !tr.Delete(base) {
+					t.Fatalf("delete of existing base %d failed", base)
+				}
+				delete(ref, base)
+				break
+			}
+		} else {
+			base := uint64(rng.Intn(1 << 20))
+			end := base + uint64(rng.Intn(64)+1)
+			tr.Insert(base, end, base)
+			ref[base] = end
+		}
+		if i%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	// Every stored base must resolve.
+	for base, end := range ref {
+		v, ok := tr.LookupContaining(base)
+		if !ok || v.(uint64) != base {
+			t.Fatalf("lost range [%d,%d)", base, end)
+		}
+	}
+}
+
+func TestEmptyRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range accepted")
+		}
+	}()
+	var tr Tree
+	tr.Insert(10, 10, nil)
+}
+
+func BenchmarkLookup1e5(b *testing.B) {
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		base := uint64(i) * 64
+		tr.Insert(base, base+48, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.LookupContaining(uint64(i%100000)*64 + 10); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package shadow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dangsan/internal/vmem"
+)
+
+// FixedTable is the design alternative the paper's §4.3 rejects: a
+// traditional constant-compression-ratio shadow memory in the style of
+// AddressSanitizer, with one metadata word per MinAlign (8) program bytes
+// so that a full pointer fits (the paper: "DangSan requires a full pointer
+// ... as a consequence, constant compression ratio approaches incur
+// unacceptable overhead").
+//
+// Lookups need a single read (one fewer than the metapagetable), but the
+// costs are exactly the two the paper names:
+//
+//   - metadata space is proportional to program bytes at the worst-case
+//     8:8 ratio — a 1 MiB object carries 1 MiB of shadow;
+//   - creating a large object must initialize a proportionally large
+//     shadow range, making large mallocs O(size) instead of O(pages).
+//
+// It exists for the mapper ablation; DangSan proper uses Table.
+type FixedTable struct {
+	heapBase uint64
+	mu       sync.Mutex
+	// chunks lazily back the shadow, one chunk per fixedChunkCover bytes
+	// of program memory.
+	chunks []atomic.Pointer[fixedChunk]
+	nChunk atomic.Uint64 // allocated chunk count, for Bytes()
+}
+
+const (
+	// fixedRatio is the program-bytes-per-metadata-word granularity.
+	fixedRatio = 8
+	// fixedChunkWords is the size of one backing chunk in metadata words
+	// (8 KiB of shadow covering 64 KiB of program memory — lazily backed
+	// at fine granularity, as mmap'd ASan shadow would be).
+	fixedChunkWords = 1 << 13
+	// fixedChunkCover is the program bytes covered by one chunk.
+	fixedChunkCover = fixedChunkWords * fixedRatio
+)
+
+type fixedChunk struct {
+	words [fixedChunkWords]uint64
+}
+
+// NewFixedTable creates a constant-ratio shadow for the heap reservation.
+func NewFixedTable() *FixedTable {
+	return &FixedTable{
+		heapBase: vmem.HeapBase,
+		chunks:   make([]atomic.Pointer[fixedChunk], (vmem.HeapMax+fixedChunkCover-1)/fixedChunkCover),
+	}
+}
+
+func (t *FixedTable) chunkFor(off uint64, ensure bool) *fixedChunk {
+	ci := off / fixedChunkCover
+	c := t.chunks[ci].Load()
+	if c == nil && ensure {
+		fresh := new(fixedChunk)
+		if t.chunks[ci].CompareAndSwap(nil, fresh) {
+			t.nChunk.Add(1)
+			c = fresh
+		} else {
+			c = t.chunks[ci].Load()
+		}
+	}
+	return c
+}
+
+// CreateObject writes meta into every slot covering [base, base+size) —
+// size/8 atomic stores, the O(size) initialization cost.
+func (t *FixedTable) CreateObject(base, size uint64, meta uint64) {
+	if base%fixedRatio != 0 {
+		panic(fmt.Sprintf("shadow: fixed table requires 8-byte alignment, got 0x%x", base))
+	}
+	if base < t.heapBase || base+size > t.heapBase+vmem.HeapMax {
+		panic("shadow: object outside heap")
+	}
+	for off := base - t.heapBase; off < base-t.heapBase+size; off += fixedRatio {
+		c := t.chunkFor(off, true)
+		atomic.StoreUint64(&c.words[off/fixedRatio%fixedChunkWords], meta)
+	}
+}
+
+// ClearObject zeroes the object's slots.
+func (t *FixedTable) ClearObject(base, size uint64) {
+	t.CreateObject(base, size, 0)
+}
+
+// Lookup returns the metadata word for ptr with a single dependent read.
+func (t *FixedTable) Lookup(ptr uint64) uint64 {
+	if ptr < t.heapBase || ptr >= t.heapBase+vmem.HeapMax {
+		return 0
+	}
+	off := ptr - t.heapBase
+	c := t.chunkFor(off, false)
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&c.words[off/fixedRatio%fixedChunkWords])
+}
+
+// Bytes reports the shadow's memory footprint: the allocated chunks plus
+// the (lazily backed) chunk directory.
+func (t *FixedTable) Bytes() uint64 {
+	return t.nChunk.Load()*fixedChunkWords*8 + uint64(len(t.chunks))*8
+}

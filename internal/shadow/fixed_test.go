@@ -1,0 +1,84 @@
+package shadow
+
+import (
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+func TestFixedCreateLookup(t *testing.T) {
+	ft := NewFixedTable()
+	base := uint64(vmem.HeapBase + 64)
+	ft.CreateObject(base, 48, 7)
+	for off := uint64(0); off < 48; off++ {
+		if got := ft.Lookup(base + off); got != 7 {
+			t.Fatalf("Lookup(+%d) = %d", off, got)
+		}
+	}
+	if ft.Lookup(base-8) != 0 || ft.Lookup(base+48) != 0 {
+		t.Fatal("metadata bleeds outside the object")
+	}
+	ft.ClearObject(base, 48)
+	if ft.Lookup(base) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestFixedLookupNonHeap(t *testing.T) {
+	ft := NewFixedTable()
+	for _, a := range []uint64{0, vmem.GlobalsBase, vmem.HeapBase - 8, vmem.HeapBase + vmem.HeapMax} {
+		if ft.Lookup(a) != 0 {
+			t.Fatalf("Lookup(0x%x) != 0", a)
+		}
+	}
+}
+
+// The §4.3 cost argument, as a measurement: for a large object the
+// constant-ratio shadow consumes memory proportional to the object, while
+// the variable-ratio metapagetable needs one word per page.
+func TestFixedVsVariableLargeObjectCost(t *testing.T) {
+	const size = 4 << 20 // 4 MiB object
+	base := uint64(vmem.HeapBase)
+
+	ft := NewFixedTable()
+	before := ft.Bytes()
+	ft.CreateObject(base, size, 1)
+	fixedCost := ft.Bytes() - before
+
+	vt := NewTable()
+	beforeV := vt.Bytes()
+	vt.CreateObject(base, size, vmem.PageSize, 1)
+	variableCost := vt.Bytes() - beforeV
+
+	if fixedCost < size {
+		t.Fatalf("fixed shadow cost %d for a %d-byte object; expected ~1:1", fixedCost, size)
+	}
+	if variableCost*64 > fixedCost {
+		t.Fatalf("variable-ratio cost %d not dramatically below fixed %d", variableCost, fixedCost)
+	}
+}
+
+func BenchmarkFixedCreateLarge(b *testing.B) {
+	ft := NewFixedTable()
+	for i := 0; i < b.N; i++ {
+		ft.CreateObject(vmem.HeapBase, 1<<20, uint64(i+1))
+	}
+}
+
+func BenchmarkVariableCreateLarge(b *testing.B) {
+	vt := NewTable()
+	for i := 0; i < b.N; i++ {
+		vt.CreateObject(vmem.HeapBase, 1<<20, vmem.PageSize, uint64(i+1))
+	}
+}
+
+func BenchmarkFixedLookup(b *testing.B) {
+	ft := NewFixedTable()
+	ft.CreateObject(vmem.HeapBase, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ft.Lookup(vmem.HeapBase+uint64(i)%(1<<16)) == 0 {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package shadow implements DangSan's pointer-to-object mapper: a variable
+// compression ratio shadow memory ("metapagetable") in the style of METAlloc.
+//
+// Every 4 KiB heap page has one packed 8-byte entry: 56 bits locating the
+// page's metadata array plus 8 bits of compression shift (paper Fig. 5 —
+// "seven bytes specify a pointer to an array of metadata ... the eighth byte
+// specifies the compression ratio"). Looking up the metadata word for an
+// arbitrary pointer is constant time:
+//
+//	entry := table[(ptr - heapBase) >> 12]
+//	meta  := arena[entry.index + (ptr&4095)>>entry.shift]
+//
+// Because the allocator guarantees that all objects in a page share one
+// power-of-two alignment, an object covers a whole number of metadata slots;
+// the object's metadata word is duplicated across all of them, which is what
+// makes interior pointers (range queries) work — the property hash tables
+// lack and trees pay O(log n) for (paper §4.3).
+package shadow
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"dangsan/internal/vmem"
+)
+
+const (
+	// leafBits is the size of one metapagetable leaf in entries. The table
+	// itself is lazily backed, so reserving entries for the whole 64 GiB
+	// heap costs nothing until pages are used.
+	leafBits = 12
+	leafSize = 1 << leafBits
+
+	// arenaSlabBits is the size of one metadata-arena slab in words.
+	arenaSlabBits = 18
+	arenaSlabSize = 1 << arenaSlabBits
+
+	// shiftBits is how many low bits of a table entry hold the shift.
+	shiftBits = 8
+)
+
+// MinShift and MaxShift bound the per-page compression shift: alignment runs
+// from 8 bytes (smallest size class) to a full page (large spans).
+const (
+	MinShift = 3
+	MaxShift = vmem.PageShift
+)
+
+type leaf struct {
+	entries [leafSize]atomic.Uint64
+}
+
+// arena is an append-only store of metadata words. Indices are stable, and
+// arrays are recycled through per-size free lists when a page is
+// re-initialized for a different size class.
+type arena struct {
+	mu    sync.Mutex
+	slabs [][]uint64
+	next  uint64 // next free index; index 0 is reserved as "no metadata"
+	// freeBySlots[s] holds start indices of released arrays of 1<<s slots.
+	freeBySlots [MaxShift - MinShift + 1][]uint64
+}
+
+func newArena() *arena {
+	a := &arena{}
+	a.slabs = append(a.slabs, make([]uint64, arenaSlabSize))
+	a.next = 1 // burn index 0
+	return a
+}
+
+// allocArray returns the start index of a zeroed array of n words (n a power
+// of two). Never returns 0.
+func (a *arena) allocArray(n uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if list := &a.freeBySlots[sizeIdxFor(n)]; len(*list) > 0 {
+		idx := (*list)[len(*list)-1]
+		*list = (*list)[:len(*list)-1]
+		// Zero the recycled array.
+		for i := uint64(0); i < n; i++ {
+			atomic.StoreUint64(a.wordAt(idx+i), 0)
+		}
+		return idx
+	}
+	// Keep arrays inside a single slab so wordAt stays simple.
+	slabOff := a.next % arenaSlabSize
+	if slabOff+n > arenaSlabSize {
+		a.next += arenaSlabSize - slabOff
+	}
+	if a.next+n > uint64(len(a.slabs))*arenaSlabSize {
+		a.slabs = append(a.slabs, make([]uint64, arenaSlabSize))
+	}
+	idx := a.next
+	a.next += n
+	return idx
+}
+
+// freeArray recycles an array for reuse.
+func (a *arena) freeArray(idx, n uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	list := &a.freeBySlots[sizeIdxFor(n)]
+	*list = append(*list, idx)
+}
+
+func sizeIdxFor(n uint64) int {
+	// n slots = 1<<(PageShift-shift); map to 0..MaxShift-MinShift.
+	return bits.TrailingZeros64(n)
+}
+
+// wordAt returns the address of arena word i.
+func (a *arena) wordAt(i uint64) *uint64 {
+	return &a.slabs[i>>arenaSlabBits][i&(arenaSlabSize-1)]
+}
+
+// load atomically reads arena word i (lock-free fast path: slab slices are
+// never moved once created, and slabs only grows under the mutex — readers
+// racing with append may briefly miss the newest slab, but indices they hold
+// always predate it).
+func (a *arena) load(i uint64) uint64 {
+	return atomic.LoadUint64(a.wordAt(i))
+}
+
+func (a *arena) store(i, v uint64) {
+	atomic.StoreUint64(a.wordAt(i), v)
+}
+
+// bytes reports memory consumed by the arena.
+func (a *arena) bytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(len(a.slabs)) * arenaSlabSize * 8
+}
+
+// Table is the metapagetable for the heap segment.
+type Table struct {
+	heapBase uint64
+	roots    []atomic.Pointer[leaf]
+	arena    *arena
+	leaves   atomic.Uint64 // allocated leaf count, for memory accounting
+}
+
+// NewTable creates a metapagetable covering the standard heap reservation.
+func NewTable() *Table {
+	nPages := uint64(vmem.HeapMax) >> vmem.PageShift
+	return &Table{
+		heapBase: vmem.HeapBase,
+		roots:    make([]atomic.Pointer[leaf], (nPages+leafSize-1)/leafSize),
+		arena:    newArena(),
+	}
+}
+
+// pageIndex maps a heap address to its page number; ok is false outside the
+// heap.
+func (t *Table) pageIndex(addr uint64) (uint64, bool) {
+	if addr < t.heapBase || addr >= t.heapBase+vmem.HeapMax {
+		return 0, false
+	}
+	return (addr - t.heapBase) >> vmem.PageShift, true
+}
+
+func (t *Table) leafFor(pi uint64, ensure bool) *leaf {
+	ri := pi >> leafBits
+	l := t.roots[ri].Load()
+	if l == nil && ensure {
+		fresh := new(leaf)
+		if t.roots[ri].CompareAndSwap(nil, fresh) {
+			t.leaves.Add(1)
+			l = fresh
+		} else {
+			l = t.roots[ri].Load()
+		}
+	}
+	return l
+}
+
+// packed entry helpers.
+func packEntry(arrayIdx uint64, shift uint) uint64 {
+	return arrayIdx<<shiftBits | uint64(shift)
+}
+
+func unpackEntry(e uint64) (arrayIdx uint64, shift uint) {
+	return e >> shiftBits, uint(e & (1<<shiftBits - 1))
+}
+
+// ensurePage makes sure the page containing addr has a metadata array for
+// the given shift, returning the array's arena index. If the page was
+// previously initialized with a different shift (span recycled for another
+// size class), the old array is released and replaced.
+func (t *Table) ensurePage(pageAddr uint64, shift uint) uint64 {
+	pi, ok := t.pageIndex(pageAddr)
+	if !ok {
+		panic(fmt.Sprintf("shadow: address 0x%x outside heap", pageAddr))
+	}
+	l := t.leafFor(pi, true)
+	slot := &l.entries[pi&(leafSize-1)]
+	for {
+		e := slot.Load()
+		idx, s := unpackEntry(e)
+		if e != 0 && s == shift {
+			return idx
+		}
+		n := uint64(vmem.PageSize) >> shift
+		fresh := t.arena.allocArray(n)
+		if slot.CompareAndSwap(e, packEntry(fresh, shift)) {
+			if e != 0 {
+				t.arena.freeArray(idx, uint64(vmem.PageSize)>>s)
+			}
+			return fresh
+		}
+		t.arena.freeArray(fresh, n)
+	}
+}
+
+// CreateObject records meta as the metadata word for every slot covered by
+// the object [base, base+size). align is the allocator's alignment
+// guarantee for the object's pages and determines the compression shift.
+// This implements the paper's createobj (also used on in-place realloc
+// growth, where it simply overwrites the old mapping).
+func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
+	if align < 1<<MinShift || align&(align-1) != 0 {
+		panic(fmt.Sprintf("shadow: bad alignment %d", align))
+	}
+	shift := uint(bits.TrailingZeros64(align))
+	if shift > MaxShift {
+		shift = MaxShift
+	}
+	if base%align != 0 {
+		panic(fmt.Sprintf("shadow: object 0x%x not aligned to %d", base, align))
+	}
+	end := base + size
+	for addr := base; addr < end; {
+		pageAddr := addr &^ (vmem.PageSize - 1)
+		arr := t.ensurePage(pageAddr, shift)
+		pageEnd := pageAddr + vmem.PageSize
+		stop := end
+		if stop > pageEnd {
+			stop = pageEnd
+		}
+		firstSlot := (addr - pageAddr) >> shift
+		lastSlot := (stop - 1 - pageAddr) >> shift
+		for s := firstSlot; s <= lastSlot; s++ {
+			t.arena.store(arr+s, meta)
+		}
+		addr = pageEnd
+	}
+}
+
+// ClearObject zeroes the metadata slots covered by the object, called at
+// free time so that later stores of dangling pointers are not registered
+// into recycled metadata (the "careful reuse of per-object metadata" the
+// paper's §7 race discussion requires).
+func (t *Table) ClearObject(base, size, align uint64) {
+	t.CreateObject(base, size, align, 0)
+}
+
+// Lookup returns the metadata word for ptr, or 0 when ptr does not point
+// into a tracked object. This is the paper's ptr2obj: two dependent reads.
+func (t *Table) Lookup(ptr uint64) uint64 {
+	pi, ok := t.pageIndex(ptr)
+	if !ok {
+		return 0
+	}
+	l := t.leafFor(pi, false)
+	if l == nil {
+		return 0
+	}
+	e := l.entries[pi&(leafSize-1)].Load()
+	if e == 0 {
+		return 0
+	}
+	idx, shift := unpackEntry(e)
+	return t.arena.load(idx + (ptr&(vmem.PageSize-1))>>shift)
+}
+
+// Bytes reports the memory consumed by the metapagetable and metadata
+// arena, for the paper's memory-overhead experiments.
+func (t *Table) Bytes() uint64 {
+	const leafBytes = leafSize * 8
+	return t.leaves.Load()*leafBytes + t.arena.bytes() + uint64(len(t.roots))*8
+}

@@ -1,0 +1,234 @@
+package shadow
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase + 4096)
+	tbl.CreateObject(base, 64, 8, 0xABCD)
+	// Every interior address of the object maps to its metadata.
+	for off := uint64(0); off < 64; off += 8 {
+		if got := tbl.Lookup(base + off); got != 0xABCD {
+			t.Fatalf("Lookup(+%d) = 0x%x, want 0xABCD", off, got)
+		}
+	}
+	// Bytes just outside map to nothing.
+	if got := tbl.Lookup(base - 8); got != 0 {
+		t.Fatalf("Lookup before object = 0x%x", got)
+	}
+	if got := tbl.Lookup(base + 64); got != 0 {
+		t.Fatalf("Lookup after object = 0x%x", got)
+	}
+}
+
+func TestLookupNonHeap(t *testing.T) {
+	tbl := NewTable()
+	for _, addr := range []uint64{0, vmem.GlobalsBase, vmem.StacksBase, vmem.HeapBase - 8, vmem.HeapBase + vmem.HeapMax} {
+		if got := tbl.Lookup(addr); got != 0 {
+			t.Errorf("Lookup(0x%x) = 0x%x, want 0", addr, got)
+		}
+	}
+}
+
+func TestInteriorPointerRangeQuery(t *testing.T) {
+	tbl := NewTable()
+	// An object that is larger than its alignment covers several slots; all
+	// of them must carry the metadata (the duplication the paper describes).
+	base := uint64(vmem.HeapBase)
+	tbl.CreateObject(base, 48, 16, 7) // 3 slots of 16 bytes
+	for off := uint64(0); off < 48; off++ {
+		if got := tbl.Lookup(base + off); got != 7 {
+			t.Fatalf("Lookup(+%d) = %d", off, got)
+		}
+	}
+}
+
+func TestMultiPageObject(t *testing.T) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase + 8*vmem.PageSize)
+	size := uint64(3 * vmem.PageSize)
+	tbl.CreateObject(base, size, vmem.PageSize, 99)
+	for _, off := range []uint64{0, vmem.PageSize, 2*vmem.PageSize + 123, size - 1} {
+		if got := tbl.Lookup(base + off); got != 99 {
+			t.Fatalf("Lookup(+%d) = %d", off, got)
+		}
+	}
+	tbl.ClearObject(base, size, vmem.PageSize)
+	if got := tbl.Lookup(base + vmem.PageSize); got != 0 {
+		t.Fatalf("after clear: %d", got)
+	}
+}
+
+func TestNeighborsSharePage(t *testing.T) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase)
+	// Two adjacent 32-byte objects with 8-byte alignment on one page.
+	tbl.CreateObject(base, 32, 8, 1)
+	tbl.CreateObject(base+32, 32, 8, 2)
+	if got := tbl.Lookup(base + 31); got != 1 {
+		t.Fatalf("end of obj1 = %d", got)
+	}
+	if got := tbl.Lookup(base + 32); got != 2 {
+		t.Fatalf("start of obj2 = %d", got)
+	}
+	// Clearing one must not affect the other.
+	tbl.ClearObject(base, 32, 8)
+	if got := tbl.Lookup(base + 8); got != 0 {
+		t.Fatalf("cleared obj1 = %d", got)
+	}
+	if got := tbl.Lookup(base + 40); got != 2 {
+		t.Fatalf("obj2 after clearing obj1 = %d", got)
+	}
+}
+
+func TestShiftReinitOnClassChange(t *testing.T) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase + 64*vmem.PageSize)
+	// Page first used for 8-byte-aligned objects...
+	tbl.CreateObject(base, 64, 8, 5)
+	if got := tbl.Lookup(base); got != 5 {
+		t.Fatal("initial mapping failed")
+	}
+	// ...then recycled for a large span with page alignment. The entry must
+	// be re-created with the new shift and old metadata must vanish.
+	tbl.CreateObject(base, vmem.PageSize, vmem.PageSize, 6)
+	for _, off := range []uint64{0, 64, vmem.PageSize - 1} {
+		if got := tbl.Lookup(base + off); got != 6 {
+			t.Fatalf("after reinit Lookup(+%d) = %d", off, got)
+		}
+	}
+}
+
+func TestArenaRecycling(t *testing.T) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase)
+	// Flip a page between two shifts repeatedly; arena memory must not grow
+	// without bound because arrays are recycled.
+	tbl.CreateObject(base, 8, 8, 1)
+	grew := tbl.Bytes()
+	for i := 0; i < 100; i++ {
+		tbl.CreateObject(base, vmem.PageSize, vmem.PageSize, 2)
+		tbl.CreateObject(base, 8, 8, 1)
+	}
+	if tbl.Bytes() > grew+arenaSlabSize*8 {
+		t.Fatalf("arena grew from %d to %d despite recycling", grew, tbl.Bytes())
+	}
+}
+
+func TestConcurrentCreateLookup(t *testing.T) {
+	tbl := NewTable()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each worker owns a distinct page to avoid logical conflicts.
+			page := uint64(vmem.HeapBase) + uint64(w)*vmem.PageSize
+			for i := 0; i < 2000; i++ {
+				off := uint64(rng.Intn(512/8)) * 64
+				meta := uint64(w*10000 + i + 1)
+				tbl.CreateObject(page+off, 64, 8, meta)
+				if got := tbl.Lookup(page + off + uint64(rng.Intn(64))); got != meta {
+					t.Errorf("worker %d: got %d want %d", w, got, meta)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPackUnpackEntry(t *testing.T) {
+	for _, c := range []struct {
+		idx   uint64
+		shift uint
+	}{{1, 3}, {123456, 12}, {1 << 55, 4}} {
+		idx, shift := unpackEntry(packEntry(c.idx, c.shift))
+		if idx != c.idx || shift != c.shift {
+			t.Errorf("roundtrip (%d,%d) -> (%d,%d)", c.idx, c.shift, idx, shift)
+		}
+	}
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	tbl := NewTable()
+	for _, align := range []uint64{0, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("align %d did not panic", align)
+				}
+			}()
+			tbl.CreateObject(vmem.HeapBase, 8, align, 1)
+		}()
+	}
+	// Misaligned base panics too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("misaligned base did not panic")
+			}
+		}()
+		tbl.CreateObject(vmem.HeapBase+4, 8, 8, 1)
+	}()
+}
+
+// Property: after creating a random set of non-overlapping objects on
+// distinct pages, Lookup returns the right metadata for every interior
+// offset and 0 outside.
+func TestLookupProperty(t *testing.T) {
+	tbl := NewTable()
+	rng := rand.New(rand.NewSource(42))
+	type obj struct {
+		base, size, align, meta uint64
+	}
+	var objs []obj
+	for p := 0; p < 50; p++ {
+		page := uint64(vmem.HeapBase) + uint64(1000+p)*vmem.PageSize
+		align := uint64(8) << uint(rng.Intn(3)) // 8, 16, 32
+		size := align * uint64(1+rng.Intn(4))
+		off := uint64(rng.Intn(int((vmem.PageSize-size)/align))) * align
+		o := obj{page + off, size, align, uint64(p + 1)}
+		tbl.CreateObject(o.base, o.size, o.align, o.meta)
+		objs = append(objs, o)
+	}
+	for _, o := range objs {
+		for i := 0; i < 8; i++ {
+			off := uint64(rng.Intn(int(o.size)))
+			if got := tbl.Lookup(o.base + off); got != o.meta {
+				t.Fatalf("obj %+v Lookup(+%d) = %d", o, off, got)
+			}
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase)
+	for i := 0; i < 1024; i++ {
+		tbl.CreateObject(base+uint64(i)*64, 64, 8, uint64(i+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl.Lookup(base+uint64(i%1024)*64+8) == 0 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkCreateObject(b *testing.B) {
+	tbl := NewTable()
+	base := uint64(vmem.HeapBase)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.CreateObject(base+uint64(i%4096)*64, 64, 8, uint64(i+1))
+	}
+}

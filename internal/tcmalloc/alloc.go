@@ -1,0 +1,382 @@
+package tcmalloc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dangsan/internal/sizeclass"
+	"dangsan/internal/vmem"
+)
+
+// InvalidFreeError reports a free (or realloc) of a pointer that is not the
+// base of a live allocation. This is the abort path from the paper's
+// OpenSSL case study: freeing a pointer that DangSan already invalidated
+// produces "attempt to free invalid pointer 0x80000000022ba510".
+type InvalidFreeError struct {
+	Addr uint64
+}
+
+func (e *InvalidFreeError) Error() string {
+	return fmt.Sprintf("tcmalloc: attempt to free invalid pointer 0x%x", e.Addr)
+}
+
+// DoubleFreeError reports a free of an object that is already free.
+type DoubleFreeError struct {
+	Addr uint64
+}
+
+func (e *DoubleFreeError) Error() string {
+	return fmt.Sprintf("tcmalloc: double free of pointer 0x%x", e.Addr)
+}
+
+// OutOfMemoryError reports heap-reservation exhaustion.
+type OutOfMemoryError struct {
+	Size uint64
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("tcmalloc: out of memory allocating %d bytes", e.Size)
+}
+
+// ReallocKind describes how a Realloc request was satisfied; the DangSan
+// heap tracker must distinguish these cases (paper §4.2).
+type ReallocKind int
+
+const (
+	// ReallocSame: the rounded size did not change; the object is untouched.
+	ReallocSame ReallocKind = iota
+	// ReallocInPlace: the object was grown or shrunk in place; pointers to
+	// it remain valid but the object's extent changed.
+	ReallocInPlace
+	// ReallocMoved: a new object was allocated, bytes copied, old freed.
+	ReallocMoved
+)
+
+// Stats is a snapshot of allocator-wide accounting.
+type Stats struct {
+	// LiveObjects is the number of currently allocated objects.
+	LiveObjects uint64
+	// LiveBytes is the usable bytes of currently allocated objects.
+	LiveBytes uint64
+	// TotalAllocs counts Malloc calls that succeeded (including the moves
+	// performed by Realloc).
+	TotalAllocs uint64
+	// TotalFrees counts successful Free calls.
+	TotalFrees uint64
+	// HeapBytes is the total heap address range ever reserved.
+	HeapBytes uint64
+	// FreeListBytes is the bytes parked on page-heap free lists.
+	FreeListBytes uint64
+	// MappedBytes is the resident (mapped) bytes of the heap segment.
+	MappedBytes uint64
+}
+
+// Allocator is the process-wide allocator state shared by all threads.
+type Allocator struct {
+	seg     *vmem.Segment
+	heap    *pageHeap
+	central []centralList
+
+	liveObjects atomic.Uint64
+	liveBytes   atomic.Uint64
+	totalAllocs atomic.Uint64
+	totalFrees  atomic.Uint64
+}
+
+// New creates an allocator over the given heap segment (normally
+// space.Heap()).
+func New(seg *vmem.Segment) *Allocator {
+	a := &Allocator{
+		seg:     seg,
+		heap:    newPageHeap(seg),
+		central: make([]centralList, sizeclass.NumClasses()),
+	}
+	for c := range a.central {
+		a.central[c].class = c
+		a.central[c].heap = a.heap
+	}
+	return a
+}
+
+// NewThreadCache creates a cache for one thread. The caller owns it and must
+// not share it between goroutines.
+func (a *Allocator) NewThreadCache() *ThreadCache {
+	return newThreadCache(a)
+}
+
+// Malloc allocates size bytes and returns the object base address. A size of
+// zero allocates the minimum object, matching C malloc's unique-pointer
+// behaviour.
+func (tc *ThreadCache) Malloc(size uint64) (uint64, error) {
+	a := tc.alloc
+	if size == 0 {
+		size = 1
+	}
+	var addr uint64
+	if size <= sizeclass.MaxSmallSize {
+		class := sizeclass.SizeToClass(size)
+		addr = tc.pop(class)
+		if addr == 0 {
+			return 0, &OutOfMemoryError{Size: size}
+		}
+		s := a.heap.spanOf(addr)
+		if idx, _ := s.objectIndex(addr); !s.setLive(idx) {
+			panic(fmt.Sprintf("tcmalloc: allocated object 0x%x already live", addr))
+		}
+		a.liveBytes.Add(sizeclass.ForClass(class).Size)
+	} else {
+		npages := int((size + vmem.PageSize - 1) / vmem.PageSize)
+		s := a.heap.allocSpan(npages)
+		if s == nil {
+			return 0, &OutOfMemoryError{Size: size}
+		}
+		s.state = spanLarge
+		addr = s.base
+		a.liveBytes.Add(uint64(npages) * vmem.PageSize)
+	}
+	a.liveObjects.Add(1)
+	a.totalAllocs.Add(1)
+	return addr, nil
+}
+
+// Free releases the object at addr. It returns InvalidFreeError when addr is
+// not the base of a live allocation — including the non-canonical addresses
+// produced by DangSan's pointer invalidation — and DoubleFreeError when the
+// object is already on a free list.
+func (tc *ThreadCache) Free(addr uint64) error {
+	a := tc.alloc
+	if !vmem.Canonical(addr) {
+		return &InvalidFreeError{Addr: addr}
+	}
+	s := a.heap.spanOf(addr)
+	if s == nil {
+		return &InvalidFreeError{Addr: addr}
+	}
+	switch s.state {
+	case spanLarge:
+		if addr != s.base {
+			return &InvalidFreeError{Addr: addr}
+		}
+		a.liveBytes.Add(^(uint64(s.npages)*vmem.PageSize - 1))
+		a.heap.freeSpan(s)
+	case spanSmall:
+		idx, exact := s.objectIndex(addr)
+		if !exact {
+			return &InvalidFreeError{Addr: addr}
+		}
+		if !s.clearLive(idx) {
+			return &DoubleFreeError{Addr: addr}
+		}
+		class := s.class
+		tc.push(class, addr)
+		a.liveBytes.Add(^(sizeclass.ForClass(class).Size - 1))
+	default:
+		// Span is on a free list: the whole range is free already.
+		return &DoubleFreeError{Addr: addr}
+	}
+	a.liveObjects.Add(^uint64(0))
+	a.totalFrees.Add(1)
+	return nil
+}
+
+// TryResizeInPlace attempts to satisfy a realloc without moving the object:
+// either the new size fits the existing storage (ReallocSame) or the
+// object's large span is grown/shrunk in place (ReallocInPlace). It reports
+// ok=false when the object would have to move — the caller then performs
+// malloc+copy+free itself, which lets the DangSan heap tracker interpose on
+// all three realloc cases separately (paper §4.2).
+func (tc *ThreadCache) TryResizeInPlace(addr, newSize uint64) (ReallocKind, error, bool) {
+	a := tc.alloc
+	if !vmem.Canonical(addr) {
+		return ReallocSame, &InvalidFreeError{Addr: addr}, false
+	}
+	s := a.heap.spanOf(addr)
+	if s == nil {
+		return ReallocSame, &InvalidFreeError{Addr: addr}, false
+	}
+	if newSize == 0 {
+		newSize = 1
+	}
+	oldSize, ok := a.UsableSize(addr)
+	if !ok {
+		return ReallocSame, &InvalidFreeError{Addr: addr}, false
+	}
+	// Case 1: the new request fits the existing storage exactly.
+	if newSize <= sizeclass.MaxSmallSize && s.state == spanSmall {
+		if sizeclass.ForClass(sizeclass.SizeToClass(newSize)).Size == oldSize {
+			return ReallocSame, nil, true
+		}
+	}
+	if s.state == spanLarge && newSize > sizeclass.MaxSmallSize {
+		wantPages := int((newSize + vmem.PageSize - 1) / vmem.PageSize)
+		if wantPages == s.npages {
+			return ReallocSame, nil, true
+		}
+		// Case 2: resize the large span in place when possible.
+		if a.heap.resizeSpan(s, wantPages) {
+			newBytes := uint64(s.npages) * vmem.PageSize
+			a.liveBytes.Add(newBytes - oldSize) // wraps correctly when shrinking
+			return ReallocInPlace, nil, true
+		}
+	}
+	return ReallocSame, nil, false
+}
+
+// Realloc resizes the object at addr to newSize. It returns the (possibly
+// new) address and how the request was satisfied. Realloc(0, n) behaves as
+// Malloc(n); Realloc(addr, 0) behaves as Free + Malloc(minimum).
+func (tc *ThreadCache) Realloc(addr, newSize uint64) (uint64, ReallocKind, error) {
+	if addr == 0 {
+		na, err := tc.Malloc(newSize)
+		return na, ReallocMoved, err
+	}
+	a := tc.alloc
+	kind, err, ok := tc.TryResizeInPlace(addr, newSize)
+	if err != nil {
+		return 0, ReallocSame, err
+	}
+	if ok {
+		return addr, kind, nil
+	}
+	if newSize == 0 {
+		newSize = 1
+	}
+	oldSize, usableOK := a.UsableSize(addr)
+	if !usableOK {
+		return 0, ReallocSame, &InvalidFreeError{Addr: addr}
+	}
+	// Case 3: move.
+	newAddr, err := tc.Malloc(newSize)
+	if err != nil {
+		return 0, ReallocSame, err
+	}
+	n := oldSize
+	if newSize < n {
+		n = newSize
+	}
+	if f := reallocCopy(a.seg, newAddr, addr, n); f != nil {
+		// Copy inside mapped, live objects cannot fault; treat as corruption.
+		panic(f)
+	}
+	if err := tc.Free(addr); err != nil {
+		return 0, ReallocSame, err
+	}
+	return newAddr, ReallocMoved, nil
+}
+
+// reallocCopy copies n bytes between two live heap objects word-wise.
+func reallocCopy(seg *vmem.Segment, dst, src, n uint64) *vmem.Fault {
+	i := uint64(0)
+	for ; i+vmem.WordSize <= n; i += vmem.WordSize {
+		w, f := seg.LoadWord(src + i)
+		if f != nil {
+			return f
+		}
+		if f := seg.StoreWord(dst+i, w); f != nil {
+			return f
+		}
+	}
+	for ; i < n; i++ {
+		// Tail bytes: read-modify-write the destination word.
+		w, f := seg.LoadWord((src + i) &^ 7)
+		if f != nil {
+			return f
+		}
+		b := byte(w >> (8 * ((src + i) & 7)))
+		dw, f := seg.LoadWord((dst + i) &^ 7)
+		if f != nil {
+			return f
+		}
+		shift := 8 * ((dst + i) & 7)
+		if f := seg.StoreWord((dst+i)&^7, dw&^(0xff<<shift)|uint64(b)<<shift); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// UsableSize returns the usable size of the live object whose base is addr.
+func (a *Allocator) UsableSize(addr uint64) (uint64, bool) {
+	s := a.heap.spanOf(addr)
+	if s == nil {
+		return 0, false
+	}
+	switch s.state {
+	case spanSmall:
+		idx, exact := s.objectIndex(addr)
+		if !exact || !s.isLive(idx) {
+			return 0, false
+		}
+		return sizeclass.ForClass(s.class).Size, true
+	case spanLarge:
+		if addr != s.base {
+			return 0, false
+		}
+		return uint64(s.npages) * vmem.PageSize, true
+	}
+	return 0, false
+}
+
+// ObjectRange maps any interior pointer to the base and size of the object
+// containing it. It reports false for addresses in free or unreserved
+// memory. This is the allocator-level range query that tree-based systems
+// like DangNULL implement with a lookup structure; tcmalloc's page map makes
+// it O(1).
+func (a *Allocator) ObjectRange(addr uint64) (base, size uint64, ok bool) {
+	s := a.heap.spanOf(addr)
+	if s == nil {
+		return 0, 0, false
+	}
+	switch s.state {
+	case spanSmall:
+		idx, _ := s.objectIndex(addr)
+		if !s.isLive(idx) {
+			return 0, 0, false
+		}
+		return s.objectBase(idx), sizeclass.ForClass(s.class).Size, true
+	case spanLarge:
+		return s.base, uint64(s.npages) * vmem.PageSize, true
+	}
+	return 0, 0, false
+}
+
+// ReleaseFreeMemory returns idle pages to the simulated OS, making stale
+// pointer-log locations in those pages fault on access.
+func (a *Allocator) ReleaseFreeMemory() uint64 {
+	return a.heap.releaseFreePages()
+}
+
+// Stats returns an accounting snapshot.
+func (a *Allocator) Stats() Stats {
+	a.heap.mu.Lock()
+	heapBytes := a.heap.reservedBytes
+	freeBytes := a.heap.freeBytes
+	a.heap.mu.Unlock()
+	return Stats{
+		LiveObjects:   a.liveObjects.Load(),
+		LiveBytes:     a.liveBytes.Load(),
+		TotalAllocs:   a.totalAllocs.Load(),
+		TotalFrees:    a.totalFrees.Load(),
+		HeapBytes:     heapBytes,
+		FreeListBytes: freeBytes,
+		MappedBytes:   a.seg.MappedBytes(),
+	}
+}
+
+// PageAlignOf returns the power-of-two alignment guarantee for objects in
+// the page containing addr: the size-class alignment for small spans, page
+// alignment for large spans. The shadow mapper uses this to pick the
+// per-page compression ratio.
+func (a *Allocator) PageAlignOf(addr uint64) (uint64, bool) {
+	s := a.heap.spanOf(addr)
+	if s == nil {
+		return 0, false
+	}
+	switch s.state {
+	case spanSmall:
+		return sizeclass.ForClass(s.class).Align, true
+	case spanLarge:
+		return vmem.PageSize, true
+	}
+	return 0, false
+}

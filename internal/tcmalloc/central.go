@@ -1,0 +1,119 @@
+package tcmalloc
+
+import (
+	"sync"
+
+	"dangsan/internal/sizeclass"
+)
+
+// centralList is the central free list for one size class: a set of spans
+// with at least one free object. Thread caches fetch and return objects in
+// batches under the per-class lock, which keeps lock traffic low — the same
+// structure as tcmalloc's CentralFreeList.
+type centralList struct {
+	mu    sync.Mutex
+	class int
+	// nonempty holds spans of this class that have free objects.
+	nonempty []*span
+	heap     *pageHeap
+}
+
+// batchSize mirrors tcmalloc's num_objects_to_move: how many objects move
+// between a thread cache and the central list at a time.
+func batchSize(class int) int {
+	size := sizeclass.ForClass(class).Size
+	n := int(64 * 1024 / size)
+	if n < 2 {
+		n = 2
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// fetch pops up to max objects into out, fetching new spans from the page
+// heap as needed. It returns the number of objects delivered (0 only when
+// the heap is exhausted).
+func (c *centralList) fetch(out []uint64, max int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got := 0
+	for got < max {
+		if len(c.nonempty) == 0 && !c.populate() {
+			break
+		}
+		s := c.nonempty[len(c.nonempty)-1]
+		for got < max && len(s.freeObjs) > 0 {
+			idx := s.freeObjs[len(s.freeObjs)-1]
+			s.freeObjs = s.freeObjs[:len(s.freeObjs)-1]
+			s.allocated++
+			out[got] = s.objectBase(int(idx))
+			got++
+		}
+		if len(s.freeObjs) == 0 {
+			s.inCentral = false
+			c.nonempty = c.nonempty[:len(c.nonempty)-1]
+		}
+	}
+	return got
+}
+
+// populate pulls a fresh span from the page heap and carves it into objects.
+func (c *centralList) populate() bool {
+	cl := sizeclass.ForClass(c.class)
+	s := c.heap.allocSpan(cl.Pages)
+	if s == nil {
+		return false
+	}
+	s.state = spanSmall
+	s.class = c.class
+	s.allocated = 0
+	s.freeObjs = make([]uint32, cl.ObjectsPerSpan)
+	s.liveBits = make([]uint64, (cl.ObjectsPerSpan+63)/64)
+	// Push in reverse so objects pop in address order, which improves the
+	// spatial locality that pointer compression exploits.
+	for i := 0; i < cl.ObjectsPerSpan; i++ {
+		s.freeObjs[i] = uint32(cl.ObjectsPerSpan - 1 - i)
+	}
+	s.inCentral = true
+	c.nonempty = append(c.nonempty, s)
+	return true
+}
+
+// release returns objects to their spans; fully free spans go back to the
+// page heap.
+func (c *centralList) release(objs []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, addr := range objs {
+		s := c.heap.spanOf(addr)
+		if s == nil || s.state != spanSmall || s.class != c.class {
+			panic("tcmalloc: central release of foreign object")
+		}
+		idx, exact := s.objectIndex(addr)
+		if !exact {
+			panic("tcmalloc: central release of interior pointer")
+		}
+		s.freeObjs = append(s.freeObjs, uint32(idx))
+		s.allocated--
+		if s.allocated == 0 {
+			// Whole span is free: detach and return to the page heap.
+			if s.inCentral {
+				for i, sp := range c.nonempty {
+					if sp == s {
+						c.nonempty = append(c.nonempty[:i], c.nonempty[i+1:]...)
+						break
+					}
+				}
+				s.inCentral = false
+			}
+			c.heap.freeSpan(s)
+			continue
+		}
+		if !s.inCentral {
+			s.inCentral = true
+			c.nonempty = append(c.nonempty, s)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package tcmalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"dangsan/internal/vmem"
+)
+
+// maxSmallSpanPages is the largest span length with a dedicated free list;
+// longer free spans live on the large list.
+const maxSmallSpanPages = 128
+
+// pageHeap manages spans of pages carved from the heap segment. It grows the
+// heap with a bump pointer, keeps free lists indexed by span length, and
+// coalesces adjacent free spans on release, as tcmalloc's PageHeap does.
+type pageHeap struct {
+	mu      sync.Mutex
+	seg     *vmem.Segment
+	pm      pageMap
+	heapEnd uint64 // bump pointer: next unreserved heap address
+
+	// free[n] is a doubly linked list of free spans of exactly n pages
+	// (1 <= n <= maxSmallSpanPages); freeLarge holds the rest.
+	free      [maxSmallSpanPages + 1]span // sentinel heads
+	freeLarge span                        // sentinel head
+
+	// Stats (guarded by mu).
+	reservedBytes uint64 // total heap pages ever reserved from the segment
+	freeBytes     uint64 // bytes sitting on free lists
+}
+
+func newPageHeap(seg *vmem.Segment) *pageHeap {
+	ph := &pageHeap{seg: seg, heapEnd: seg.Base()}
+	for i := range ph.free {
+		ph.free[i].next = &ph.free[i]
+		ph.free[i].prev = &ph.free[i]
+	}
+	ph.freeLarge.next = &ph.freeLarge
+	ph.freeLarge.prev = &ph.freeLarge
+	return ph
+}
+
+// listFor returns the sentinel of the free list that holds spans of n pages.
+func (ph *pageHeap) listFor(n int) *span {
+	if n <= maxSmallSpanPages {
+		return &ph.free[n]
+	}
+	return &ph.freeLarge
+}
+
+func listPush(head, s *span) {
+	s.next = head.next
+	s.prev = head
+	head.next.prev = s
+	head.next = s
+}
+
+func listRemove(s *span) {
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	s.prev, s.next = nil, nil
+}
+
+// allocSpan returns a span of exactly n pages, growing the heap if needed.
+// The span's pages are mapped. Returns nil if the heap reservation is
+// exhausted.
+func (ph *pageHeap) allocSpan(n int) *span {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	return ph.allocSpanLocked(n)
+}
+
+func (ph *pageHeap) allocSpanLocked(n int) *span {
+	if n < 1 {
+		panic("tcmalloc: allocSpan of zero pages")
+	}
+	// Best fit: exact list first, then longer lists, then the large list.
+	for ln := n; ln <= maxSmallSpanPages; ln++ {
+		head := &ph.free[ln]
+		if head.next != head {
+			s := head.next
+			listRemove(s)
+			ph.freeBytes -= uint64(s.npages) * vmem.PageSize
+			return ph.carve(s, n)
+		}
+	}
+	var best *span
+	for s := ph.freeLarge.next; s != &ph.freeLarge; s = s.next {
+		if s.npages >= n && (best == nil || s.npages < best.npages || (s.npages == best.npages && s.base < best.base)) {
+			best = s
+		}
+	}
+	if best != nil {
+		listRemove(best)
+		ph.freeBytes -= uint64(best.npages) * vmem.PageSize
+		return ph.carve(best, n)
+	}
+	return ph.grow(n)
+}
+
+// carve trims s down to n pages, returning the remainder to the free lists.
+func (ph *pageHeap) carve(s *span, n int) *span {
+	if s.npages > n {
+		rest := &span{
+			base:   s.base + uint64(n)*vmem.PageSize,
+			npages: s.npages - n,
+			state:  spanFree,
+		}
+		s.npages = n
+		ph.pm.setSpan(rest)
+		listPush(ph.listFor(rest.npages), rest)
+		ph.freeBytes += uint64(rest.npages) * vmem.PageSize
+	}
+	s.state = spanSmall // caller overwrites; any non-free state works here
+	ph.pm.setSpan(s)
+	// Pages may have been released to the OS while the span was free.
+	ph.seg.MapPages(s.base, s.npages)
+	return s
+}
+
+// grow reserves n fresh pages (rounded up to at least 8 to amortize) from
+// the segment's bump pointer.
+func (ph *pageHeap) grow(n int) *span {
+	ask := n
+	if ask < 8 {
+		ask = 8
+	}
+	if ph.heapEnd+uint64(ask)*vmem.PageSize > ph.seg.End() {
+		ask = n // try the exact request before giving up
+		if ph.heapEnd+uint64(ask)*vmem.PageSize > ph.seg.End() {
+			return nil
+		}
+	}
+	base := ph.heapEnd
+	ph.heapEnd += uint64(ask) * vmem.PageSize
+	ph.seg.MapPages(base, ask)
+	ph.reservedBytes += uint64(ask) * vmem.PageSize
+	s := &span{base: base, npages: ask}
+	ph.pm.setSpan(s)
+	return ph.carve(s, n)
+}
+
+// freeSpan returns s to the free lists, coalescing with free neighbors.
+func (ph *pageHeap) freeSpan(s *span) {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	s.state = spanFree
+	s.class = 0
+	s.freeObjs = nil
+	s.allocated = 0
+	// Coalesce with the preceding span.
+	if s.base > ph.seg.Base() {
+		if prev := ph.pm.get(s.base - 1); prev != nil && prev.state == spanFree {
+			listRemove(prev)
+			ph.freeBytes -= uint64(prev.npages) * vmem.PageSize
+			prev.npages += s.npages
+			s = prev
+		}
+	}
+	// Coalesce with the following span.
+	if s.end() < ph.heapEnd {
+		if next := ph.pm.get(s.end()); next != nil && next.state == spanFree {
+			listRemove(next)
+			ph.freeBytes -= uint64(next.npages) * vmem.PageSize
+			s.npages += next.npages
+		}
+	}
+	ph.pm.setSpan(s)
+	listPush(ph.listFor(s.npages), s)
+	ph.freeBytes += uint64(s.npages) * vmem.PageSize
+}
+
+// resizeSpan grows or shrinks a large span in place. Growing succeeds only
+// when the immediately following span is free and long enough. It returns
+// whether the resize happened; on success s.npages == wantPages.
+func (ph *pageHeap) resizeSpan(s *span, wantPages int) bool {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if s.state != spanLarge || wantPages < 1 {
+		return false
+	}
+	switch {
+	case wantPages == s.npages:
+		return true
+	case wantPages < s.npages:
+		// Shrink: split off the tail and free it.
+		tail := &span{
+			base:   s.base + uint64(wantPages)*vmem.PageSize,
+			npages: s.npages - wantPages,
+			state:  spanFree,
+		}
+		s.npages = wantPages
+		ph.pm.setSpan(s)
+		ph.pm.setSpan(tail)
+		listPush(ph.listFor(tail.npages), tail)
+		ph.freeBytes += uint64(tail.npages) * vmem.PageSize
+		return true
+	default:
+		// Grow: absorb from the following free span.
+		need := wantPages - s.npages
+		if s.end() >= ph.heapEnd {
+			return false
+		}
+		next := ph.pm.get(s.end())
+		if next == nil || next.state != spanFree || next.npages < need {
+			return false
+		}
+		listRemove(next)
+		ph.freeBytes -= uint64(next.npages) * vmem.PageSize
+		if next.npages > need {
+			rest := &span{
+				base:   next.base + uint64(need)*vmem.PageSize,
+				npages: next.npages - need,
+				state:  spanFree,
+			}
+			ph.pm.setSpan(rest)
+			listPush(ph.listFor(rest.npages), rest)
+			ph.freeBytes += uint64(rest.npages) * vmem.PageSize
+		}
+		s.npages = wantPages
+		ph.pm.setSpan(s)
+		ph.seg.MapPages(next.base, need)
+		return true
+	}
+}
+
+// spanOf returns the span covering addr (free or in use), or nil.
+func (ph *pageHeap) spanOf(addr uint64) *span {
+	return ph.pm.get(addr)
+}
+
+// releaseFreePages unmaps the pages of every free span, simulating
+// madvise(MADV_DONTNEED)/munmap of idle memory. Spans remain on the free
+// lists; their pages are remapped when reused. This models the case where a
+// logged pointer location's memory has been returned to the OS, which
+// DangSan handles by catching SIGSEGV during invalidation (paper §4.4).
+func (ph *pageHeap) releaseFreePages() uint64 {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	var released uint64
+	release := func(head *span) {
+		for s := head.next; s != head; s = s.next {
+			ph.seg.UnmapPages(s.base, s.npages)
+			released += uint64(s.npages) * vmem.PageSize
+		}
+	}
+	for i := 1; i <= maxSmallSpanPages; i++ {
+		release(&ph.free[i])
+	}
+	release(&ph.freeLarge)
+	return released
+}
+
+// remapSpan ensures the pages of s are mapped (they may have been released
+// to the OS while the span sat on a free list).
+func (ph *pageHeap) remapSpan(s *span) {
+	ph.seg.MapPages(s.base, s.npages)
+}
+
+// checkFreeLists panics if a free-list invariant is broken; used by tests.
+func (ph *pageHeap) checkFreeLists() error {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	var total uint64
+	check := func(head *span, wantPages int) error {
+		for s := head.next; s != head; s = s.next {
+			if s.state != spanFree {
+				return fmt.Errorf("span 0x%x on free list but state=%d", s.base, s.state)
+			}
+			if wantPages > 0 && s.npages != wantPages {
+				return fmt.Errorf("span 0x%x has %d pages on list for %d", s.base, s.npages, wantPages)
+			}
+			if wantPages == 0 && s.npages <= maxSmallSpanPages {
+				return fmt.Errorf("span 0x%x (%d pages) on large list", s.base, s.npages)
+			}
+			total += uint64(s.npages) * vmem.PageSize
+		}
+		return nil
+	}
+	for i := 1; i <= maxSmallSpanPages; i++ {
+		if err := check(&ph.free[i], i); err != nil {
+			return err
+		}
+	}
+	if err := check(&ph.freeLarge, 0); err != nil {
+		return err
+	}
+	if total != ph.freeBytes {
+		return fmt.Errorf("freeBytes=%d but lists hold %d", ph.freeBytes, total)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package tcmalloc
+
+import (
+	"sync/atomic"
+
+	"dangsan/internal/vmem"
+)
+
+// pageMap maps heap page numbers to the span covering them. It is a
+// two-level radix tree (mirroring tcmalloc's PageMap) so that the 64 GiB
+// heap reservation costs no memory until used. Readers are lock-free;
+// writers hold the page-heap lock.
+const (
+	pageMapLeafBits = 12
+	pageMapLeafSize = 1 << pageMapLeafBits
+	pageMapRootSize = int(vmem.HeapMax >> vmem.PageShift >> pageMapLeafBits)
+)
+
+type pageMapLeaf struct {
+	spans [pageMapLeafSize]atomic.Pointer[span]
+}
+
+type pageMap struct {
+	root [pageMapRootSize]atomic.Pointer[pageMapLeaf]
+}
+
+// pageIndex converts a heap address to its page number within the heap.
+func pageIndex(addr uint64) uint64 {
+	return (addr - vmem.HeapBase) >> vmem.PageShift
+}
+
+// get returns the span covering the page containing addr, or nil.
+func (m *pageMap) get(addr uint64) *span {
+	if addr < vmem.HeapBase || addr >= vmem.HeapBase+vmem.HeapMax {
+		return nil
+	}
+	pi := pageIndex(addr)
+	leaf := m.root[pi>>pageMapLeafBits].Load()
+	if leaf == nil {
+		return nil
+	}
+	return leaf.spans[pi&(pageMapLeafSize-1)].Load()
+}
+
+// set records s as the owner of n pages starting at the page containing
+// addr (addr must be page aligned). Passing s == nil clears the range.
+func (m *pageMap) set(addr uint64, n int, s *span) {
+	pi := pageIndex(addr)
+	for i := uint64(0); i < uint64(n); i++ {
+		ri := (pi + i) >> pageMapLeafBits
+		leaf := m.root[ri].Load()
+		if leaf == nil {
+			fresh := new(pageMapLeaf)
+			if m.root[ri].CompareAndSwap(nil, fresh) {
+				leaf = fresh
+			} else {
+				leaf = m.root[ri].Load()
+			}
+		}
+		leaf.spans[(pi+i)&(pageMapLeafSize-1)].Store(s)
+	}
+}
+
+// setEnds records s for only the first and last page of its range; interior
+// pages are set too in this implementation for simplicity and O(1) interior
+// lookups (the classic tcmalloc optimization of recording only boundaries
+// would make Free of interior pointers more expensive).
+func (m *pageMap) setSpan(s *span) {
+	m.set(s.base, s.npages, s)
+}
+
+// clearSpan removes the mapping for s's range.
+func (m *pageMap) clearSpan(s *span) {
+	m.set(s.base, s.npages, nil)
+}

@@ -1,0 +1,119 @@
+// Package tcmalloc implements a thread-caching memory allocator over the
+// simulated address space, closely following the structure of Google's
+// tcmalloc: a page heap hands out spans (runs of pages), central free lists
+// split spans of a single size class into objects, and per-thread caches
+// serve allocation fast paths without locks.
+//
+// DangSan builds on two tcmalloc properties that this package preserves:
+//
+//   - Every span holds objects of exactly one size class, and every object
+//     starts at a multiple of the class's power-of-two alignment. This makes
+//     variable-compression-ratio memory shadowing possible (internal/shadow).
+//   - free() of a pointer that is not the base of a live allocation aborts
+//     with "attempt to free invalid pointer", which is how DangSan's
+//     invalidated pointers surface in double-free exploits (paper §8.1).
+package tcmalloc
+
+import (
+	"sync/atomic"
+
+	"dangsan/internal/sizeclass"
+	"dangsan/internal/vmem"
+)
+
+// spanState describes what a span is currently used for.
+type spanState uint8
+
+const (
+	spanFree  spanState = iota // on a page-heap free list
+	spanSmall                  // carries small objects of one size class
+	spanLarge                  // a single large allocation
+)
+
+// span is a contiguous run of pages managed as a unit.
+type span struct {
+	base   uint64 // first address
+	npages int
+	state  spanState
+
+	// Small-object spans only.
+	class     int      // size class index
+	freeObjs  []uint32 // stack of free object indices within the span
+	allocated int      // live objects in this span
+	inCentral bool     // linked into the central free list for its class
+	// liveBits has one bit per object slot, set while the object is live
+	// (between Malloc and Free). Accessed with atomic CAS so Free can
+	// detect double frees from any thread without a lock.
+	liveBits []uint64
+
+	// Free spans only: links in the page-heap free list.
+	prev, next *span
+}
+
+// objects returns the number of object slots in a small span.
+func (s *span) objects() int {
+	return sizeclass.ForClass(s.class).ObjectsPerSpan
+}
+
+// objectBase returns the address of object i.
+func (s *span) objectBase(i int) uint64 {
+	return s.base + uint64(i)*sizeclass.ForClass(s.class).Size
+}
+
+// objectIndex maps an address inside the span to its object index and
+// reports whether the address is exactly an object base.
+func (s *span) objectIndex(addr uint64) (int, bool) {
+	off := addr - s.base
+	size := sizeclass.ForClass(s.class).Size
+	return int(off / size), off%size == 0
+}
+
+// end returns one past the last address of the span.
+func (s *span) end() uint64 {
+	return s.base + uint64(s.npages)*vmem.PageSize
+}
+
+// setLive atomically sets the live bit for object i, reporting whether the
+// bit was previously clear.
+func (s *span) setLive(i int) bool {
+	return atomicSetBit(&s.liveBits[i/64], uint(i%64))
+}
+
+// clearLive atomically clears the live bit for object i, reporting whether
+// the bit was previously set.
+func (s *span) clearLive(i int) bool {
+	return atomicClearBit(&s.liveBits[i/64], uint(i%64))
+}
+
+// isLive reports whether object i is currently live.
+func (s *span) isLive(i int) bool {
+	return atomic.LoadUint64(&s.liveBits[i/64])&(1<<uint(i%64)) != 0
+}
+
+// atomicSetBit sets bit b of *w, returning true if it was clear before.
+func atomicSetBit(w *uint64, b uint) bool {
+	mask := uint64(1) << b
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// atomicClearBit clears bit b of *w, returning true if it was set before.
+func atomicClearBit(w *uint64, b uint) bool {
+	mask := uint64(1) << b
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return true
+		}
+	}
+}

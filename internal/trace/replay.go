@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/proc"
+	"dangsan/internal/rbtree"
+)
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	// Events is the number of events applied.
+	Events uint64
+	// Translated counts pointer values remapped through the live-object
+	// map (nonzero whenever recorded and replayed heap layouts differ).
+	Translated uint64
+}
+
+// objMapping relates a recorded object to its replayed twin.
+type objMapping struct {
+	recBase    uint64
+	replayBase uint64
+}
+
+// Replayer applies a recorded event stream to a fresh process under a new
+// detector. Events are applied strictly in serialization order, so replay
+// of a multithreaded trace is single-threaded but behaviour-equivalent for
+// the detector (the same stores hit the same objects in a linearization the
+// original run permitted).
+type Replayer struct {
+	p       *proc.Process
+	threads map[int32]*proc.Thread
+	// objects maps recorded live-object ranges to replayed bases.
+	objects rbtree.Tree
+	stats   ReplayStats
+}
+
+// NewReplayer creates a replayer over a fresh process guarded by det.
+func NewReplayer(det detectors.Detector) *Replayer {
+	return &Replayer{
+		p:       proc.New(det),
+		threads: make(map[int32]*proc.Thread),
+	}
+}
+
+// Process exposes the replay process (stats, memory inspection).
+func (rp *Replayer) Process() *proc.Process { return rp.p }
+
+// Stats returns the replay summary so far.
+func (rp *Replayer) Stats() ReplayStats { return rp.stats }
+
+// Run applies every event from r until EOF.
+func (rp *Replayer) Run(r *Reader) error {
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := rp.Apply(e); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", rp.stats.Events, e, err)
+		}
+		rp.stats.Events++
+	}
+}
+
+// translate remaps a recorded pointer-sized value: values inside a recorded
+// live object move to the corresponding offset of the replayed object;
+// everything else (globals, stacks, integers, dangling garbage) passes
+// through unchanged.
+func (rp *Replayer) translate(v uint64) uint64 {
+	if val, ok := rp.objects.LookupContaining(v); ok {
+		m := val.(objMapping)
+		if m.recBase != m.replayBase {
+			rp.stats.Translated++
+		}
+		return m.replayBase + (v - m.recBase)
+	}
+	return v
+}
+
+// thread resolves the recorded tid.
+func (rp *Replayer) thread(tid int32) (*proc.Thread, error) {
+	th, ok := rp.threads[tid]
+	if !ok {
+		return nil, fmt.Errorf("unknown thread %d", tid)
+	}
+	return th, nil
+}
+
+// Apply executes one event.
+func (rp *Replayer) Apply(e Event) error {
+	switch e.Kind {
+	case EvThreadStart:
+		th := rp.p.NewThread()
+		if th.ID() != e.TID {
+			return fmt.Errorf("thread id diverged: recorded %d, replayed %d", e.TID, th.ID())
+		}
+		rp.threads[e.TID] = th
+		return nil
+	case EvThreadExit:
+		th, err := rp.thread(e.TID)
+		if err != nil {
+			return err
+		}
+		th.Exit()
+		delete(rp.threads, e.TID)
+		return nil
+	case EvGlobal:
+		addr := rp.p.AllocGlobal(e.A)
+		if addr != e.B {
+			return fmt.Errorf("global diverged: recorded 0x%x, replayed 0x%x", e.B, addr)
+		}
+		return nil
+	}
+
+	th, err := rp.thread(e.TID)
+	if err != nil {
+		return err
+	}
+	switch e.Kind {
+	case EvMalloc:
+		base, err := th.Malloc(e.A)
+		if err != nil {
+			return err
+		}
+		size := e.A
+		if size == 0 {
+			size = 1
+		}
+		rp.objects.Insert(e.B, e.B+size, objMapping{recBase: e.B, replayBase: base})
+	case EvFree:
+		val, ok := rp.objects.Get(e.A)
+		if !ok {
+			return fmt.Errorf("free of unrecorded object 0x%x", e.A)
+		}
+		if err := th.Free(val.(objMapping).replayBase); err != nil {
+			return err
+		}
+		rp.objects.Delete(e.A)
+	case EvRealloc:
+		replayOld := uint64(0)
+		if e.A != 0 {
+			val, ok := rp.objects.Get(e.A)
+			if !ok {
+				return fmt.Errorf("realloc of unrecorded object 0x%x", e.A)
+			}
+			replayOld = val.(objMapping).replayBase
+		}
+		newBase, err := th.Realloc(replayOld, e.B)
+		if err != nil {
+			return err
+		}
+		if e.A != 0 {
+			rp.objects.Delete(e.A)
+		}
+		size := e.B
+		if size == 0 {
+			size = 1
+		}
+		rp.objects.Insert(e.C, e.C+size, objMapping{recBase: e.C, replayBase: newBase})
+	case EvAlloca:
+		addr := th.Alloca(e.A)
+		if addr != e.B {
+			return fmt.Errorf("alloca diverged: recorded 0x%x, replayed 0x%x", e.B, addr)
+		}
+	case EvStackMark:
+		// Marks are recorded stack heights; the replayed stack is
+		// deterministic per thread, so nothing to do.
+	case EvFreeStack:
+		th.FreeStack(e.A)
+	case EvStorePtr:
+		if f := th.StorePtr(rp.translate(e.A), rp.translate(e.B)); f != nil {
+			return f
+		}
+	case EvStoreInt:
+		if f := th.StoreInt(rp.translate(e.A), e.B); f != nil {
+			return f
+		}
+	case EvMemcpy:
+		if f := th.Memcpy(rp.translate(e.A), rp.translate(e.B), e.C); f != nil {
+			return f
+		}
+	default:
+		return fmt.Errorf("unhandled event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Replay is the convenience wrapper: apply the whole stream from r to a
+// fresh process guarded by det.
+func Replay(r *Reader, det detectors.Detector) (*Replayer, error) {
+	rp := NewReplayer(det)
+	if err := rp.Run(r); err != nil {
+		return rp, err
+	}
+	return rp, nil
+}

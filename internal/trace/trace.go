@@ -1,0 +1,172 @@
+// Package trace records and replays the event stream of a simulated
+// process: allocations, frees, reallocs, pointer and integer stores, and
+// thread lifecycle. A trace captured once (typically under the cheap
+// baseline) can be replayed against any detector, giving every system the
+// byte-identical workload — the methodology equivalent of the paper running
+// each SPEC binary under each sanitizer.
+//
+// Events are encoded in a fixed 29-byte little-endian record:
+// kind (1) | tid (4) | a (8) | b (8) | c (8).
+//
+// Replay re-executes the events on a fresh process. Heap addresses may
+// differ between runs (detectors pad allocations differently), so the
+// replayer maintains a live-object map from recorded to replayed base
+// addresses and translates every pointer-sized value that falls inside a
+// recorded live object. Globals and stacks are allocated in the same order
+// during replay and therefore translate identically.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"dangsan/internal/proc"
+)
+
+// Event kinds are defined by the process runtime (internal/proc); the
+// aliases here spare trace consumers a second import.
+const (
+	// EvThreadStart: a thread was created; tid is its id.
+	EvThreadStart = proc.TraceThreadStart
+	// EvThreadExit: the thread exited.
+	EvThreadExit = proc.TraceThreadExit
+	// EvGlobal: a = size, b = resulting address.
+	EvGlobal = proc.TraceGlobal
+	// EvMalloc: a = requested size, b = resulting base.
+	EvMalloc = proc.TraceMalloc
+	// EvFree: a = base.
+	EvFree = proc.TraceFree
+	// EvRealloc: a = old base, b = new size, c = resulting base.
+	EvRealloc = proc.TraceRealloc
+	// EvAlloca: a = size, b = resulting address.
+	EvAlloca = proc.TraceAlloca
+	// EvStackMark: a = mark (stack height snapshot).
+	EvStackMark = proc.TraceStackMark
+	// EvFreeStack: a = mark restored.
+	EvFreeStack = proc.TraceFreeStack
+	// EvStorePtr: a = location, b = value.
+	EvStorePtr = proc.TraceStorePtr
+	// EvStoreInt: a = location, b = value.
+	EvStoreInt = proc.TraceStoreInt
+	// EvMemcpy: a = dst, b = src, c = length.
+	EvMemcpy = proc.TraceMemcpy
+
+	evMax = proc.TraceKindMax
+)
+
+var kindNames = [evMax]string{
+	EvThreadStart: "thread-start", EvThreadExit: "thread-exit",
+	EvGlobal: "global", EvMalloc: "malloc", EvFree: "free",
+	EvRealloc: "realloc", EvAlloca: "alloca", EvStackMark: "stack-mark",
+	EvFreeStack: "free-stack", EvStorePtr: "store-ptr",
+	EvStoreInt: "store-int", EvMemcpy: "memcpy",
+}
+
+// Event is one record.
+type Event struct {
+	Kind    uint8
+	TID     int32
+	A, B, C uint64
+}
+
+func (e Event) String() string {
+	name := "?"
+	if int(e.Kind) < len(kindNames) && kindNames[e.Kind] != "" {
+		name = kindNames[e.Kind]
+	}
+	return fmt.Sprintf("[t%d] %s a=0x%x b=0x%x c=0x%x", e.TID, name, e.A, e.B, e.C)
+}
+
+const recordSize = 1 + 4 + 3*8
+
+// Writer serializes events. It is safe for concurrent use; the
+// serialization order under the internal lock defines the replay order.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// TraceEvent implements proc.TraceSink, so a Writer can be installed
+// directly with Process.SetTracer.
+func (w *Writer) TraceEvent(kind uint8, tid int32, a, b, c uint64) {
+	w.Emit(Event{Kind: kind, TID: tid, A: a, B: b, C: c})
+}
+
+// Emit appends one event. Errors are sticky and reported by Flush.
+func (w *Writer) Emit(e Event) {
+	var buf [recordSize]byte
+	buf[0] = e.Kind
+	binary.LittleEndian.PutUint32(buf[1:], uint32(e.TID))
+	binary.LittleEndian.PutUint64(buf[5:], e.A)
+	binary.LittleEndian.PutUint64(buf[13:], e.B)
+	binary.LittleEndian.PutUint64(buf[21:], e.C)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(buf[:]); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Events returns the number of events emitted so far.
+func (w *Writer) Events() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush drains buffered records and returns the first error encountered.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes events.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next event, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Event, error) {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Event{}, fmt.Errorf("trace: truncated record")
+		}
+		return Event{}, err
+	}
+	e := Event{
+		Kind: buf[0],
+		TID:  int32(binary.LittleEndian.Uint32(buf[1:])),
+		A:    binary.LittleEndian.Uint64(buf[5:]),
+		B:    binary.LittleEndian.Uint64(buf[13:]),
+		C:    binary.LittleEndian.Uint64(buf[21:]),
+	}
+	if e.Kind == 0 || e.Kind >= evMax {
+		return Event{}, fmt.Errorf("trace: bad event kind %d", e.Kind)
+	}
+	return e, nil
+}

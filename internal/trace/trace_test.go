@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
+)
+
+func TestEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{Kind: EvThreadStart, TID: 0},
+		{Kind: EvMalloc, TID: 0, A: 64, B: 0x10000000000},
+		{Kind: EvStorePtr, TID: 0, A: 0x20000000000, B: 0x10000000010},
+		{Kind: EvFree, TID: 0, A: 0x10000000000},
+		{Kind: EvThreadExit, TID: 0},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != uint64(len(events)) {
+		t.Fatalf("Events() = %d", w.Events())
+	}
+	r := NewReader(&buf)
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	// Truncated record.
+	r := NewReader(bytes.NewReader(make([]byte, 10)))
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated record: %v", err)
+	}
+	// Bad kind.
+	rec := make([]byte, 29)
+	rec[0] = 200
+	r = NewReader(bytes.NewReader(rec))
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "bad event kind") {
+		t.Fatalf("bad kind: %v", err)
+	}
+}
+
+// record runs a small hand-written scenario under the baseline with tracing
+// and returns the trace bytes plus the recorded addresses.
+func record(t *testing.T) (data []byte, obj, slot uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := proc.New(detectors.None{})
+	p.SetTracer(w)
+	th := p.NewThread()
+	slot = p.AllocGlobal(8)
+	obj, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.StorePtr(slot, obj+8)
+	th.StoreInt(obj, 42)
+	if err := th.Free(obj); err != nil {
+		t.Fatal(err)
+	}
+	th.Exit()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), obj, slot
+}
+
+func TestReplayUnderDangSan(t *testing.T) {
+	data, _, slot := record(t)
+	// The trace was recorded under the baseline (no pad); replaying under
+	// DangSan changes heap layout, exercising translation, and must
+	// invalidate the stored pointer.
+	det := dangsan.New()
+	rp, err := Replay(NewReader(bytes.NewReader(data)), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, f := rp.Process().AddressSpace().LoadWord(slot)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if v&pointerlog.InvalidBit == 0 {
+		t.Fatalf("replayed pointer not invalidated: 0x%x", v)
+	}
+	s := det.Stats()
+	if s.Registered != 1 || s.Invalidated != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReplayIsFaithfulForWorkload(t *testing.T) {
+	// Record a SPEC analog under DangSan, then replay the trace under a
+	// fresh DangSan: the detector counters must match exactly — the replay
+	// really is the same workload.
+	prof, err := workloads.SPECProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Objects = 300
+	prof.TotalStores = 10000
+	prof.ComputeOps = 100
+	prof.LiveWindow = 50
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	live := dangsan.New()
+	p := proc.New(live)
+	p.SetTracer(w)
+	if err := workloads.RunSPEC(p, prof, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayDet := dangsan.New()
+	rp, err := Replay(NewReader(bytes.NewReader(buf.Bytes())), replayDet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := live.Stats(), replayDet.Stats()
+	if a.ObjectsTracked != b.ObjectsTracked || a.Registered != b.Registered ||
+		a.Invalidated != b.Invalidated || a.Stale != b.Stale ||
+		a.Duplicates != b.Duplicates || a.HashTables != b.HashTables {
+		t.Fatalf("replay diverged:\nlive:   %+v\nreplay: %+v", a, b)
+	}
+	if rp.Stats().Events == 0 {
+		t.Fatal("no events replayed")
+	}
+	// Same layout (both DangSan), so no translation should be needed.
+	if rp.Stats().Translated != 0 {
+		t.Fatalf("unexpected translations: %d", rp.Stats().Translated)
+	}
+}
+
+func TestReplayAcrossDetectorsTranslates(t *testing.T) {
+	// Baseline-recorded traces replayed under DangSan need address
+	// translation (the +1 pad shifts size classes for exact-fit objects).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := proc.New(detectors.None{})
+	p.SetTracer(w)
+	th := p.NewThread()
+	slot := p.AllocGlobal(8)
+	// A 32-byte request fits class 32 exactly without a pad but needs the
+	// next class with DangSan's +1.
+	a, _ := th.Malloc(32)
+	b, _ := th.Malloc(32)
+	th.StorePtr(slot, b+8)
+	th.Free(a)
+	th.Free(b)
+	th.Exit()
+	w.Flush()
+
+	det := dangsan.New()
+	rp, err := Replay(NewReader(bytes.NewReader(buf.Bytes())), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Stats().Translated == 0 {
+		t.Fatal("expected address translation between layouts")
+	}
+	if s := det.Stats(); s.Invalidated != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReplayMultithreadedTrace(t *testing.T) {
+	prof, err := workloads.ParallelProfileByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.TotalObjects = 400
+	prof.TotalStores = 4000
+	prof.TotalCompute = 500
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := proc.New(detectors.None{})
+	p.SetTracer(w)
+	if err := workloads.RunParallel(p, prof, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	det := dangsan.New()
+	_, err = Replay(NewReader(bytes.NewReader(buf.Bytes())), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := det.Stats(); s.Registered == 0 || s.Invalidated == 0 {
+		t.Fatalf("replayed detector saw nothing: %+v", s)
+	}
+}
+
+func TestReplayRealloc(t *testing.T) {
+	// All three realloc outcomes traced and replayed: same storage, moved
+	// (with its implicit data copy), and pointers-to-old invalidated on
+	// replay under DangSan.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := proc.New(detectors.None{})
+	p.SetTracer(w)
+	th := p.NewThread()
+	slot := p.AllocGlobal(8)
+
+	obj, err := th.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.StorePtr(slot, obj)
+	th.StoreInt(obj, 4242)
+
+	same, err := th.Realloc(obj, 101) // same storage
+	if err != nil || same != obj {
+		t.Fatalf("same-case: 0x%x %v", same, err)
+	}
+	moved, err := th.Realloc(obj, 1<<20) // forced move
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == obj {
+		t.Skip("allocator did not move")
+	}
+	if err := th.Free(moved); err != nil {
+		t.Fatal(err)
+	}
+	th.Exit()
+	w.Flush()
+
+	det := dangsan.New()
+	rp, err := Replay(NewReader(bytes.NewReader(buf.Bytes())), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old pointer in the slot was invalidated at the realloc move.
+	v, f := rp.Process().AddressSpace().LoadWord(slot)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if v&pointerlog.InvalidBit == 0 {
+		t.Fatalf("slot after replayed realloc move = 0x%x", v)
+	}
+	if s := det.Stats(); s.Invalidated != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	// Free of an object never recorded.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Kind: EvThreadStart, TID: 0})
+	w.Emit(Event{Kind: EvFree, TID: 0, A: 0xdead000})
+	w.Flush()
+	if _, err := Replay(NewReader(bytes.NewReader(buf.Bytes())), detectors.None{}); err == nil {
+		t.Fatal("free of unrecorded object accepted")
+	}
+	// Event for an unknown thread.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Emit(Event{Kind: EvMalloc, TID: 5, A: 8, B: 0x10000000000})
+	w.Flush()
+	if _, err := Replay(NewReader(bytes.NewReader(buf.Bytes())), detectors.None{}); err == nil {
+		t.Fatal("unknown thread accepted")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: EvMalloc, TID: 3, A: 64, B: 0x1000}
+	s := e.String()
+	if !strings.Contains(s, "malloc") || !strings.Contains(s, "t3") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,71 @@
+// Package vmem provides a simulated 64-bit virtual address space.
+//
+// DangSan's runtime behaviour depends on properties of the x86-64 address
+// space that a garbage-collected Go process cannot exhibit directly: setting
+// the most significant bit of a pointer makes it non-canonical so that any
+// dereference faults, and reading a pointer location whose backing pages have
+// been returned to the operating system raises SIGSEGV. This package
+// reproduces those properties in a software-simulated address space: word
+// and byte accessors report a *Fault (the simulated SIGSEGV) instead of
+// crashing, and the canonical-form rules of x86-64 are enforced on every
+// access.
+//
+// All word accesses are atomic, so the simulated memory may be shared
+// between goroutines that model program threads, and compare-and-swap is
+// available for DangSan's race-free pointer invalidation.
+package vmem
+
+import "fmt"
+
+// FaultKind classifies a simulated memory fault.
+type FaultKind int
+
+const (
+	// FaultNonCanonical marks an access through an address that is not in
+	// canonical x86-64 form (bits 48..63 must replicate bit 47; user-space
+	// addresses additionally have bit 63 clear). Dereferencing a pointer
+	// invalidated by DangSan lands here.
+	FaultNonCanonical FaultKind = iota
+	// FaultNoSegment marks an access outside every mapped segment.
+	FaultNoSegment
+	// FaultUnmapped marks an access to a page inside a segment that is not
+	// currently mapped (never mapped, or returned to the OS).
+	FaultUnmapped
+	// FaultUnaligned marks a word access that is not 8-byte aligned.
+	FaultUnaligned
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNonCanonical:
+		return "non-canonical address"
+	case FaultNoSegment:
+		return "no segment"
+	case FaultUnmapped:
+		return "unmapped page"
+	case FaultUnaligned:
+		return "unaligned word access"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is a simulated SIGSEGV (or SIGBUS for alignment). It records the
+// faulting address so that callers can relate the fault back to the original
+// pointer, which is exactly the debugging property DangSan preserves by
+// flipping only the top bit of invalidated pointers.
+type Fault struct {
+	Addr uint64
+	Kind FaultKind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("segmentation fault: %s at 0x%x", f.Kind, f.Addr)
+}
+
+// Canonical reports whether addr is a canonical user-space x86-64 address:
+// bits 47..63 all zero. (Kernel-space canonical addresses have them all set;
+// the simulation models a user-space process only, matching the paper.)
+func Canonical(addr uint64) bool {
+	return addr>>47 == 0
+}

@@ -1,0 +1,210 @@
+package vmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	// PageShift is log2 of the simulated page size (4 KiB, as on x86-64 and
+	// as assumed by the metapagetable: one entry per 4096-byte page).
+	PageShift = 12
+	// PageSize is the simulated page size in bytes.
+	PageSize = 1 << PageShift
+	// WordSize is the size of a machine word (and of a pointer) in bytes.
+	WordSize = 8
+
+	// chunkShift is log2 of the backing-store chunk size in bytes. Segments
+	// allocate physical backing lazily in chunks so that a large virtual
+	// reservation costs nothing until touched, like real mmap.
+	chunkShift    = 22 // 4 MiB
+	chunkBytes    = 1 << chunkShift
+	chunkWords    = chunkBytes / WordSize
+	pagesPerChunk = chunkBytes / PageSize
+)
+
+// chunk is one lazily-allocated slab of physical backing plus the mapped
+// state of each of its pages. Words are accessed atomically; the mapped
+// flags are accessed atomically too so that Map/Unmap can race with loads
+// (the loser observes a fault, which is the behaviour being simulated).
+type chunk struct {
+	words  [chunkWords]uint64
+	mapped [pagesPerChunk]atomic.Bool
+}
+
+// Segment is a contiguous virtual address range backed by lazily allocated
+// chunks. Pages within the range fault until mapped with MapPages, and fault
+// again after UnmapPages — simulating memory returned to the OS, which is the
+// case DangSan handles by catching SIGSEGV during pointer invalidation.
+type Segment struct {
+	base uint64
+	size uint64
+	name string
+	// chunks[i] covers [base + i*chunkBytes, base + (i+1)*chunkBytes).
+	chunks []atomic.Pointer[chunk]
+	// mappedBytes counts currently mapped pages (for RSS-style accounting).
+	mappedBytes atomic.Uint64
+}
+
+// NewSegment reserves the virtual range [base, base+size). base and size
+// must be page-aligned. No page is mapped initially.
+func NewSegment(base, size uint64, name string) *Segment {
+	if base%PageSize != 0 || size%PageSize != 0 {
+		panic(fmt.Sprintf("vmem: segment %q not page aligned: base=0x%x size=0x%x", name, base, size))
+	}
+	if size == 0 {
+		panic("vmem: empty segment")
+	}
+	nChunks := (size + chunkBytes - 1) / chunkBytes
+	return &Segment{
+		base:   base,
+		size:   size,
+		name:   name,
+		chunks: make([]atomic.Pointer[chunk], nChunks),
+	}
+}
+
+// Base returns the first address of the segment.
+func (s *Segment) Base() uint64 { return s.base }
+
+// Size returns the reserved length of the segment in bytes.
+func (s *Segment) Size() uint64 { return s.size }
+
+// End returns one past the last reservable address.
+func (s *Segment) End() uint64 { return s.base + s.size }
+
+// Name returns the segment's diagnostic name.
+func (s *Segment) Name() string { return s.name }
+
+// MappedBytes returns the number of currently mapped bytes, the simulation's
+// analog of the resident set size contribution of this segment.
+func (s *Segment) MappedBytes() uint64 { return s.mappedBytes.Load() }
+
+// contains reports whether addr falls inside the reservation.
+func (s *Segment) contains(addr uint64) bool {
+	return addr >= s.base && addr < s.base+s.size
+}
+
+// chunkFor returns the chunk covering addr, allocating it if needed and
+// ensure is true. Publication is by compare-and-swap so concurrent callers
+// agree on a single chunk.
+func (s *Segment) chunkFor(addr uint64, ensure bool) *chunk {
+	idx := (addr - s.base) >> chunkShift
+	c := s.chunks[idx].Load()
+	if c == nil && ensure {
+		fresh := new(chunk)
+		if s.chunks[idx].CompareAndSwap(nil, fresh) {
+			c = fresh
+		} else {
+			c = s.chunks[idx].Load()
+		}
+	}
+	return c
+}
+
+// MapPages marks n pages starting at page-aligned addr as mapped, allocating
+// backing as needed. Re-mapping an already mapped page is a no-op. The
+// newly mapped pages read as zero.
+func (s *Segment) MapPages(addr uint64, n int) {
+	if addr%PageSize != 0 {
+		panic(fmt.Sprintf("vmem: MapPages unaligned addr 0x%x", addr))
+	}
+	for i := 0; i < n; i++ {
+		pa := addr + uint64(i)*PageSize
+		if !s.contains(pa) {
+			panic(fmt.Sprintf("vmem: MapPages outside segment %q: 0x%x", s.name, pa))
+		}
+		c := s.chunkFor(pa, true)
+		pi := (pa - s.base) % chunkBytes / PageSize
+		if !c.mapped[pi].Swap(true) {
+			s.mappedBytes.Add(PageSize)
+		}
+	}
+}
+
+// UnmapPages marks n pages starting at page-aligned addr as unmapped,
+// simulating their return to the operating system. Subsequent accesses
+// fault.
+func (s *Segment) UnmapPages(addr uint64, n int) {
+	if addr%PageSize != 0 {
+		panic(fmt.Sprintf("vmem: UnmapPages unaligned addr 0x%x", addr))
+	}
+	for i := 0; i < n; i++ {
+		pa := addr + uint64(i)*PageSize
+		if !s.contains(pa) {
+			panic(fmt.Sprintf("vmem: UnmapPages outside segment %q: 0x%x", s.name, pa))
+		}
+		c := s.chunkFor(pa, false)
+		if c == nil {
+			continue
+		}
+		pi := (pa - s.base) % chunkBytes / PageSize
+		if c.mapped[pi].Swap(false) {
+			s.mappedBytes.Add(^uint64(PageSize - 1))
+			// Zero the page now so a later remap reads as fresh memory.
+			// Fresh chunks are born zero, so mapping never needs to zero.
+			w := (pa - s.base) % chunkBytes / WordSize
+			for j := uint64(0); j < PageSize/WordSize; j++ {
+				atomic.StoreUint64(&c.words[w+j], 0)
+			}
+		}
+	}
+}
+
+// pageMapped reports whether the page containing addr is mapped, returning
+// the chunk when it is.
+func (s *Segment) pageMapped(addr uint64) (*chunk, bool) {
+	c := s.chunkFor(addr, false)
+	if c == nil {
+		return nil, false
+	}
+	pi := (addr - s.base) % chunkBytes / PageSize
+	if !c.mapped[pi].Load() {
+		return nil, false
+	}
+	return c, true
+}
+
+// LoadWord reads the aligned word at addr, which must lie in the segment.
+// It skips the canonical-form and segment-lookup checks that
+// AddressSpace.LoadWord performs, so it is the fast path for subsystems that
+// already know the segment (e.g. the allocator's realloc copy).
+func (s *Segment) LoadWord(addr uint64) (uint64, *Fault) { return s.loadWord(addr) }
+
+// StoreWord writes the aligned word at addr; see LoadWord for the contract.
+func (s *Segment) StoreWord(addr, val uint64) *Fault { return s.storeWord(addr, val) }
+
+// CASWord compare-and-swaps the aligned word at addr; see LoadWord for the
+// contract.
+func (s *Segment) CASWord(addr, old, new uint64) (bool, *Fault) { return s.casWord(addr, old, new) }
+
+// loadWord reads the aligned word at addr.
+func (s *Segment) loadWord(addr uint64) (uint64, *Fault) {
+	c, ok := s.pageMapped(addr)
+	if !ok {
+		return 0, &Fault{Addr: addr, Kind: FaultUnmapped}
+	}
+	w := (addr - s.base) % chunkBytes / WordSize
+	return atomic.LoadUint64(&c.words[w]), nil
+}
+
+// storeWord writes the aligned word at addr.
+func (s *Segment) storeWord(addr, val uint64) *Fault {
+	c, ok := s.pageMapped(addr)
+	if !ok {
+		return &Fault{Addr: addr, Kind: FaultUnmapped}
+	}
+	w := (addr - s.base) % chunkBytes / WordSize
+	atomic.StoreUint64(&c.words[w], val)
+	return nil
+}
+
+// casWord performs an atomic compare-and-swap on the aligned word at addr.
+func (s *Segment) casWord(addr, old, new uint64) (bool, *Fault) {
+	c, ok := s.pageMapped(addr)
+	if !ok {
+		return false, &Fault{Addr: addr, Kind: FaultUnmapped}
+	}
+	w := (addr - s.base) % chunkBytes / WordSize
+	return atomic.CompareAndSwapUint64(&c.words[w], old, new), nil
+}

@@ -1,0 +1,304 @@
+package vmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Standard layout of the simulated process. Bases are chosen so that every
+// valid address has its top two bytes zero (needed by the pointer-compression
+// format in internal/pointerlog, which distinguishes raw location entries
+// from compressed ones by a nonzero top byte) and so that segments are far
+// apart, like a real position-independent Linux process.
+const (
+	// HeapBase is where the simulated heap starts.
+	HeapBase = 0x0000_0100_0000_0000
+	// HeapMax is the maximum virtual size of the heap (64 GiB reservation;
+	// backing is lazy).
+	HeapMax = 1 << 36
+	// GlobalsBase is where the globals segment starts.
+	GlobalsBase = 0x0000_0200_0000_0000
+	// GlobalsSize is the reserved size of the globals segment.
+	GlobalsSize = 1 << 22
+	// StacksBase is where thread stacks are carved from.
+	StacksBase = 0x0000_0300_0000_0000
+	// StackSize is the virtual size of one thread stack.
+	StackSize = 1 << 23
+	// MaxStacks bounds the number of thread stacks.
+	MaxStacks = 1 << 13
+)
+
+// AddressSpace is a simulated user-space 64-bit address space composed of a
+// small number of segments. It is safe for concurrent use.
+type AddressSpace struct {
+	heap    *Segment
+	globals *Segment
+	stacks  *Segment
+
+	mu    sync.Mutex
+	extra []*Segment // rarely used; sorted by base
+}
+
+// New creates an address space with the standard heap/globals/stacks layout.
+// The globals segment is fully mapped; heap and stack pages are mapped on
+// demand by the allocator and thread runtime.
+func New() *AddressSpace {
+	as := &AddressSpace{
+		heap:    NewSegment(HeapBase, HeapMax, "heap"),
+		globals: NewSegment(GlobalsBase, GlobalsSize, "globals"),
+		stacks:  NewSegment(StacksBase, StackSize*MaxStacks, "stacks"),
+	}
+	as.globals.MapPages(GlobalsBase, GlobalsSize/PageSize)
+	return as
+}
+
+// Heap returns the heap segment.
+func (as *AddressSpace) Heap() *Segment { return as.heap }
+
+// Globals returns the globals segment.
+func (as *AddressSpace) Globals() *Segment { return as.globals }
+
+// Stacks returns the stacks segment.
+func (as *AddressSpace) Stacks() *Segment { return as.stacks }
+
+// StackRange returns the reserved stack range for thread tid without
+// mapping it; callers map pages on demand as the stack grows, so that a
+// mostly idle thread contributes almost nothing to the resident set (as on
+// a real OS, where stacks fault in lazily).
+func (as *AddressSpace) StackRange(tid int) (base, top uint64) {
+	if tid < 0 || tid >= MaxStacks {
+		panic(fmt.Sprintf("vmem: thread id %d out of range", tid))
+	}
+	base = StacksBase + uint64(tid)*StackSize
+	return base, base + StackSize
+}
+
+// MapStack reserves and fully maps the stack for thread tid, returning its
+// range. Prefer StackRange plus on-demand mapping for realistic residency.
+func (as *AddressSpace) MapStack(tid int) (base, top uint64) {
+	base, top = as.StackRange(tid)
+	as.stacks.MapPages(base, StackSize/PageSize)
+	return base, top
+}
+
+// UnmapStack releases the stack pages of thread tid.
+func (as *AddressSpace) UnmapStack(tid int) {
+	if tid < 0 || tid >= MaxStacks {
+		panic(fmt.Sprintf("vmem: thread id %d out of range", tid))
+	}
+	base := StacksBase + uint64(tid)*StackSize
+	as.stacks.UnmapPages(base, StackSize/PageSize)
+}
+
+// AddSegment reserves an additional segment (used by tests and by workloads
+// that model mmap'd regions). The range must not overlap existing segments.
+func (as *AddressSpace) AddSegment(base, size uint64, name string) (*Segment, error) {
+	seg := NewSegment(base, size, name)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, other := range append([]*Segment{as.heap, as.globals, as.stacks}, as.extra...) {
+		if base < other.End() && other.Base() < seg.End() {
+			return nil, fmt.Errorf("vmem: segment %q overlaps %q", name, other.Name())
+		}
+	}
+	as.extra = append(as.extra, seg)
+	sort.Slice(as.extra, func(i, j int) bool { return as.extra[i].Base() < as.extra[j].Base() })
+	return seg, nil
+}
+
+// segmentFor locates the segment containing addr, or nil. The heap is
+// checked first because pointer-tracking traffic is heap-dominated.
+func (as *AddressSpace) segmentFor(addr uint64) *Segment {
+	switch {
+	case as.heap.contains(addr):
+		return as.heap
+	case as.stacks.contains(addr):
+		return as.stacks
+	case as.globals.contains(addr):
+		return as.globals
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	i := sort.Search(len(as.extra), func(i int) bool { return as.extra[i].End() > addr })
+	if i < len(as.extra) && as.extra[i].contains(addr) {
+		return as.extra[i]
+	}
+	return nil
+}
+
+// check validates an address for an access of the given size, returning the
+// containing segment.
+func (as *AddressSpace) check(addr uint64, size uint64, aligned bool) (*Segment, *Fault) {
+	if !Canonical(addr) {
+		return nil, &Fault{Addr: addr, Kind: FaultNonCanonical}
+	}
+	if aligned && addr%size != 0 {
+		return nil, &Fault{Addr: addr, Kind: FaultUnaligned}
+	}
+	seg := as.segmentFor(addr)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Kind: FaultNoSegment}
+	}
+	return seg, nil
+}
+
+// LoadWord atomically reads the 8-byte word at the aligned address addr.
+func (as *AddressSpace) LoadWord(addr uint64) (uint64, *Fault) {
+	seg, f := as.check(addr, WordSize, true)
+	if f != nil {
+		return 0, f
+	}
+	return seg.loadWord(addr)
+}
+
+// StoreWord atomically writes the 8-byte word at the aligned address addr.
+func (as *AddressSpace) StoreWord(addr, val uint64) *Fault {
+	seg, f := as.check(addr, WordSize, true)
+	if f != nil {
+		return f
+	}
+	return seg.storeWord(addr, val)
+}
+
+// CASWord atomically compares-and-swaps the word at addr. It returns whether
+// the swap happened. This is the primitive DangSan uses to invalidate a
+// pointer without clobbering a racing store of a fresh pointer.
+func (as *AddressSpace) CASWord(addr, old, new uint64) (bool, *Fault) {
+	seg, f := as.check(addr, WordSize, true)
+	if f != nil {
+		return false, f
+	}
+	return seg.casWord(addr, old, new)
+}
+
+// LoadByte reads one byte at addr.
+func (as *AddressSpace) LoadByte(addr uint64) (byte, *Fault) {
+	seg, f := as.check(addr, 1, false)
+	if f != nil {
+		return 0, f
+	}
+	w, fault := seg.loadWord(addr &^ 7)
+	if fault != nil {
+		fault.Addr = addr
+		return 0, fault
+	}
+	return byte(w >> (8 * (addr & 7))), nil
+}
+
+// StoreByte writes one byte at addr, preserving the other bytes of the
+// containing word via a CAS loop (the simulation's memory is word-granular).
+func (as *AddressSpace) StoreByte(addr uint64, val byte) *Fault {
+	seg, f := as.check(addr, 1, false)
+	if f != nil {
+		return f
+	}
+	wa := addr &^ 7
+	shift := 8 * (addr & 7)
+	for {
+		old, fault := seg.loadWord(wa)
+		if fault != nil {
+			fault.Addr = addr
+			return fault
+		}
+		new := old&^(0xff<<shift) | uint64(val)<<shift
+		ok, fault := seg.casWord(wa, old, new)
+		if fault != nil {
+			fault.Addr = addr
+			return fault
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// LoadBytes reads len(dst) bytes starting at addr.
+func (as *AddressSpace) LoadBytes(addr uint64, dst []byte) *Fault {
+	for i := range dst {
+		b, f := as.LoadByte(addr + uint64(i))
+		if f != nil {
+			return f
+		}
+		dst[i] = b
+	}
+	return nil
+}
+
+// StoreBytes writes src starting at addr.
+func (as *AddressSpace) StoreBytes(addr uint64, src []byte) *Fault {
+	for i, b := range src {
+		if f := as.StoreByte(addr+uint64(i), b); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Memmove copies n bytes from src to dst within the simulated space, used by
+// the allocator's realloc path (which is exactly the type-unsafe pointer
+// copy the paper discusses in its limitations section). Overlapping ranges
+// are handled like the C memmove.
+func (as *AddressSpace) Memmove(dst, src, n uint64) *Fault {
+	if n == 0 || dst == src {
+		return nil
+	}
+	if dst < src {
+		for i := uint64(0); i < n; i++ {
+			b, f := as.LoadByte(src + i)
+			if f != nil {
+				return f
+			}
+			if f := as.StoreByte(dst+i, b); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	for i := n; i > 0; i-- {
+		b, f := as.LoadByte(src + i - 1)
+		if f != nil {
+			return f
+		}
+		if f := as.StoreByte(dst+i-1, b); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Memset fills n bytes at addr with val.
+func (as *AddressSpace) Memset(addr uint64, val byte, n uint64) *Fault {
+	// Fast path for aligned word runs.
+	w := uint64(val)
+	w |= w<<8 | w<<16 | w<<24
+	w |= w << 32
+	i := uint64(0)
+	for ; i < n && (addr+i)%WordSize != 0; i++ {
+		if f := as.StoreByte(addr+i, val); f != nil {
+			return f
+		}
+	}
+	for ; i+WordSize <= n; i += WordSize {
+		if f := as.StoreWord(addr+i, w); f != nil {
+			return f
+		}
+	}
+	for ; i < n; i++ {
+		if f := as.StoreByte(addr+i, val); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// MappedBytes reports the total mapped (resident) bytes across all segments.
+func (as *AddressSpace) MappedBytes() uint64 {
+	total := as.heap.MappedBytes() + as.globals.MappedBytes() + as.stacks.MappedBytes()
+	as.mu.Lock()
+	for _, seg := range as.extra {
+		total += seg.MappedBytes()
+	}
+	as.mu.Unlock()
+	return total
+}

@@ -1,0 +1,265 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"dangsan/internal/proc"
+)
+
+// ParallelProfile parameterizes one PARSEC or SPLASH-2X analog. Work totals
+// are fixed per run and divided among threads (strong scaling, as in the
+// paper's Figure 10).
+type ParallelProfile struct {
+	// Name is the benchmark this profile is calibrated to.
+	Name string
+	// TotalObjects is the number of objects allocated across all threads.
+	TotalObjects int
+	// TotalStores is the number of pointer stores across all threads.
+	TotalStores int
+	// DupRate is the duplicate-location probability (see SPECProfile).
+	DupRate float64
+	// SharedFraction is the fraction of pointer stores that publish
+	// pointers to shared objects into shared slots — the operations where
+	// threads contend on the same object's metadata.
+	SharedFraction float64
+	// SharedObjects is the number of objects visible to every thread.
+	SharedObjects int
+	// TotalCompute is the number of non-pointer memory operations.
+	TotalCompute int
+	// LeakPerThread allocates this many objects per thread that are never
+	// freed — water_nsquared's behaviour, whose memory overhead therefore
+	// grows with the thread count (paper §8.3).
+	LeakPerThread int
+	// HashHeavy drives most stores at few shared objects with distinct
+	// locations, overflowing logs into hash tables — freqmine's behaviour
+	// (471% memory overhead regardless of threads).
+	HashHeavy bool
+	// SizeMin and SizeMax bound allocation sizes.
+	SizeMin, SizeMax uint64
+	// LiveWindowPerThread is each thread's live-object window.
+	LiveWindowPerThread int
+}
+
+// ParallelProfiles returns the PARSEC and SPLASH-2X analogs of Figures
+// 10/12 (the subset of suites the paper could compile, with their headline
+// behaviours).
+func ParallelProfiles() []ParallelProfile {
+	return []ParallelProfile{
+		// PARSEC
+		{Name: "parsec.blackscholes", TotalObjects: 64, TotalStores: 1000, DupRate: 0.5, SharedFraction: 0.1, SharedObjects: 4, TotalCompute: 3_000_000, SizeMin: 4096, SizeMax: 262144, LiveWindowPerThread: 8},
+		{Name: "parsec.canneal", TotalObjects: 40000, TotalStores: 900_000, DupRate: 0.55, SharedFraction: 0.5, SharedObjects: 256, TotalCompute: 1_500_000, SizeMin: 32, SizeMax: 512, LiveWindowPerThread: 2000},
+		{Name: "parsec.dedup", TotalObjects: 30000, TotalStores: 500_000, DupRate: 0.8, SharedFraction: 0.2, SharedObjects: 64, TotalCompute: 1_600_000, SizeMin: 256, SizeMax: 65536, LiveWindowPerThread: 200},
+		{Name: "parsec.ferret", TotalObjects: 15000, TotalStores: 400_000, DupRate: 0.75, SharedFraction: 0.25, SharedObjects: 64, TotalCompute: 1_800_000, SizeMin: 64, SizeMax: 8192, LiveWindowPerThread: 300},
+		{Name: "parsec.freqmine", TotalObjects: 8000, TotalStores: 900_000, DupRate: 0.3, SharedFraction: 0.6, SharedObjects: 32, TotalCompute: 1_200_000, HashHeavy: true, SizeMin: 32, SizeMax: 1024, LiveWindowPerThread: 2000},
+		{Name: "parsec.swaptions", TotalObjects: 2000, TotalStores: 20_000, DupRate: 0.6, SharedFraction: 0.02, SharedObjects: 4, TotalCompute: 2_500_000, SizeMin: 128, SizeMax: 8192, LiveWindowPerThread: 32},
+		{Name: "parsec.vips", TotalObjects: 6000, TotalStores: 120_000, DupRate: 0.7, SharedFraction: 0.1, SharedObjects: 16, TotalCompute: 2_000_000, SizeMin: 1024, SizeMax: 131072, LiveWindowPerThread: 64},
+		// SPLASH-2X
+		{Name: "splash2x.barnes", TotalObjects: 50000, TotalStores: 1_000_000, DupRate: 0.5, SharedFraction: 0.45, SharedObjects: 512, TotalCompute: 1_800_000, SizeMin: 64, SizeMax: 512, LiveWindowPerThread: 4000},
+		{Name: "splash2x.fmm", TotalObjects: 12000, TotalStores: 300_000, DupRate: 0.7, SharedFraction: 0.3, SharedObjects: 128, TotalCompute: 1_200_000, SizeMin: 64, SizeMax: 4096, LiveWindowPerThread: 800},
+		{Name: "splash2x.ocean_cp", TotalObjects: 256, TotalStores: 4000, DupRate: 0.5, SharedFraction: 0.2, SharedObjects: 16, TotalCompute: 2_800_000, SizeMin: 65536, SizeMax: 1048576, LiveWindowPerThread: 16},
+		{Name: "splash2x.radiosity", TotalObjects: 60000, TotalStores: 800_000, DupRate: 0.6, SharedFraction: 0.4, SharedObjects: 512, TotalCompute: 1_700_000, SizeMin: 32, SizeMax: 1024, LiveWindowPerThread: 3000},
+		{Name: "splash2x.raytrace", TotalObjects: 20000, TotalStores: 250_000, DupRate: 0.85, SharedFraction: 0.15, SharedObjects: 128, TotalCompute: 1_500_000, SizeMin: 64, SizeMax: 2048, LiveWindowPerThread: 500},
+		{Name: "splash2x.water_nsquared", TotalObjects: 4000, TotalStores: 150_000, DupRate: 0.6, SharedFraction: 0.2, SharedObjects: 32, TotalCompute: 1_500_000, LeakPerThread: 400, SizeMin: 64, SizeMax: 1024, LiveWindowPerThread: 100},
+		{Name: "splash2x.water_spatial", TotalObjects: 4000, TotalStores: 150_000, DupRate: 0.6, SharedFraction: 0.2, SharedObjects: 32, TotalCompute: 1_500_000, SizeMin: 512, SizeMax: 16384, LiveWindowPerThread: 100},
+	}
+}
+
+// ParallelProfileByName resolves a profile by full or suffix name.
+func ParallelProfileByName(name string) (ParallelProfile, error) {
+	for _, p := range ParallelProfiles() {
+		if p.Name == name || suffixAfterDot(p.Name) == name {
+			return p, nil
+		}
+	}
+	return ParallelProfile{}, fmt.Errorf("workloads: unknown parallel profile %q", name)
+}
+
+func suffixAfterDot(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// RunParallel executes a parallel analog with the given number of threads.
+// The total work is fixed; each thread performs 1/threads of it.
+func RunParallel(p *proc.Process, prof ParallelProfile, threads int, seed int64) error {
+	if threads < 1 {
+		return fmt.Errorf("workloads: %d threads", threads)
+	}
+	main := p.NewThread()
+	defer main.Exit()
+
+	// Shared objects and the shared slot arena.
+	shared := make([]uint64, prof.SharedObjects)
+	sharedSizes := make([]uint64, prof.SharedObjects)
+	for i := range shared {
+		size := prof.SizeMin * 4
+		base, err := main.Malloc(size)
+		if err != nil {
+			return fmt.Errorf("%s: %w", prof.Name, err)
+		}
+		shared[i] = base
+		usable, _ := p.Allocator().UsableSize(base)
+		sharedSizes[i] = usable
+	}
+	sharedSlotsPer := 256
+	sharedSlotBase := p.AllocGlobal(uint64(8 * sharedSlotsPer * threads))
+
+	objsPer := prof.TotalObjects / threads
+	storesPer := prof.TotalStores / threads
+	computePer := prof.TotalCompute / threads
+
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = runParallelWorker(p, prof, t, threads, objsPer, storesPer, computePer,
+				shared, sharedSizes, sharedSlotBase+uint64(t*sharedSlotsPer*8), sharedSlotsPer,
+				seed+int64(t)*7919)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, base := range shared {
+		if err := main.Free(base); err != nil {
+			return fmt.Errorf("%s: %w", prof.Name, err)
+		}
+	}
+	return nil
+}
+
+func runParallelWorker(p *proc.Process, prof ParallelProfile, t, threads, objects, stores, compute int,
+	shared, sharedSizes []uint64, slotBase uint64, slots int, seed int64) error {
+	th := p.NewThread()
+	defer th.Exit()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Private location arena on this thread's stack plus a private heap
+	// arena (so both stack and heap locations occur).
+	privSlots := 1 << 10
+	stackArena := th.Alloca(uint64(8 * privSlots))
+	heapArena, err := th.Malloc(uint64(8 * privSlots))
+	if err != nil {
+		return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
+	}
+	defer th.Free(heapArena)
+
+	sizeFor := func() uint64 {
+		if prof.SizeMax <= prof.SizeMin {
+			return prof.SizeMin
+		}
+		lo, hi := float64(prof.SizeMin), float64(prof.SizeMax)
+		return uint64(lo * math.Pow(hi/lo, rng.Float64()))
+	}
+
+	type liveObj struct{ base, size uint64 }
+	var live []liveObj
+	privIdx := 0
+	sharedIdx := 0
+	lastLoc := uint64(0)
+
+	// Per-thread leaked state, allocated up front and never freed
+	// (water_nsquared keeps per-thread state for the whole run). The total
+	// leak grows with the thread count, and each leaked object is
+	// pointer-dense: its log entries can never be reclaimed, so the
+	// detector's memory grows faster than the baseline's — the paper's
+	// §8.3 observation (117.8% overhead at 1 thread, 609.2% at 64).
+	for l := 0; l < prof.LeakPerThread; l++ {
+		base, err := th.Malloc(prof.SizeMin)
+		if err != nil {
+			return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
+		}
+		for s := 0; s < 24; s++ {
+			loc := stackArena + uint64(privIdx%privSlots)*8
+			privIdx++
+			if f := th.StorePtr(loc, base+uint64(s%int(prof.SizeMin/8))*8); f != nil {
+				return fmt.Errorf("%s[t%d]: %v", prof.Name, t, f)
+			}
+		}
+	}
+
+	storesPerObj := 1
+	if objects > 0 {
+		storesPerObj = max(stores/max(objects, 1), 1)
+	}
+	computePerObj := compute / max(objects, 1)
+	computeSlot := th.Alloca(8 * 64)
+
+	for i := 0; i < objects; i++ {
+		base, err := th.Malloc(sizeFor())
+		if err != nil {
+			return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
+		}
+		usable, _ := p.Allocator().UsableSize(base)
+		obj := liveObj{base, usable}
+
+		for s := 0; s < storesPerObj; s++ {
+			var loc, val uint64
+			switch {
+			case rng.Float64() < prof.SharedFraction:
+				// Publish a pointer to a shared object. Hash-heavy profiles
+				// cycle distinct slots so shared logs overflow.
+				si := rng.Intn(len(shared))
+				val = shared[si] + uint64(rng.Int63n(int64(sharedSizes[si])))&^7
+				loc = slotBase + uint64(sharedIdx%slots)*8
+				sharedIdx++
+				if prof.HashHeavy {
+					sharedIdx += 3 // stride through slots, defeating the lookback
+				}
+			case lastLoc != 0 && rng.Float64() < prof.DupRate:
+				loc = lastLoc
+				val = obj.base
+			default:
+				if privIdx&1 == 0 {
+					loc = stackArena + uint64(privIdx%privSlots)*8
+				} else {
+					loc = heapArena + uint64(privIdx%privSlots)*8
+				}
+				privIdx++
+				val = obj.base + uint64(rng.Int63n(int64(obj.size)))&^7
+			}
+			lastLoc = loc
+			if f := th.StorePtr(loc, val); f != nil {
+				return fmt.Errorf("%s[t%d]: %v", prof.Name, t, f)
+			}
+		}
+
+		for c := 0; c < computePerObj; c++ {
+			slot := computeSlot + uint64(c&63)*8
+			v, f := th.Load(slot)
+			if f != nil {
+				return fmt.Errorf("%s[t%d]: %v", prof.Name, t, f)
+			}
+			if f := th.StoreInt(slot, v^uint64(c)); f != nil {
+				return fmt.Errorf("%s[t%d]: %v", prof.Name, t, f)
+			}
+		}
+
+		live = append(live, obj)
+		if len(live) > prof.LiveWindowPerThread {
+			victim := live[0]
+			live = live[1:]
+			if err := th.Free(victim.base); err != nil {
+				return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
+			}
+		}
+	}
+	for _, obj := range live {
+		if err := th.Free(obj.base); err != nil {
+			return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
+		}
+	}
+	return nil
+}

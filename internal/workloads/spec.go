@@ -1,0 +1,261 @@
+// Package workloads provides the benchmark programs of the paper's
+// evaluation, rebuilt as synthetic generators over the simulated process
+// runtime: single-threaded SPEC CPU2006 analogs (Figures 9/11 and Table 1),
+// multithreaded PARSEC/SPLASH-2X analogs (Figures 10/12), web-server
+// workloads (§8.2/§8.3) and the exploit scenarios of §8.1.
+//
+// The detectors only observe a stream of allocation, pointer-store and free
+// events, so each SPEC analog reproduces the statistical shape of its
+// benchmark's stream from the paper's Table 1: pointer stores per object,
+// the duplicate-store rate (drives the lookback and the hash-table
+// fallback), the stale rate (locations overwritten before free), the
+// fraction of hot objects (drives hash-table creation), and the number of
+// concurrently live objects (drives memory overhead). Absolute counts are
+// scaled down (roughly 1000x fewer objects, 20000x fewer stores) so that
+// the whole suite runs in seconds; EXPERIMENTS.md records the scaling.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dangsan/internal/proc"
+)
+
+// SPECProfile parameterizes one single-threaded benchmark analog.
+type SPECProfile struct {
+	// Name is the SPEC benchmark this profile is calibrated to.
+	Name string
+	// Objects is the (scaled) number of heap objects allocated over the run.
+	Objects int
+	// TotalStores is the (scaled) number of pointer stores.
+	TotalStores int
+	// DupRate is the probability that a store re-targets the most recent
+	// location (Table 1 "# dup" / "# ptrs").
+	DupRate float64
+	// StaleRate is the probability that a store reuses a location already
+	// holding a pointer to an older live object, making that entry stale
+	// (Table 1 "# stale" / "# ptrs").
+	StaleRate float64
+	// HashFraction is the fraction of objects that receive enough distinct
+	// pointer locations to overflow into the hash table (Table 1
+	// "# hashtable" / "# obj alloc").
+	HashFraction float64
+	// LiveWindow is the number of objects kept live concurrently.
+	LiveWindow int
+	// SizeMin and SizeMax bound the allocation size distribution
+	// (log-uniform).
+	SizeMin, SizeMax uint64
+	// ComputeOps is the number of non-pointer memory operations, modelling
+	// the benchmark's CPU work. Benchmarks with little pointer traffic
+	// (sjeng, lbm, libquantum) are dominated by this and show near-zero
+	// overhead, as in the paper.
+	ComputeOps int
+}
+
+// SPECProfiles returns the 19 C/C++ SPEC CPU2006 analogs of Figure 9 /
+// Table 1, in the paper's order.
+func SPECProfiles() []SPECProfile {
+	return []SPECProfile{
+		{Name: "400.perlbench", Objects: 17500, TotalStores: 1_200_000, DupRate: 0.78, StaleRate: 0.0013, HashFraction: 0.0011, LiveWindow: 4000, SizeMin: 16, SizeMax: 512, ComputeOps: 200_000},
+		{Name: "401.bzip2", Objects: 258, TotalStores: 220_000, DupRate: 0.85, StaleRate: 0.00004, HashFraction: 0, LiveWindow: 32, SizeMin: 4096, SizeMax: 262144, ComputeOps: 1_500_000},
+		{Name: "403.gcc", Objects: 15000, TotalStores: 1_000_000, DupRate: 0.94, StaleRate: 0.015, HashFraction: 0.019, LiveWindow: 3000, SizeMin: 16, SizeMax: 2048, ComputeOps: 300_000},
+		{Name: "429.mcf", Objects: 20, TotalStores: 800_000, DupRate: 0.99, StaleRate: 0.0073, HashFraction: 0.15, LiveWindow: 20, SizeMin: 4096, SizeMax: 524288, ComputeOps: 400_000},
+		{Name: "433.milc", Objects: 653, TotalStores: 600_000, DupRate: 0.62, StaleRate: 0.378, HashFraction: 0.9, LiveWindow: 64, SizeMin: 1024, SizeMax: 65536, ComputeOps: 900_000},
+		{Name: "444.namd", Objects: 1339, TotalStores: 300_000, DupRate: 0.63, StaleRate: 0.0007, HashFraction: 0, LiveWindow: 128, SizeMin: 512, SizeMax: 32768, ComputeOps: 2_000_000},
+		{Name: "445.gobmk", Objects: 6000, TotalStores: 600_000, DupRate: 0.98, StaleRate: 0.00008, HashFraction: 0, LiveWindow: 512, SizeMin: 16, SizeMax: 1024, ComputeOps: 1_200_000},
+		{Name: "447.dealII", Objects: 50000, TotalStores: 40_000, DupRate: 0.036, StaleRate: 0.034, HashFraction: 0, LiveWindow: 8000, SizeMin: 16, SizeMax: 512, ComputeOps: 600_000},
+		{Name: "450.soplex", Objects: 2360, TotalStores: 800_000, DupRate: 0.94, StaleRate: 0.054, HashFraction: 0.076, LiveWindow: 256, SizeMin: 256, SizeMax: 65536, ComputeOps: 400_000},
+		{Name: "453.povray", Objects: 10000, TotalStores: 1_000_000, DupRate: 0.95, StaleRate: 0.0003, HashFraction: 0.0001, LiveWindow: 1000, SizeMin: 16, SizeMax: 256, ComputeOps: 500_000},
+		{Name: "456.hmmer", Objects: 10000, TotalStores: 16_000, DupRate: 0.53, StaleRate: 0.026, HashFraction: 0, LiveWindow: 512, SizeMin: 32, SizeMax: 4096, ComputeOps: 2_500_000},
+		{Name: "458.sjeng", Objects: 20, TotalStores: 10, DupRate: 0, StaleRate: 0, HashFraction: 0, LiveWindow: 20, SizeMin: 4096, SizeMax: 65536, ComputeOps: 3_000_000},
+		{Name: "462.libquantum", Objects: 164, TotalStores: 130, DupRate: 0.23, StaleRate: 0.37, HashFraction: 0, LiveWindow: 32, SizeMin: 1024, SizeMax: 131072, ComputeOps: 2_500_000},
+		{Name: "464.h264ref", Objects: 5000, TotalStores: 300_000, DupRate: 0.47, StaleRate: 0.011, HashFraction: 0.0015, LiveWindow: 512, SizeMin: 1024, SizeMax: 65536, ComputeOps: 1_800_000},
+		{Name: "470.lbm", Objects: 19, TotalStores: 6004, DupRate: 0.5, StaleRate: 0.0003, HashFraction: 0, LiveWindow: 19, SizeMin: 262144, SizeMax: 1048576, ComputeOps: 3_000_000},
+		{Name: "471.omnetpp", Objects: 30000, TotalStores: 1_300_000, DupRate: 0.70, StaleRate: 0.26, HashFraction: 0.39, LiveWindow: 15000, SizeMin: 64, SizeMax: 1024, ComputeOps: 150_000},
+		{Name: "473.astar", Objects: 4800, TotalStores: 1_000_000, DupRate: 0.90, StaleRate: 0.09, HashFraction: 0.043, LiveWindow: 1000, SizeMin: 64, SizeMax: 4096, ComputeOps: 500_000},
+		{Name: "482.sphinx3", Objects: 14000, TotalStores: 400_000, DupRate: 0.93, StaleRate: 0.0016, HashFraction: 0.0002, LiveWindow: 2000, SizeMin: 32, SizeMax: 2048, ComputeOps: 900_000},
+		{Name: "483.xalancbmk", Objects: 30000, TotalStores: 1_000_000, DupRate: 0.61, StaleRate: 0.066, HashFraction: 0.0025, LiveWindow: 8000, SizeMin: 16, SizeMax: 512, ComputeOps: 300_000},
+	}
+}
+
+// SPECProfileByName returns the profile for a benchmark name ("403.gcc" or
+// just "gcc").
+func SPECProfileByName(name string) (SPECProfile, error) {
+	for _, p := range SPECProfiles() {
+		if p.Name == name || p.Name[4:] == name {
+			return p, nil
+		}
+	}
+	return SPECProfile{}, fmt.Errorf("workloads: unknown SPEC profile %q", name)
+}
+
+// hotStoreTarget is how many distinct locations a hot object receives:
+// comfortably past the default hash-table threshold.
+const hotStoreTarget = 192
+
+// RunSPEC executes one SPEC analog on a fresh thread of p. Deterministic
+// for a given seed.
+func RunSPEC(p *proc.Process, prof SPECProfile, seed int64) error {
+	th := p.NewThread()
+	defer th.Exit()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Location arenas. The fresh arena cycles far beyond the lookback so
+	// fresh stores never read as duplicates; the stale pool is a smaller
+	// region that later objects' stores overwrite, turning earlier entries
+	// stale; hot arenas give hot objects enough distinct locations to
+	// overflow their logs.
+	// Half the locations live in globals, half inside a long-lived heap
+	// array — real programs keep pointers in both, and the split exposes
+	// DangNULL's heap-only tracking limitation in Table 1.
+	const freshSlots = 1 << 14
+	const stalePool = 1 << 10
+	freshBase := p.AllocGlobal(8 * freshSlots / 2)
+	heapArena, err := th.Malloc(8 * (freshSlots/2 + stalePool))
+	if err != nil {
+		return fmt.Errorf("%s: %w", prof.Name, err)
+	}
+	defer th.Free(heapArena)
+	staleBase := heapArena + 8*freshSlots/2
+	// Hot locations are spread across 256-byte regions so that pointer
+	// compression cannot pack them and the log genuinely overflows, as
+	// milc's and omnetpp's scattered pointer fields do.
+	const hotStride = 264
+	hotBase := p.AllocGlobal(hotStride * hotStoreTarget)
+	computeBase := p.AllocGlobal(8 * 1024)
+	// Fresh locations come in runs of 32 adjacent slots, alternating
+	// between the global and heap arenas: programs fill nearby fields and
+	// array elements together, which is the spatial locality pointer
+	// compression exploits.
+	freshLoc := func(i int) uint64 {
+		run, off := i/32, i%32
+		slot := uint64(run/2*32+off) * 8
+		if run&1 == 0 {
+			return freshBase + slot
+		}
+		return heapArena + slot
+	}
+
+	type liveObj struct {
+		base, size uint64
+	}
+	live := make([]liveObj, 0, prof.LiveWindow+1)
+
+	sizeFor := func() uint64 {
+		if prof.SizeMax <= prof.SizeMin {
+			return prof.SizeMin
+		}
+		// Log-uniform over [SizeMin, SizeMax].
+		lo, hi := float64(prof.SizeMin), float64(prof.SizeMax)
+		return uint64(lo * math.Pow(hi/lo, rng.Float64()))
+	}
+
+	hotEvery := 0
+	if prof.HashFraction > 0 {
+		hotEvery = int(1 / prof.HashFraction)
+	}
+
+	// Distribute stores across objects; hot objects take hotStoreTarget
+	// each, the rest share the remainder evenly.
+	hotObjects := 0
+	if hotEvery > 0 {
+		hotObjects = prof.Objects / hotEvery
+	}
+	coldStores := prof.TotalStores - hotObjects*hotStoreTarget
+	if coldStores < 0 {
+		coldStores = 0
+	}
+	coldPerObj, coldRem := 0, 0
+	if n := prof.Objects - hotObjects; n > 0 {
+		coldPerObj = coldStores / n
+		coldRem = coldStores % n
+	}
+	computePerObj := prof.ComputeOps / max(prof.Objects, 1)
+
+	freshIdx := 0
+	lastLoc := uint64(0)
+
+	doStore := func(obj liveObj) error {
+		val := obj.base + uint64(rng.Int63n(int64(obj.size)))&^7
+		var loc uint64
+		switch {
+		case lastLoc != 0 && rng.Float64() < prof.DupRate:
+			loc = lastLoc
+		case rng.Float64() < prof.StaleRate:
+			loc = staleBase + uint64(rng.Intn(stalePool))*8
+		default:
+			loc = freshLoc(freshIdx)
+			freshIdx = (freshIdx + 1) % freshSlots
+		}
+		lastLoc = loc
+		if f := th.StorePtr(loc, val); f != nil {
+			return f
+		}
+		return nil
+	}
+
+	for i := 0; i < prof.Objects; i++ {
+		base, err := th.Malloc(sizeFor())
+		if err != nil {
+			return fmt.Errorf("%s: %w", prof.Name, err)
+		}
+		usable, _ := p.Allocator().UsableSize(base)
+		obj := liveObj{base, usable}
+
+		if hotEvery > 0 && i%hotEvery == 0 {
+			// Hot object: enough distinct locations to overflow the log,
+			// then a second pass over the same locations — hot objects in
+			// the paper's Table 1 see both many pointers and many
+			// duplicates (milc: 62% duplicate stores).
+			for s := 0; s < 2*hotStoreTarget; s++ {
+				loc := hotBase + uint64(s%hotStoreTarget)*hotStride
+				val := obj.base + uint64(rng.Int63n(int64(obj.size)))&^7
+				if f := th.StorePtr(loc, val); f != nil {
+					return f
+				}
+			}
+		} else {
+			// Distribute the remainder one extra store per leading object,
+			// so profiles with fewer stores than objects (dealII, sjeng)
+			// still store at their calibrated rate.
+			n := coldPerObj
+			if i < coldRem {
+				n++
+			}
+			for s := 0; s < n; s++ {
+				if err := doStore(obj); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Compute phase: integer loads/stores that detectors ignore.
+		for c := 0; c < computePerObj; c++ {
+			slot := computeBase + uint64(c&1023)*8
+			v, f := th.Load(slot)
+			if f != nil {
+				return f
+			}
+			if f := th.StoreInt(slot, v+uint64(c)); f != nil {
+				return f
+			}
+		}
+
+		live = append(live, obj)
+		if len(live) > prof.LiveWindow {
+			victim := live[0]
+			live = live[1:]
+			if err := th.Free(victim.base); err != nil {
+				return fmt.Errorf("%s: %w", prof.Name, err)
+			}
+		}
+	}
+	for _, obj := range live {
+		if err := th.Free(obj.base); err != nil {
+			return fmt.Errorf("%s: %w", prof.Name, err)
+		}
+	}
+	return nil
+}

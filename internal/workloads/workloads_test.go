@@ -1,0 +1,303 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/dangnull"
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/proc"
+)
+
+// small returns a scaled-down copy of a SPEC profile for fast tests.
+func small(p SPECProfile) SPECProfile {
+	p.Objects = min(p.Objects, 400)
+	p.TotalStores = min(p.TotalStores, 20000)
+	p.ComputeOps = min(p.ComputeOps, 5000)
+	p.LiveWindow = min(p.LiveWindow, 100)
+	return p
+}
+
+func TestSPECProfilesComplete(t *testing.T) {
+	profs := SPECProfiles()
+	if len(profs) != 19 {
+		t.Fatalf("got %d SPEC profiles, want the paper's 19", len(profs))
+	}
+	seen := map[string]bool{}
+	for _, p := range profs {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Objects <= 0 || p.SizeMin == 0 || p.SizeMax < p.SizeMin || p.LiveWindow <= 0 {
+			t.Errorf("%s: degenerate profile %+v", p.Name, p)
+		}
+		if p.DupRate < 0 || p.DupRate > 1 || p.StaleRate < 0 || p.StaleRate > 1 {
+			t.Errorf("%s: rates out of range", p.Name)
+		}
+	}
+}
+
+func TestSPECProfileByName(t *testing.T) {
+	p, err := SPECProfileByName("403.gcc")
+	if err != nil || p.Name != "403.gcc" {
+		t.Fatalf("%v %v", p, err)
+	}
+	p, err = SPECProfileByName("gcc")
+	if err != nil || p.Name != "403.gcc" {
+		t.Fatalf("suffix lookup: %v %v", p, err)
+	}
+	if _, err := SPECProfileByName("nope"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+func TestRunSPECUnderEveryDetector(t *testing.T) {
+	prof := small(mustSpec(t, "403.gcc"))
+	for _, mk := range []func() detectors.Detector{
+		func() detectors.Detector { return detectors.None{} },
+		func() detectors.Detector { return dangsan.New() },
+		func() detectors.Detector { return dangnull.New() },
+		func() detectors.Detector { return freesentry.New() },
+	} {
+		p := proc.New(mk())
+		if err := RunSPEC(p, prof, 1); err != nil {
+			t.Fatalf("%s: %v", p.Detector().Name(), err)
+		}
+		// All objects freed: no leaks.
+		if st := p.Allocator().Stats(); st.LiveObjects != 0 {
+			t.Fatalf("%s: %d live objects leaked", p.Detector().Name(), st.LiveObjects)
+		}
+	}
+}
+
+func mustSpec(t *testing.T, name string) SPECProfile {
+	t.Helper()
+	p, err := SPECProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSPECStatisticsShape(t *testing.T) {
+	// The generator must reproduce the qualitative Table 1 shape: gcc has
+	// high duplicates, milc has a high stale fraction and mostly hot
+	// objects, dealII has almost no duplicates.
+	runWith := func(name string) (d *dangsan.Detector) {
+		d = dangsan.New()
+		p := proc.New(d)
+		if err := RunSPEC(p, small(mustSpec(t, name)), 42); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	gcc := runWith("gcc").Stats()
+	if gcc.Registered == 0 {
+		t.Fatal("gcc registered nothing")
+	}
+	dupFrac := float64(gcc.Duplicates) / float64(gcc.Registered)
+	if dupFrac < 0.5 {
+		t.Errorf("gcc duplicate fraction = %.2f, want high (Table 1: 0.94)", dupFrac)
+	}
+
+	milc := runWith("milc").Stats()
+	if milc.HashTables == 0 {
+		t.Error("milc created no hash tables (Table 1: ~94% of objects)")
+	}
+	staleFrac := float64(milc.Stale) / float64(milc.Registered)
+	if staleFrac < 0.05 {
+		t.Errorf("milc stale fraction = %.3f, want substantial (Table 1: 0.38)", staleFrac)
+	}
+
+	dealII := runWith("dealII").Stats()
+	dealDup := float64(dealII.Duplicates) / float64(max(int(dealII.Registered), 1))
+	if dealDup > 0.3 {
+		t.Errorf("dealII duplicate fraction = %.2f, want low (Table 1: 0.036)", dealDup)
+	}
+
+	sjeng := runWith("sjeng").Stats()
+	if sjeng.Registered > 100 {
+		t.Errorf("sjeng registered %d pointers, want almost none", sjeng.Registered)
+	}
+}
+
+func TestDangNullTracksFewerPointers(t *testing.T) {
+	// Table 1's coverage gap: DangNULL only sees heap-resident pointer
+	// slots, so it must register (and invalidate) far fewer pointers.
+	prof := small(mustSpec(t, "perlbench"))
+
+	ds := dangsan.New()
+	if err := RunSPEC(proc.New(ds), prof, 7); err != nil {
+		t.Fatal(err)
+	}
+	dn := dangnull.New()
+	if err := RunSPEC(proc.New(dn), prof, 7); err != nil {
+		t.Fatal(err)
+	}
+	dsStats := ds.Stats()
+	dnReg, _ := dn.Stats()
+	if dnReg >= dsStats.Registered {
+		t.Fatalf("dangnull registered %d >= dangsan %d", dnReg, dsStats.Registered)
+	}
+}
+
+func TestRunParallelThreadCounts(t *testing.T) {
+	prof, err := ParallelProfileByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.TotalObjects = 800
+	prof.TotalStores = 8000
+	prof.TotalCompute = 4000
+	for _, threads := range []int{1, 2, 4, 8} {
+		p := proc.New(dangsan.New())
+		if err := RunParallel(p, prof, threads, 3); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if st := p.Allocator().Stats(); st.LiveObjects != 0 {
+			t.Fatalf("threads=%d: %d objects leaked", threads, st.LiveObjects)
+		}
+	}
+}
+
+func TestWaterNsquaredLeaks(t *testing.T) {
+	prof, err := ParallelProfileByName("water_nsquared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.TotalObjects = 2000
+	prof.TotalStores = 4000
+	prof.TotalCompute = 1000
+	prof.LeakPerThread = 100
+
+	footprint := func(threads int) uint64 {
+		p := proc.New(detectors.None{})
+		if err := RunParallel(p, prof, threads, 5); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.Allocator().Stats(); st.LiveObjects == 0 {
+			t.Fatal("expected leaked objects")
+		}
+		return p.MemoryFootprint()
+	}
+	if f8, f1 := footprint(8), footprint(1); f8 <= f1 {
+		t.Errorf("leaky benchmark footprint did not grow with threads: %d vs %d", f1, f8)
+	}
+}
+
+func TestFreqmineCreatesHashTables(t *testing.T) {
+	prof, err := ParallelProfileByName("freqmine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.TotalObjects = 500
+	prof.TotalStores = 40000
+	prof.TotalCompute = 1000
+	d := dangsan.New()
+	if err := RunParallel(proc.New(d), prof, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().HashTables == 0 {
+		t.Fatal("freqmine profile created no hash tables")
+	}
+}
+
+func TestParallelProfilesComplete(t *testing.T) {
+	profs := ParallelProfiles()
+	var parsec, splash int
+	for _, p := range profs {
+		switch {
+		case strings.HasPrefix(p.Name, "parsec."):
+			parsec++
+		case strings.HasPrefix(p.Name, "splash2x."):
+			splash++
+		default:
+			t.Errorf("profile %s in neither suite", p.Name)
+		}
+	}
+	if parsec < 5 || splash < 5 {
+		t.Fatalf("parsec=%d splash=%d, want several of each", parsec, splash)
+	}
+}
+
+func TestRunServerAllProfiles(t *testing.T) {
+	for _, prof := range ServerProfiles() {
+		p := proc.New(dangsan.New())
+		if err := RunServer(p, prof, 4, 200, 11); err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if st := p.Allocator().Stats(); st.LiveObjects != 0 {
+			t.Fatalf("%s: %d objects leaked", prof.Name, st.LiveObjects)
+		}
+	}
+}
+
+func TestServerProfileCharacter(t *testing.T) {
+	// Cherokee must generate near-zero pointer registrations per request;
+	// Apache must generate many — that difference is why the paper sees
+	// 21% slowdown on Apache and none on Cherokee.
+	run := func(name string) uint64 {
+		d := dangsan.New()
+		p := proc.New(d)
+		prof, err := ServerProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunServer(p, prof, 2, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Registered
+	}
+	apache, cherokee := run("apache"), run("cherokee")
+	if apache < 10*cherokee {
+		t.Fatalf("apache registered %d, cherokee %d: expected a wide gap", apache, cherokee)
+	}
+}
+
+func TestExploitsPreventedOnlyUnderProtection(t *testing.T) {
+	type scenario struct {
+		name string
+		run  func(*proc.Process) (ExploitOutcome, error)
+	}
+	scenarios := []scenario{
+		{"CVE-2010-2939 openssl double free", DoubleFreeOpenSSL},
+		{"CVE-2016-4077 wireshark UAF read", UAFWireshark},
+		{"open litespeed UAF write", UAFLitespeed},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			// Unprotected: the exploit succeeds silently.
+			out, err := sc.run(proc.New(detectors.None{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Prevented {
+				t.Fatalf("baseline unexpectedly prevented: %s", out.Detail)
+			}
+			// DangSan: prevented.
+			out, err = sc.run(proc.New(dangsan.New()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Prevented {
+				t.Fatalf("dangsan failed to prevent: %s", out.Detail)
+			}
+		})
+	}
+}
+
+func TestDoubleFreeAbortMessageShape(t *testing.T) {
+	out, err := DoubleFreeOpenSSL(proc.New(dangsan.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §8.1 shows "Attempt to free invalid pointer 0x80000...":
+	// the invalidated pointer's top bit in the abort message.
+	if !strings.Contains(out.Detail, "attempt to free invalid pointer 0x8") {
+		t.Fatalf("abort message: %s", out.Detail)
+	}
+}
