@@ -5,6 +5,7 @@
 //
 //	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
+//	              [-cpuprofile prof.out] [-memprofile mem.out]
 //
 // Results go to stdout; progress (with -v) to stderr.
 package main
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -29,7 +32,28 @@ func main() {
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10/fig12 (default 1,2,4,8,16,32,64)")
 	verbose := flag.Bool("v", false, "print progress to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	var progress func(string)
 	if *verbose {

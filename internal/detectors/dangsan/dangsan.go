@@ -30,6 +30,7 @@ type Detector struct {
 
 var _ detectors.Detector = (*Detector)(nil)
 var _ detectors.Binder = (*Detector)(nil)
+var _ detectors.ThreadAware = (*Detector)(nil)
 
 // New creates a DangSan detector with the paper's default configuration.
 func New() *Detector {
@@ -78,6 +79,8 @@ func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
 	if newSize < oldSize {
 		d.table.ClearObject(base+newSize, oldSize-newSize, align)
 	}
+	// Cached fast-path extents for this object are stale either way.
+	d.logger.BumpGen()
 }
 
 // OnFree implements detectors.Detector (the heap tracker's free hook): this
@@ -113,6 +116,48 @@ func (d *Detector) OnPtrStore(loc, val uint64, tid int32) {
 	d.logger.Register(meta, loc, tid)
 }
 
+// threadCtx is the per-thread store fast path: a memo of the last object
+// this thread stored a pointer into — its extent and this thread's log —
+// valid while the logger's generation is unchanged (no free or in-place
+// realloc has happened since the memo was filled). A hit skips both the
+// shadow lookup and the thread-log list walk.
+type threadCtx struct {
+	tid       int32
+	gen       uint64
+	base, end uint64
+	tl        *pointerlog.ThreadLog
+}
+
+// NewThreadContext implements detectors.ThreadAware.
+func (d *Detector) NewThreadContext(tid int32) detectors.ThreadContext {
+	return &threadCtx{tid: tid}
+}
+
+// OnPtrStoreCtx implements detectors.ThreadAware: OnPtrStore with the
+// storing thread's memo. The generation is read before the shadow lookup
+// on the fill path, so a free racing with the fill bumps the generation
+// past the memoized one and the memo misses from then on; the residual
+// window (store racing the free of its own target) is the same benign
+// race the seed path has, reconciled by free-time re-verification.
+func (d *Detector) OnPtrStoreCtx(ctx detectors.ThreadContext, loc, val uint64) {
+	c := ctx.(*threadCtx)
+	if c.tl != nil && val >= c.base && val < c.end && c.gen == d.logger.Gen() {
+		d.logger.RegisterWith(c.tl, loc, c.tid)
+		return
+	}
+	gen := d.logger.Gen()
+	handle := d.table.Lookup(val)
+	if handle == 0 {
+		return
+	}
+	meta := d.logger.MetaAt(handle)
+	if meta == nil {
+		return
+	}
+	tl := d.logger.Register(meta, loc, c.tid)
+	c.tl, c.base, c.end, c.gen = tl, meta.Base, meta.Base+meta.Size, gen
+}
+
 // OnMemcpy implements detectors.MemcpyHooker (the §7 extension): scan every
 // aligned word of the copied destination; values that land in tracked
 // objects get their new location registered, so pointers copied
@@ -134,7 +179,7 @@ func (d *Detector) OnMemcpy(dst, src, n uint64, tid int32) {
 
 // MetadataBytes implements detectors.Detector.
 func (d *Detector) MetadataBytes() uint64 {
-	return d.table.Bytes() + d.logger.Stats().LogBytes.Load()
+	return d.table.Bytes() + d.logger.Stats().LogBytesTotal()
 }
 
 // Stats exposes the pointer-log counters for the Table 1 experiments.

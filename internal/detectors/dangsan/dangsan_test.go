@@ -124,6 +124,135 @@ func TestMetadataBytesGrows(t *testing.T) {
 	}
 }
 
+func TestThreadContextFastPathHit(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 4096, 8)
+	ctx := d.NewThreadContext(0)
+
+	loc1 := uint64(vmem.GlobalsBase + 0x100)
+	as.StoreWord(loc1, base+8)
+	d.OnPtrStoreCtx(ctx, loc1, base+8)
+	c := ctx.(*threadCtx)
+	if c.tl == nil || c.base != base || c.end != base+4096 {
+		t.Fatalf("memo not filled: %+v", c)
+	}
+	tl := c.tl
+
+	// Second store into the same object must take the memoized path: the
+	// thread log stays the same and the registration still lands.
+	loc2 := uint64(vmem.GlobalsBase + 0x900)
+	as.StoreWord(loc2, base+16)
+	d.OnPtrStoreCtx(ctx, loc2, base+16)
+	if c.tl != tl {
+		t.Fatal("memo was refilled on a hit")
+	}
+	if s := d.Stats(); s.Registered != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	d.OnFree(base, 4096, 8)
+	for _, loc := range []uint64{loc1, loc2} {
+		if v, _ := as.LoadWord(loc); v&pointerlog.InvalidBit == 0 {
+			t.Fatalf("loc 0x%x not invalidated: 0x%x", loc, v)
+		}
+	}
+}
+
+func TestThreadContextDropsMemoAfterFree(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 64, 8)
+	ctx := d.NewThreadContext(0)
+
+	loc := uint64(vmem.GlobalsBase + 0x100)
+	as.StoreWord(loc, base+8)
+	d.OnPtrStoreCtx(ctx, loc, base+8)
+	d.OnFree(base, 64, 8)
+
+	// A store of a dangling value after the free must not be registered
+	// against the dead memo (the shadow mapping is gone).
+	loc2 := uint64(vmem.GlobalsBase + 0x200)
+	as.StoreWord(loc2, base+16)
+	d.OnPtrStoreCtx(ctx, loc2, base+16)
+	if s := d.Stats(); s.Registered != 1 {
+		t.Fatalf("dangling store was registered via stale memo: %+v", s)
+	}
+
+	// A recycled allocation at the same base must be re-resolved and
+	// tracked correctly through the same context.
+	d.OnAlloc(base, 64, 8)
+	as.StoreWord(loc2, base+16)
+	d.OnPtrStoreCtx(ctx, loc2, base+16)
+	d.OnFree(base, 64, 8)
+	if v, _ := as.LoadWord(loc2); v != (base+16)|pointerlog.InvalidBit {
+		t.Fatalf("recycled object's pointer not invalidated: 0x%x", v)
+	}
+}
+
+func TestThreadContextMissAfterShrink(t *testing.T) {
+	d, as := newBound(t)
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 4*vmem.PageSize, vmem.PageSize)
+	ctx := d.NewThreadContext(0)
+
+	// Fill the memo with the 4-page extent.
+	headLoc := uint64(vmem.GlobalsBase + 0x10)
+	as.StoreWord(headLoc, base+8)
+	d.OnPtrStoreCtx(ctx, headLoc, base+8)
+
+	d.OnReallocInPlace(base, 4*vmem.PageSize, 2*vmem.PageSize, vmem.PageSize)
+
+	// A store of a pointer into the abandoned tail would pass the stale
+	// memoized extent check; the generation bump must force the shadow
+	// lookup, which finds nothing.
+	tailLoc := uint64(vmem.GlobalsBase + 0x20)
+	tailPtr := base + 3*vmem.PageSize
+	as.StoreWord(tailLoc, tailPtr)
+	d.OnPtrStoreCtx(ctx, tailLoc, tailPtr)
+
+	d.OnFree(base, 2*vmem.PageSize, vmem.PageSize)
+	if v, _ := as.LoadWord(headLoc); v&pointerlog.InvalidBit == 0 {
+		t.Fatalf("head pointer not invalidated: 0x%x", v)
+	}
+	if v, _ := as.LoadWord(tailLoc); v != tailPtr {
+		t.Fatalf("tail pointer should be untouched: 0x%x", v)
+	}
+}
+
+// The context path and the plain path must count identically.
+func TestThreadContextMatchesPlainPath(t *testing.T) {
+	run := func(useCtx bool) pointerlog.Snapshot {
+		d, as := newBound(t)
+		ctx := d.NewThreadContext(0)
+		for obj := 0; obj < 4; obj++ {
+			base := vmem.HeapBase + uint64(obj)*8192
+			d.OnAlloc(base, 4096, 8)
+		}
+		x := uint64(99)
+		for i := 0; i < 20000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			base := vmem.HeapBase + (x>>33%4)*8192
+			loc := vmem.GlobalsBase + (x>>13%(1<<12))*8
+			val := base + x>>3%4096&^7
+			as.StoreWord(loc, val)
+			if useCtx {
+				d.OnPtrStoreCtx(ctx, loc, val)
+			} else {
+				d.OnPtrStore(loc, val, 0)
+			}
+		}
+		for obj := 0; obj < 4; obj++ {
+			base := vmem.HeapBase + uint64(obj)*8192
+			d.OnFree(base, 4096, 8)
+		}
+		return d.Stats()
+	}
+	plain, ctx := run(false), run(true)
+	if plain != ctx {
+		t.Fatalf("paths diverge:\nplain %+v\nctx   %+v", plain, ctx)
+	}
+}
+
 func TestDecodeFault(t *testing.T) {
 	orig := uint64(vmem.HeapBase + 0x123456)
 	got, ok := pointerlog.DecodeFault(orig | pointerlog.InvalidBit)

@@ -50,6 +50,29 @@ type Binder interface {
 	Bind(mem Memory)
 }
 
+// ThreadContext is opaque per-thread detector state. The runtime obtains
+// one per simulated thread from ThreadAware.NewThreadContext and passes
+// it back on that thread's pointer stores, giving the detector a place
+// to keep an unsynchronized store fast path (e.g. a memoized
+// object-to-log mapping) without any thread-local lookup of its own.
+type ThreadContext interface{}
+
+// ThreadAware is implemented by detectors that maintain a per-thread
+// store fast path. When a detector implements it, the runtime calls
+// OnPtrStoreCtx with the storing thread's context instead of OnPtrStore;
+// both must have identical observable behavior — the context is purely
+// an optimization channel.
+type ThreadAware interface {
+	// NewThreadContext creates the context for a new thread. It is called
+	// once per thread, before any store from that thread.
+	NewThreadContext(tid int32) ThreadContext
+
+	// OnPtrStoreCtx is OnPtrStore with the storing thread's context. ctx
+	// is only ever passed back from the thread it was created for, so the
+	// detector may mutate it without synchronization.
+	OnPtrStoreCtx(ctx ThreadContext, loc, val uint64)
+}
+
 // Memory is the view of simulated memory detectors may use: checked reads
 // (reporting the simulated SIGSEGV instead of crashing) and
 // compare-and-swap for race-free invalidation. *vmem.AddressSpace

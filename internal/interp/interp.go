@@ -215,7 +215,7 @@ func (ex *executor) callFunc(f *ir.Func, args []uint64) (uint64, *Trap) {
 					return 0, ex.trapf(f, in, fault, nil)
 				}
 			case ir.OpRegPtr:
-				ex.rt.p.Detector().OnPtrStore(val(in.A), val(in.B), ex.th.ID())
+				ex.th.RegisterPtr(val(in.A), val(in.B))
 			case ir.OpAlloca:
 				regs[in.Dst] = ex.th.Alloca(in.Size)
 			case ir.OpGlobal:

@@ -1,0 +1,151 @@
+package pointerlog
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+// BenchmarkRegisterParallel drives the register hot path from many
+// goroutines storing into one shared object, the shape of the paper's
+// Fig. 10 scalability experiment. Each goroutine owns a distinct tid (so
+// it appends to its own thread log, per the lock-free design) and a
+// distinct location range; any slowdown versus the single-threaded rate
+// is contention our implementation added, not the algorithm's.
+func BenchmarkRegisterParallel(b *testing.B) {
+	lg := NewLogger(DefaultConfig())
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	var tids atomic.Int32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		tid := tids.Add(1) - 1
+		base := vmem.GlobalsBase + uint64(tid)<<14
+		i := uint64(0)
+		for pb.Next() {
+			lg.Register(meta, base+(i&1023)*8, tid)
+			i++
+		}
+	})
+}
+
+// BenchmarkRegisterParallelFastPath is the same workload through the
+// memoized store path used by detectors.ThreadAware: each goroutine
+// holds its cached thread log and revalidates it against the logger
+// generation before every append, exactly as dangsan.OnPtrStoreCtx does
+// on a cache hit.
+func BenchmarkRegisterParallelFastPath(b *testing.B) {
+	lg := NewLogger(DefaultConfig())
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	var tids atomic.Int32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		tid := tids.Add(1) - 1
+		base := vmem.GlobalsBase + uint64(tid)<<14
+		tl := lg.Register(meta, base, tid)
+		gen := lg.Gen()
+		i := uint64(0)
+		for pb.Next() {
+			if gen != lg.Gen() {
+				gen = lg.Gen()
+				tl = lg.Register(meta, base+(i&1023)*8, tid)
+			} else {
+				lg.RegisterWith(tl, base+(i&1023)*8, tid)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRegisterSingle is the 1-thread anchor for RegisterParallel.
+func BenchmarkRegisterSingle(b *testing.B) {
+	lg := NewLogger(DefaultConfig())
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Register(meta, vmem.GlobalsBase+(uint64(i)&1023)*8, 0)
+	}
+}
+
+// invalidateFixture builds an object with nLocs distinct registered
+// locations (driving the log into the hash-table fallback) all still
+// pointing into the object, so Invalidate takes the CAS path for each.
+func invalidateFixture(b *testing.B, nLocs int, tids int) (*Logger, *ObjectMeta, *vmem.AddressSpace, []uint64) {
+	b.Helper()
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 16)
+	lg := NewLogger(DefaultConfig())
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+	locs := make([]uint64, nLocs)
+	for i := range locs {
+		loc := vmem.GlobalsBase + uint64(i)*8
+		locs[i] = loc
+		as.StoreWord(loc, vmem.HeapBase+uint64(i)%4096&^7)
+		lg.Register(meta, loc, int32(i%tids))
+	}
+	return lg, meta, as, locs
+}
+
+// BenchmarkInvalidateLargeLog measures free-time invalidation of an
+// object with 64Ki live pointer locations in a single thread's log (the
+// hash-table-fallback regime where parallel invalidation applies).
+func BenchmarkInvalidateLargeLog(b *testing.B) {
+	lg, meta, as, locs := invalidateFixture(b, 1<<16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Invalidate(meta, as)
+		b.StopTimer()
+		for j, loc := range locs {
+			as.StoreWord(loc, vmem.HeapBase+uint64(j)%4096&^7)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkInvalidateLargeLogWorkers4 forces a 4-worker parallel walk
+// regardless of GOMAXPROCS, so the dispatch overhead (unit building,
+// goroutine spawn, shard flushes) is visible even on small machines. On
+// a multi-core host compare against BenchmarkInvalidateLargeLog run
+// with GOMAXPROCS=1 for the speedup.
+func BenchmarkInvalidateLargeLogWorkers4(b *testing.B) {
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 16)
+	cfg := DefaultConfig()
+	cfg.InvalidateWorkers = 4
+	lg := NewLogger(cfg)
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+	locs := make([]uint64, 1<<16)
+	for i := range locs {
+		loc := vmem.GlobalsBase + uint64(i)*8
+		locs[i] = loc
+		as.StoreWord(loc, vmem.HeapBase+uint64(i)%4096&^7)
+		lg.Register(meta, loc, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Invalidate(meta, as)
+		b.StopTimer()
+		for j, loc := range locs {
+			as.StoreWord(loc, vmem.HeapBase+uint64(j)%4096&^7)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkInvalidateManyThreadLogs is the other parallel-invalidation
+// regime: the object's locations are spread over 16 per-thread logs.
+func BenchmarkInvalidateManyThreadLogs(b *testing.B) {
+	lg, meta, as, locs := invalidateFixture(b, 1<<16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Invalidate(meta, as)
+		b.StopTimer()
+		for j, loc := range locs {
+			as.StoreWord(loc, vmem.HeapBase+uint64(j)%4096&^7)
+		}
+		b.StartTimer()
+	}
+}

@@ -35,23 +35,27 @@ func hashLoc(loc uint64) uint64 {
 	return (loc >> 3) * 0x9E3779B97F4A7C15
 }
 
-// insert adds loc to the set, reporting whether it was newly added.
-// Owner-only. loc must be nonzero.
-func (s *locSet) insert(loc uint64) bool {
+// insert adds loc to the set, reporting whether it was newly added and
+// by how many bytes the table grew (so the caller charges LogBytes
+// without re-measuring the table on every call). Owner-only. loc must
+// be nonzero.
+func (s *locSet) insert(loc uint64) (added bool, grown uint64) {
 	t := s.table.Load()
 	if t.used*10 >= len(t.entries)*7 {
+		old := uint64(len(t.entries)) * 8
 		t = s.grow(t)
+		grown = uint64(len(t.entries))*8 - old
 	}
 	i := hashLoc(loc) & t.mask
 	for {
 		e := atomic.LoadUint64(&t.entries[i])
 		if e == loc {
-			return false
+			return false, grown
 		}
 		if e == 0 {
 			atomic.StoreUint64(&t.entries[i], loc)
 			t.used++
-			return true
+			return true, grown
 		}
 		i = (i + 1) & t.mask
 	}

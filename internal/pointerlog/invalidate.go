@@ -1,6 +1,11 @@
 package pointerlog
 
-import "dangsan/internal/vmem"
+import (
+	"sync"
+	"sync/atomic"
+
+	"dangsan/internal/vmem"
+)
 
 // InvalidBit is OR-ed into a pointer value to invalidate it. Setting the
 // most significant bit makes the address non-canonical on x86-64 — any
@@ -30,38 +35,172 @@ type Memory interface {
 	CASWord(addr, old, new uint64) (bool, *vmem.Fault)
 }
 
+// invalCounts accumulates per-walk counters locally so the walk touches
+// shared (sharded) counters O(1) times per free, not once per location.
+type invalCounts struct {
+	invalidated, stale, faulted uint64
+}
+
+func (c *invalCounts) flush(sh *statShard) {
+	if c.invalidated != 0 {
+		sh.invalidated.Add(c.invalidated)
+	}
+	if c.stale != 0 {
+		sh.stale.Add(c.stale)
+	}
+	if c.faulted != 0 {
+		sh.faulted.Add(c.faulted)
+	}
+}
+
+// invalUnit is one independently walkable chunk of an object's logs:
+// either a whole thread log's inline storage (embed array plus indirect
+// blocks — bounded by MaxLogEntries) or a slot range of a hash-table
+// fallback.
+type invalUnit struct {
+	tl     *ThreadLog
+	table  *locTable
+	lo, hi int
+}
+
+// hashSlotsPerUnit is the hash-table slot range covered by one parallel
+// work unit.
+const hashSlotsPerUnit = 1 << 13
+
 // Invalidate implements the paper's invalptrs: walk every location recorded
 // for meta's object and overwrite, with compare-and-swap, every value that
 // still points into [Base, Base+Size). Stale locations — overwritten since
 // being logged, or in memory since returned to the OS — are skipped; that
 // deferred reconciliation is what lets Register run without locks.
+//
+// Objects whose logs are large (the hash-table-fallback regime, or wide
+// fan-in across many thread logs) are walked by a bounded pool of worker
+// goroutines (Config.InvalidateWorkers, Config.ParallelInvalidateMin).
+// Parallel walks preserve the CAS contract: two workers hitting the same
+// location (recorded by two threads) interleave exactly like two serial
+// visits — the loser of the CAS re-reads and classifies the value as
+// stale, so racing program stores are never clobbered and counter totals
+// match the serial walk.
 func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
+	// Any cached {meta, ThreadLog} fast-path pair is stale from here on.
+	lg.gen.Add(1)
+
 	base, end := meta.Base, meta.Base+meta.Size
-	meta.ForEachLocation(func(loc uint64) {
-		lg.invalidateLocation(loc, base, end, mem)
-	})
+	sh := lg.stats.shard(int32(meta.Base >> 12))
+
+	// Size the walk. Thread-log inline storage is bounded by
+	// MaxLogEntries; only hash fallbacks (and many-threaded objects) can
+	// push the estimate past the parallel threshold.
+	est := 0
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		est += embedEntries
+		for b := tl.blocks.Load(); b != nil; b = b.next.Load() {
+			est += blockEntries
+		}
+		if h := tl.hash.Load(); h != nil {
+			est += len(h.table.Load().entries)
+		}
+	}
+
+	workers := lg.cfg.InvalidateWorkers
+	if workers <= 1 || est < lg.cfg.ParallelInvalidateMin {
+		var c invalCounts
+		meta.ForEachLocation(func(loc uint64) {
+			lg.invalidateLocation(loc, base, end, mem, &c)
+		})
+		c.flush(sh)
+		return
+	}
+
+	// Parallel walk: split into units, fan out over a bounded pool.
+	var units []invalUnit
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		units = append(units, invalUnit{tl: tl})
+		if h := tl.hash.Load(); h != nil {
+			t := h.table.Load()
+			for lo := 0; lo < len(t.entries); lo += hashSlotsPerUnit {
+				hi := lo + hashSlotsPerUnit
+				if hi > len(t.entries) {
+					hi = len(t.entries)
+				}
+				units = append(units, invalUnit{table: t, lo: lo, hi: hi})
+			}
+		}
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var c invalCounts
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					break
+				}
+				lg.invalidateUnit(&units[i], base, end, mem, &c)
+			}
+			// Each worker flushes to its own shard to keep the flush
+			// contention-free; totals are unaffected by which shard
+			// holds them.
+			c.flush(lg.stats.shard(int32(w)))
+		}(w)
+	}
+	wg.Wait()
 }
 
-func (lg *Logger) invalidateLocation(loc, base, end uint64, mem Memory) {
+// invalidateUnit walks one unit. The hash-range walk reads the table
+// published at unit-build time; entries a racing owner adds afterwards
+// may be missed, the same benign race the serial walk tolerates.
+func (lg *Logger) invalidateUnit(u *invalUnit, base, end uint64, mem Memory, c *invalCounts) {
+	var scratch [3]uint64
+	visit := func(e uint64) {
+		for _, loc := range decodeEntry(e, scratch[:0]) {
+			lg.invalidateLocation(loc, base, end, mem, c)
+		}
+	}
+	if u.tl != nil {
+		for i := 0; i < embedEntries; i++ {
+			visit(atomic.LoadUint64(&u.tl.embed[i]))
+		}
+		for b := u.tl.blocks.Load(); b != nil; b = b.next.Load() {
+			for i := 0; i < blockEntries; i++ {
+				visit(atomic.LoadUint64(&b.entries[i]))
+			}
+		}
+		return
+	}
+	for i := u.lo; i < u.hi; i++ {
+		if e := atomic.LoadUint64(&u.table.entries[i]); e != 0 {
+			visit(e)
+		}
+	}
+}
+
+func (lg *Logger) invalidateLocation(loc, base, end uint64, mem Memory, c *invalCounts) {
 	for {
 		w, fault := mem.LoadWord(loc)
 		if fault != nil {
 			// The memory holding the pointer was itself freed and returned
 			// to the OS; DangSan catches the SIGSEGV and skips the entry.
-			lg.stats.Faulted.Add(1)
+			c.faulted++
 			return
 		}
 		if w < base || w >= end {
-			lg.stats.Stale.Add(1)
+			c.stale++
 			return
 		}
 		ok, fault := mem.CASWord(loc, w, w|InvalidBit)
 		if fault != nil {
-			lg.stats.Faulted.Add(1)
+			c.faulted++
 			return
 		}
 		if ok {
-			lg.stats.Invalidated.Add(1)
+			c.invalidated++
 			return
 		}
 		// Lost a race with a concurrent store; re-check the fresh value.

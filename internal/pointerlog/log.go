@@ -61,6 +61,13 @@ type Logger struct {
 	cfg   Config
 	stats Stats
 
+	// gen is the cache-invalidation generation for per-thread store fast
+	// paths (detectors caching a {meta, ThreadLog} pair): it is bumped
+	// whenever object metadata becomes stale — every Invalidate and every
+	// in-place realloc — so a cached pair is valid exactly while the
+	// generation it was filled under still matches.
+	gen atomic.Uint64
+
 	// Metadata registry. MetaAt (the pointer-store hot path) is lock-free:
 	// slabs are published with atomic stores and never move; the mutex
 	// only guards allocation and the free list (malloc/free frequency,
@@ -93,6 +100,16 @@ func (lg *Logger) Config() Config { return lg.cfg }
 // Stats returns the logger's counters.
 func (lg *Logger) Stats() *Stats { return &lg.stats }
 
+// Gen returns the current fast-path cache generation. A per-thread
+// cache of a {meta, ThreadLog} pair filled at generation g may be used
+// without re-looking-up the object for as long as Gen() == g.
+func (lg *Logger) Gen() uint64 { return lg.gen.Load() }
+
+// BumpGen invalidates every per-thread fast-path cache. Invalidate
+// bumps automatically; callers must bump for any other event that makes
+// cached object extents stale (e.g. in-place realloc).
+func (lg *Logger) BumpGen() { lg.gen.Add(1) }
+
 // CreateMeta allocates (or recycles) an ObjectMeta for a new object and
 // returns it together with the nonzero handle to store in the shadow map.
 func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
@@ -118,7 +135,8 @@ func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
 	m.Base = base
 	m.Size = size
 	m.logs.Store(nil)
-	lg.stats.ObjectsTracked.Add(1)
+	// No tid on the allocation path; spread by handle instead.
+	lg.stats.shard(int32(idx)).objectsTracked.Add(1)
 	return m, idx + 1
 }
 
@@ -158,7 +176,7 @@ func (lg *Logger) ReleaseMeta(handle uint64) {
 // synchronization on the entire store fast path, and it runs only the first
 // time a thread touches an object (paper §4.4: "modifications to the list
 // are rare ... few compare-and-exchange conflicts").
-func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32) *ThreadLog {
+func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32, sh *statShard) *ThreadLog {
 	head := meta.logs.Load()
 	for tl := head; tl != nil; tl = tl.next.Load() {
 		if tl.tid == tid {
@@ -169,10 +187,12 @@ func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32) *ThreadLog {
 	if lg.cfg.Lookback > 0 {
 		tl.lookback = make([]uint64, lg.cfg.Lookback)
 	}
-	lg.stats.LogBytes.Add(uint64(embedEntries*8 + 64 + lg.cfg.Lookback*8))
 	for {
 		tl.next.Store(head)
 		if meta.logs.CompareAndSwap(head, tl) {
+			// Account only for the log that actually entered the list, so
+			// memory-overhead figures don't overcount under contention.
+			sh.logBytes.Add(uint64(embedEntries*8 + 64 + lg.cfg.Lookback*8))
 			return tl
 		}
 		// Lost the race: another thread inserted. Re-scan in case it was us
@@ -189,16 +209,31 @@ func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32) *ThreadLog {
 
 // Register records that the pointer slot at loc now holds a pointer into
 // meta's object. tid identifies the calling thread. This is the paper's
-// regptr/logptr path, invoked from every instrumented pointer store.
-func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
-	lg.stats.Registered.Add(1)
-	tl := lg.threadLogFor(meta, tid)
+// regptr/logptr path, invoked from every instrumented pointer store. It
+// returns the thread log it appended to, which the caller may cache and
+// pass to RegisterWith for as long as Gen() is unchanged, skipping the
+// log-list walk on subsequent stores into the same object.
+func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) *ThreadLog {
+	sh := lg.stats.shard(tid)
+	tl := lg.threadLogFor(meta, tid, sh)
+	lg.registerIn(tl, loc, sh)
+	return tl
+}
 
+// RegisterWith is the store fast path: Register with the thread-log
+// lookup already resolved. tl must be the calling thread's own log, as
+// previously returned by Register for the same (object, tid) pair at
+// the current generation.
+func (lg *Logger) RegisterWith(tl *ThreadLog, loc uint64, tid int32) {
+	lg.registerIn(tl, loc, lg.stats.shard(tid))
+}
+
+func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 	// Lookback: suppress duplicates within the recent window.
 	if n := len(tl.lookback); n > 0 {
 		for i := 0; i < n; i++ {
 			if tl.lookback[i] == loc {
-				lg.stats.Duplicates.Add(1)
+				sh.duplicates.Add(1)
 				return
 			}
 		}
@@ -211,22 +246,22 @@ func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
 
 	// Hash-table mode: the log overflowed earlier.
 	if h := tl.hash.Load(); h != nil {
-		before := h.bytes()
-		if !h.insert(loc) {
-			lg.stats.Duplicates.Add(1)
+		added, grown := h.insert(loc)
+		if !added {
+			sh.duplicates.Add(1)
 			return
 		}
-		if after := h.bytes(); after > before {
-			lg.stats.LogBytes.Add(after - before)
+		if grown > 0 {
+			sh.logBytes.Add(grown)
 		}
-		lg.stats.Logged.Add(1)
+		sh.logged.Add(1)
 		return
 	}
 
 	// Compression: fold into the most recent entry when possible.
 	if lg.cfg.Compression && tl.tryCompress(loc) {
-		lg.stats.Logged.Add(1)
-		lg.stats.Compressed.Add(1)
+		sh.logged.Add(1)
+		sh.compressed.Add(1)
 		return
 	}
 
@@ -235,11 +270,11 @@ func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
 	// lookback (paper §4.4).
 	if tl.count >= lg.cfg.MaxLogEntries {
 		h := newLocSet()
-		lg.stats.HashTables.Add(1)
-		lg.stats.LogBytes.Add(h.bytes())
+		sh.hashTables.Add(1)
+		sh.logBytes.Add(h.bytes())
 		tl.hash.Store(h)
 		h.insert(loc)
-		lg.stats.Logged.Add(1)
+		sh.logged.Add(1)
 		return
 	}
 
@@ -250,7 +285,7 @@ func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
 	} else {
 		if tl.tail == nil || tl.tailUsed == blockEntries {
 			b := new(logBlock)
-			lg.stats.LogBytes.Add(blockEntries*8 + 8)
+			sh.logBytes.Add(blockEntries*8 + 8)
 			if tl.tail == nil {
 				tl.blocks.Store(b)
 			} else {
@@ -265,7 +300,7 @@ func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) {
 	atomic.StoreUint64(slot, loc)
 	tl.lastSlot = slot
 	tl.count++
-	lg.stats.Logged.Add(1)
+	sh.logged.Add(1)
 }
 
 // tryCompress attempts to fold loc into the owner's most recent entry.

@@ -447,7 +447,7 @@ func TestLocSet(t *testing.T) {
 	locs := make([]uint64, 500)
 	for i := range locs {
 		locs[i] = vmem.GlobalsBase + uint64(i)*8
-		if !s.insert(locs[i]) {
+		if added, _ := s.insert(locs[i]); !added {
 			t.Fatalf("insert %d reported duplicate", i)
 		}
 	}
@@ -458,7 +458,7 @@ func TestLocSet(t *testing.T) {
 		if !s.contains(loc) {
 			t.Fatalf("missing 0x%x", loc)
 		}
-		if s.insert(loc) {
+		if added, _ := s.insert(loc); added {
 			t.Fatalf("re-insert of 0x%x not detected", loc)
 		}
 	}

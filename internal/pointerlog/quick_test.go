@@ -1,6 +1,7 @@
 package pointerlog
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -76,6 +77,114 @@ func TestEntryNoFalseContainsQuick(t *testing.T) {
 			return true
 		}
 		return !entryContains(locA, locB) && !entryContains(compressOne(locA), locB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the LSB-0 first-slot rule. A location whose low byte is zero
+// is indistinguishable from an empty slot anywhere but slot one, so
+// tryCompress must (a) never fold it into an existing compressed entry,
+// and (b) when merging it with a raw neighbour, emit an entry whose
+// first slot holds the zero byte — regardless of registration order.
+func TestCompressLSBZeroFirstSlotQuick(t *testing.T) {
+	f := func(block uint32, lsb uint8) bool {
+		base := (vmem.HeapBase + uint64(block)<<8) &^ 0xff // LSB-0 location
+		other := base | uint64(lsb&0xf8)
+		if other == base {
+			return true
+		}
+		// (a) tryCompressAdd always rejects an LSB-0 location.
+		if _, ok := tryCompressAdd(compressOne(other), base); ok {
+			return false
+		}
+		// (b) Merge order does not matter: both orders must produce one
+		// compressed entry with base in the first slot.
+		for _, order := range [][2]uint64{{base, other}, {other, base}} {
+			lg := NewLogger(DefaultConfig())
+			meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+			tl := lg.Register(meta, order[0], 0)
+			lg.Register(meta, order[1], 0)
+			e := atomic.LoadUint64(tl.lastSlot)
+			if !isCompressed(e) || e&0xff != 0 {
+				return false
+			}
+			got := decodeEntry(e, nil)
+			if len(got) != 2 || got[0] != base || got[1] != other {
+				return false
+			}
+		}
+		// (c) A compressed entry that is already seeded with nonzero LSBs
+		// never absorbs the LSB-0 location: it starts a fresh raw entry.
+		lg := NewLogger(DefaultConfig())
+		meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+		third := base | uint64(lsb&0xf8|8)%0x100
+		if third == other || third == base {
+			third = base | (uint64(other&0xff)+8)%0x100&^7
+		}
+		if third == other || third == base {
+			return true
+		}
+		tl := lg.Register(meta, other, 0)
+		lg.Register(meta, third, 0)
+		lg.Register(meta, base, 0)
+		if atomic.LoadUint64(tl.lastSlot) != base {
+			return false
+		}
+		if got := lg.Stats().Snapshot(); got.Logged != 3 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the three-location capacity boundary. Three distinct
+// nonzero-LSB locations in one 256-byte region fill an entry exactly and
+// round-trip; a fourth distinct location must be rejected by
+// tryCompressAdd without disturbing the stored three.
+func TestCompressCapacityBoundaryQuick(t *testing.T) {
+	f := func(block uint32, raw [4]uint8) bool {
+		base := (vmem.HeapBase + uint64(block)<<8) &^ 0xff
+		// Derive four distinct aligned offsets with nonzero low bytes.
+		var locs []uint64
+		seen := map[uint64]bool{}
+		for i := 0; len(locs) < 4; i++ {
+			off := uint64(raw[i%4]&0xf8) + uint64(i*8)
+			loc := base | off%0x100
+			if loc&0xff == 0 || seen[loc] {
+				continue
+			}
+			seen[loc] = true
+			locs = append(locs, loc)
+		}
+		e := compressOne(locs[0])
+		for _, loc := range locs[1:3] {
+			ne, ok := tryCompressAdd(e, loc)
+			if !ok {
+				return false // three nonzero-LSB locations must always fit
+			}
+			e = ne
+		}
+		got := decodeEntry(e, nil)
+		if len(got) != 3 {
+			return false
+		}
+		want := map[uint64]bool{locs[0]: true, locs[1]: true, locs[2]: true}
+		for _, l := range got {
+			if !want[l] {
+				return false
+			}
+		}
+		// Boundary: the fourth location bounces and the entry is unchanged.
+		ne, ok := tryCompressAdd(e, locs[3])
+		if ok || ne != e {
+			return false
+		}
+		return !entryContains(e, locs[3])
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)

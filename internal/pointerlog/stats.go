@@ -2,38 +2,45 @@ package pointerlog
 
 import "sync/atomic"
 
+// statShardCount is the number of counter shards; a power of two so the
+// tid-to-shard map is a mask. 64 shards cover the thread counts of the
+// paper's Fig. 10 sweep without collisions.
+const statShardCount = 64
+
+// statShard is one cache-line-padded bundle of counters. Counters are
+// atomic only so Snapshot can read them concurrently; in steady state
+// each shard is written by a single thread (its tid maps here), so the
+// update is an uncontended RMW on a line no other thread touches — the
+// point of sharding (paper §4.4's no-shared-state argument, applied to
+// our own bookkeeping).
+//
+// Registered is not stored: every Register call ends in exactly one of
+// logged or duplicates, so Snapshot derives it as their sum.
+type statShard struct {
+	objectsTracked atomic.Uint64
+	logged         atomic.Uint64
+	duplicates     atomic.Uint64
+	compressed     atomic.Uint64
+	hashTables     atomic.Uint64
+	invalidated    atomic.Uint64
+	stale          atomic.Uint64
+	faulted        atomic.Uint64
+	logBytes       atomic.Uint64
+	_              [128 - 9*8]byte // pad to two cache lines (adjacent-line prefetch)
+}
+
 // Stats mirrors the per-benchmark statistics of the paper's Table 1 plus
-// the memory accounting needed for the overhead experiments. All counters
-// are cumulative and safe for concurrent update.
+// the memory accounting needed for the overhead experiments, sharded by
+// thread id. All counters are cumulative; updates from any thread are
+// safe, and Snapshot lazily aggregates across shards.
 type Stats struct {
-	// ObjectsTracked counts CreateMeta calls ("# obj alloc").
-	ObjectsTracked atomic.Uint64
-	// Registered counts Register calls ("# ptrs"): every instrumented
-	// pointer store that resolved to a tracked object.
-	Registered atomic.Uint64
-	// Logged counts locations actually recorded (Registered minus
-	// suppressed duplicates).
-	Logged atomic.Uint64
-	// Duplicates counts stores suppressed by the lookback or the hash
-	// table ("# dup").
-	Duplicates atomic.Uint64
-	// Compressed counts locations folded into an existing entry by pointer
-	// compression.
-	Compressed atomic.Uint64
-	// HashTables counts per-thread logs that overflowed into the
-	// hash-table fallback ("# hashtable").
-	HashTables atomic.Uint64
-	// Invalidated counts pointers overwritten at free time ("# inval").
-	Invalidated atomic.Uint64
-	// Stale counts logged locations that no longer pointed into the object
-	// at free time ("# stale").
-	Stale atomic.Uint64
-	// Faulted counts logged locations whose memory was returned to the OS
-	// (the caught-SIGSEGV path).
-	Faulted atomic.Uint64
-	// LogBytes approximates the memory consumed by thread logs, indirect
-	// blocks and hash tables.
-	LogBytes atomic.Uint64
+	shards [statShardCount]statShard
+}
+
+// shard returns the counter shard for tid. Negative or colliding tids
+// share a shard, which costs contention, never correctness.
+func (s *Stats) shard(tid int32) *statShard {
+	return &s.shards[uint32(tid)&(statShardCount-1)]
 }
 
 // Snapshot is a plain-value copy of Stats for reporting.
@@ -50,18 +57,35 @@ type Snapshot struct {
 	LogBytes       uint64
 }
 
-// Snapshot returns a consistent-enough copy of the counters.
+// Snapshot aggregates the shards into a consistent-enough copy of the
+// counters. Totals are exactly the values the unsharded implementation
+// would report: addition is commutative, and the derived Registered
+// equals the number of Register calls because each call bumps exactly
+// one of Logged or Duplicates.
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		ObjectsTracked: s.ObjectsTracked.Load(),
-		Registered:     s.Registered.Load(),
-		Logged:         s.Logged.Load(),
-		Duplicates:     s.Duplicates.Load(),
-		Compressed:     s.Compressed.Load(),
-		HashTables:     s.HashTables.Load(),
-		Invalidated:    s.Invalidated.Load(),
-		Stale:          s.Stale.Load(),
-		Faulted:        s.Faulted.Load(),
-		LogBytes:       s.LogBytes.Load(),
+	var out Snapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.ObjectsTracked += sh.objectsTracked.Load()
+		out.Logged += sh.logged.Load()
+		out.Duplicates += sh.duplicates.Load()
+		out.Compressed += sh.compressed.Load()
+		out.HashTables += sh.hashTables.Load()
+		out.Invalidated += sh.invalidated.Load()
+		out.Stale += sh.stale.Load()
+		out.Faulted += sh.faulted.Load()
+		out.LogBytes += sh.logBytes.Load()
 	}
+	out.Registered = out.Logged + out.Duplicates
+	return out
+}
+
+// LogBytesTotal aggregates the log-memory counter alone, for the
+// detector's MetadataBytes sampling path.
+func (s *Stats) LogBytesTotal() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].logBytes.Load()
+	}
+	return n
 }

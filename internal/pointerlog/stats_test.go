@@ -1,0 +1,71 @@
+package pointerlog
+
+import (
+	"testing"
+
+	"dangsan/internal/vmem"
+)
+
+// goldenWorkload drives a deterministic single-threaded mix of
+// registrations (duplicates, compressible neighbors, hash-table
+// overflows) and invalidations through lg, returning the final snapshot.
+func goldenWorkload(lg *Logger, as *vmem.AddressSpace) Snapshot {
+	x := uint64(12345)
+	next := func(n uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 33) % n
+	}
+	var metas []*ObjectMeta
+	for i := 0; i < 8; i++ {
+		m, _ := lg.CreateMeta(vmem.HeapBase+uint64(i)*8192, 4096)
+		metas = append(metas, m)
+	}
+	for i := 0; i < 50000; i++ {
+		m := metas[next(8)]
+		// Small location universe so the lookback, compression, and
+		// hash-table duplicate paths all fire.
+		loc := vmem.GlobalsBase + next(1<<12)*8
+		as.StoreWord(loc, m.Base+next(512)*8)
+		lg.Register(m, loc, 0)
+	}
+	for _, m := range metas {
+		lg.Invalidate(m, as)
+	}
+	return lg.Stats().Snapshot()
+}
+
+// goldenSnapshot holds the counter values produced by the seed
+// (pre-sharding) Stats implementation for goldenWorkload. The sharded
+// implementation must reproduce them bit-for-bit on single-threaded
+// workloads so Table 1 / Fig. 11 outputs are unchanged.
+var goldenSnapshot = Snapshot{
+	ObjectsTracked: 8,
+	Registered:     50000,
+	Logged:         26527,
+	Duplicates:     23473,
+	Compressed:     4,
+	HashTables:     8,
+	Invalidated:    4096,
+	Stale:          22431,
+	Faulted:        0,
+	LogBytes:       270080,
+}
+
+func TestSnapshotMatchesSeedGolden(t *testing.T) {
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 64)
+	got := goldenWorkload(NewLogger(DefaultConfig()), as)
+	if got != goldenSnapshot {
+		t.Fatalf("sharded stats diverge from seed implementation:\n got  %+v\nwant %+v", got, goldenSnapshot)
+	}
+}
+
+// The aggregate identity the paper's Table 1 relies on: every Register
+// call is classified as exactly one of logged or duplicate, and every
+// visited location at free time as invalidated, stale, or faulted.
+func TestSnapshotIdentities(t *testing.T) {
+	s := goldenSnapshot
+	if s.Registered != s.Logged+s.Duplicates {
+		t.Errorf("Registered %d != Logged %d + Duplicates %d", s.Registered, s.Logged, s.Duplicates)
+	}
+}

@@ -34,6 +34,10 @@ type Process struct {
 	// memcpyHook, when non-nil, receives every Memcpy (and realloc move)
 	// so the detector can re-register copied pointers (§7 extension).
 	memcpyHook detectors.MemcpyHooker
+	// threadAware, when non-nil, is det's per-thread fast-path interface:
+	// pointer stores are routed through it with the storing thread's
+	// context instead of the plain OnPtrStore hook.
+	threadAware detectors.ThreadAware
 	// zeroOnFree wipes object contents before release (secure
 	// deallocation, the mitigation the paper cites for partial
 	// type-unsafe reuse).
@@ -62,10 +66,12 @@ func New(det detectors.Detector) *Process {
 	if b, ok := det.(detectors.Binder); ok {
 		b.Bind(as)
 	}
+	ta, _ := det.(detectors.ThreadAware)
 	return &Process{
 		as:          as,
 		alloc:       tcmalloc.New(as.Heap()),
 		det:         det,
+		threadAware: ta,
 		globalsBump: vmem.GlobalsBase,
 	}
 }
@@ -206,6 +212,9 @@ type Thread struct {
 	// noTrace suppresses event emission for operations nested inside a
 	// compound traced operation (realloc's internal malloc/copy/free).
 	noTrace bool
+	// detCtx is the detector's per-thread fast-path state (nil when the
+	// detector is not ThreadAware).
+	detCtx detectors.ThreadContext
 }
 
 // emit reports a thread-scoped event unless suppressed.
@@ -227,7 +236,7 @@ func (p *Process) NewThread() *Thread {
 	base, top := p.as.StackRange(int(id))
 	const initialPages = 4
 	p.as.Stacks().MapPages(base, initialPages)
-	return &Thread{
+	th := &Thread{
 		proc:        p,
 		id:          id,
 		tc:          p.alloc.NewThreadCache(),
@@ -236,6 +245,10 @@ func (p *Process) NewThread() *Thread {
 		stackBump:   base,
 		stackMapped: base + initialPages*vmem.PageSize,
 	}
+	if p.threadAware != nil {
+		th.detCtx = p.threadAware.NewThreadContext(id)
+	}
+	return th
 }
 
 // Exit releases the thread's allocator cache and unmaps its stack. The
@@ -441,9 +454,22 @@ func (th *Thread) StorePtr(loc, val uint64) *vmem.Fault {
 	if f := th.proc.as.StoreWord(loc, val); f != nil {
 		return f
 	}
-	th.proc.det.OnPtrStore(loc, val, th.id)
+	th.RegisterPtr(loc, val)
 	th.emit(TraceStorePtr, loc, val, 0)
 	return nil
+}
+
+// RegisterPtr notifies the detector of a pointer-typed store without
+// performing the store itself — the bare registerptr call, used when the
+// store instruction and its instrumentation are separate (the IR
+// interpreter's regptr opcode). Thread-aware detectors receive it
+// through this thread's fast-path context.
+func (th *Thread) RegisterPtr(loc, val uint64) {
+	if th.detCtx != nil {
+		th.proc.threadAware.OnPtrStoreCtx(th.detCtx, loc, val)
+	} else {
+		th.proc.det.OnPtrStore(loc, val, th.id)
+	}
 }
 
 // StoreInt stores a non-pointer word; no instrumentation (the compiler pass
