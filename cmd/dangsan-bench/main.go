@@ -5,12 +5,18 @@
 //
 //	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
+//	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-cpuprofile prof.out] [-memprofile mem.out]
 //
-// Results go to stdout; progress (with -v) to stderr.
+// Results go to stdout; progress (with -v) and periodic metric dumps (with
+// -metrics-interval) to stderr. -metrics writes a final JSON snapshot of
+// every instrument to the given file ("-" for stdout); feed it to
+// `dangsan-stats metrics` for a human-readable rendering. -audit turns on
+// DangSan's log-byte accounting cross-check; any drift fails the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +24,11 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dangsan/internal/bench"
 	"dangsan/internal/detectors"
+	"dangsan/internal/obs"
 	"dangsan/internal/proc"
 	"dangsan/internal/workloads"
 )
@@ -32,6 +40,9 @@ func main() {
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10/fig12 (default 1,2,4,8,16,32,64)")
 	verbose := flag.Bool("v", false, "print progress to stderr")
+	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit (\"-\" for stdout)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "also dump one-line JSON snapshots to stderr at this interval (requires -metrics)")
+	audit := flag.Bool("audit", false, "enable DangSan's log-byte accounting cross-check (fails on drift)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -59,7 +70,43 @@ func main() {
 	if *verbose {
 		progress = func(s string) { fmt.Fprintf(os.Stderr, "... %s\n", s) }
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed, Repeat: *repeat}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Repeat: *repeat, Audit: *audit}
+
+	var reg *obs.Registry
+	if *metricsFile != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+		if *metricsInterval > 0 {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				tick := time.NewTicker(*metricsInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						line, err := json.Marshal(reg.Snapshot())
+						if err == nil {
+							fmt.Fprintf(os.Stderr, "metrics: %s\n", line)
+						}
+					}
+				}
+			}()
+		}
+		defer func() {
+			data, err := reg.Snapshot().MarshalJSONIndent()
+			check(err)
+			if *metricsFile == "-" {
+				fmt.Printf("%s\n", data)
+				return
+			}
+			check(os.WriteFile(*metricsFile, append(data, '\n'), 0o644))
+		}()
+	} else if *metricsInterval > 0 {
+		fatalf("-metrics-interval requires -metrics")
+	}
 
 	threads := bench.DefaultThreadCounts()
 	if *threadsFlag != "" {

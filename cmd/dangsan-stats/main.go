@@ -4,17 +4,22 @@
 // Usage:
 //
 //	dangsan-stats [-scale 1.0] [-seed 1] [-compare] <benchmark>
+//	dangsan-stats metrics <snapshot.json|->
 //
-// where <benchmark> is a SPEC name like 403.gcc or gcc, or "all".
+// where <benchmark> is a SPEC name like 403.gcc or gcc, or "all". The
+// "metrics" form pretty-prints a JSON snapshot written by
+// `dangsan-bench -metrics` ("-" reads stdin).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/obs"
 	"dangsan/internal/proc"
 	"dangsan/internal/workloads"
 )
@@ -24,8 +29,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload random seed")
 	compare := flag.Bool("compare", false, "also run DangNULL for coverage comparison")
 	flag.Parse()
+	if flag.NArg() == 2 && flag.Arg(0) == "metrics" {
+		printMetrics(flag.Arg(1))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dangsan-stats [flags] <benchmark|all>")
+		fmt.Fprintln(os.Stderr, "usage: dangsan-stats [flags] <benchmark|all> | dangsan-stats metrics <file|->")
 		os.Exit(1)
 	}
 
@@ -65,6 +74,21 @@ func main() {
 			fmt.Printf("  dangnull inval:   %d\n", inv)
 		}
 	}
+}
+
+// printMetrics renders a dangsan-bench -metrics snapshot for humans.
+func printMetrics(path string) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	check(err)
+	snap, err := obs.ParseSnapshot(data)
+	check(err)
+	fmt.Print(snap.Format())
 }
 
 func scaleInt(v int, s float64) int {

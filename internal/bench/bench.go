@@ -17,6 +17,7 @@ import (
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
 )
@@ -72,7 +73,16 @@ type Measurement struct {
 // Measure times run against a fresh process using the given detector,
 // sampling the memory footprint concurrently.
 func Measure(det detectors.Detector, run func(p *proc.Process) error) (Measurement, error) {
+	return MeasureWith(det, run, nil)
+}
+
+// MeasureWith is Measure with an observability registry attached to the
+// process (and through it the allocator and detector). Successive
+// measurements sharing one registry accumulate counters across runs —
+// snapshot between runs to separate them.
+func MeasureWith(det detectors.Detector, run func(p *proc.Process) error, reg *obs.Registry) (Measurement, error) {
 	p := proc.New(det)
+	p.AttachMetrics(reg)
 	var peak atomic.Uint64
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -112,14 +122,19 @@ func Measure(det detectors.Detector, run func(p *proc.Process) error) (Measureme
 	}
 	if d, ok := det.(*dangsan.Detector); ok {
 		m.Stats = d.Stats()
+		if v := d.AuditViolations(); len(v) > 0 {
+			return m, fmt.Errorf("bench: audit violations: %s", v[0])
+		}
 	}
 	return m, nil
 }
 
-// MeasureN runs the measurement n times with a fresh detector and process
-// each time, returning the fastest run (the standard way to suppress
-// scheduler noise) with the largest observed footprint.
-func MeasureN(n int, factory func() (detectors.Detector, error), run func(p *proc.Process) error) (Measurement, error) {
+// MeasureN runs the measurement opts.Repeat times with a fresh detector
+// and process each time, returning the fastest run (the standard way to
+// suppress scheduler noise) with the largest observed footprint. The
+// options' registry, if any, is attached to every run.
+func MeasureN(opts Options, factory func() (detectors.Detector, error), run func(p *proc.Process) error) (Measurement, error) {
+	n := opts.Repeat
 	if n < 1 {
 		n = 1
 	}
@@ -129,7 +144,7 @@ func MeasureN(n int, factory func() (detectors.Detector, error), run func(p *pro
 		if err != nil {
 			return Measurement{}, err
 		}
-		m, err := Measure(det, run)
+		m, err := MeasureWith(det, run, opts.Metrics)
 		if err != nil {
 			return Measurement{}, err
 		}

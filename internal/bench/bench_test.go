@@ -3,6 +3,10 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"dangsan/internal/obs"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
 )
 
 var smoke = Options{Scale: 0.02, Seed: 1}
@@ -19,6 +23,40 @@ func TestNewDetectorKinds(t *testing.T) {
 	}
 	if _, err := NewDetector("bogus"); err == nil {
 		t.Fatal("bogus kind accepted")
+	}
+}
+
+// The metrics/audit path through the harness: an Options-built DangSan
+// detector with a registry attached must accumulate counters across
+// measured runs and pass the accounting audit.
+func TestMeasureWithMetricsAndAudit(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := Options{Metrics: reg, Audit: true}
+	prof, err := workloads.SPECProfileByName("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof = scaleSpec(prof, 0.02)
+	var mallocs uint64
+	for run := 0; run < 2; run++ {
+		det, err := opts.NewDetector(DangSan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MeasureWith(det, func(p *proc.Process) error {
+			return workloads.RunSPEC(p, prof, 1)
+		}, reg); err != nil {
+			t.Fatal(err)
+		}
+		s := reg.Snapshot()
+		if got := s.Counters["proc.mallocs"]; got <= mallocs {
+			t.Fatalf("run %d: proc.mallocs = %d, want > %d (accumulating)", run, got, mallocs)
+		} else {
+			mallocs = got
+		}
+		if s.Histograms["pointerlog.register_ns"].Count == 0 {
+			t.Fatalf("run %d: register_ns histogram empty", run)
+		}
 	}
 }
 

@@ -4,7 +4,8 @@ import (
 	"fmt"
 
 	"dangsan/internal/detectors"
-
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
 	"dangsan/internal/workloads"
@@ -22,6 +23,21 @@ type Options struct {
 	// Repeat runs each measurement this many times and keeps the fastest
 	// (default 1; use 3 on noisy machines).
 	Repeat int
+	// Metrics, when non-nil, is attached to every measured process;
+	// counters accumulate across runs.
+	Metrics *obs.Registry
+	// Audit enables DangSan's log-byte accounting cross-check on every
+	// DangSan detector the run builds.
+	Audit bool
+}
+
+// NewDetector builds a detector of the given kind honoring the options:
+// DangSan detectors get audit mode and the metrics registry wired in.
+func (o Options) NewDetector(kind Kind) (detectors.Detector, error) {
+	if kind == DangSan && (o.Audit || o.Metrics != nil) {
+		return dangsan.NewWithOptions(dangsan.Options{Audit: o.Audit, Metrics: o.Metrics}), nil
+	}
+	return NewDetector(kind)
 }
 
 func (o Options) normalized() Options {
@@ -88,8 +104,8 @@ func RunSPEC(opts Options, progress func(string)) ([]SPECRow, error) {
 				progress(fmt.Sprintf("%s / %s", prof.Name, kind))
 			}
 			kind := kind
-			m, err := MeasureN(opts.Repeat,
-				func() (detectors.Detector, error) { return NewDetector(kind) },
+			m, err := MeasureN(opts,
+				func() (detectors.Detector, error) { return opts.NewDetector(kind) },
 				func(p *proc.Process) error { return workloads.RunSPEC(p, prof, opts.Seed) })
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
@@ -138,8 +154,8 @@ func RunScalability(threadCounts []int, opts Options, progress func(string)) ([]
 					progress(fmt.Sprintf("%s / %d threads / %s", prof.Name, threads, kind))
 				}
 				kind := kind
-				m, err := MeasureN(opts.Repeat,
-					func() (detectors.Detector, error) { return NewDetector(kind) },
+				m, err := MeasureN(opts,
+					func() (detectors.Detector, error) { return opts.NewDetector(kind) },
 					func(p *proc.Process) error { return workloads.RunParallel(p, prof, threads, opts.Seed) })
 				if err != nil {
 					return nil, fmt.Errorf("%s/%d/%s: %w", prof.Name, threads, kind, err)
@@ -177,8 +193,8 @@ func RunServers(opts Options, progress func(string)) ([]ServerRow, error) {
 				progress(fmt.Sprintf("server %s / %s", prof.Name, kind))
 			}
 			kind := kind
-			m, err := MeasureN(opts.Repeat,
-				func() (detectors.Detector, error) { return NewDetector(kind) },
+			m, err := MeasureN(opts,
+				func() (detectors.Detector, error) { return opts.NewDetector(kind) },
 				func(p *proc.Process) error { return workloads.RunServer(p, prof, workers, requests, opts.Seed) })
 			if err != nil {
 				return nil, fmt.Errorf("server %s/%s: %w", prof.Name, kind, err)
@@ -209,13 +225,13 @@ func RunTable1(opts Options, progress func(string)) ([]Table1Row, error) {
 		if progress != nil {
 			progress(prof.Name)
 		}
-		ds, err := NewDetector(DangSan)
+		ds, err := opts.NewDetector(DangSan)
 		if err != nil {
 			return nil, err
 		}
-		m, err := Measure(ds, func(p *proc.Process) error {
+		m, err := MeasureWith(ds, func(p *proc.Process) error {
 			return workloads.RunSPEC(p, prof, opts.Seed)
-		})
+		}, opts.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", prof.Name, err)
 		}

@@ -16,6 +16,7 @@ package dangsan
 
 import (
 	"dangsan/internal/detectors"
+	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/shadow"
 )
@@ -46,6 +47,42 @@ func NewWithConfig(cfg pointerlog.Config) *Detector {
 	}
 }
 
+// Options configures a detector beyond the pointer-log tunables:
+// accounting audit mode and an observability registry to attach.
+type Options struct {
+	// Config carries the pointer-log tunables; the zero value means
+	// pointerlog.DefaultConfig().
+	Config pointerlog.Config
+	// Audit turns on the log-byte accounting cross-check
+	// (pointerlog.Config.Audit).
+	Audit bool
+	// Metrics, when non-nil, receives the detector's instruments.
+	Metrics *obs.Registry
+}
+
+// NewWithOptions creates a DangSan detector with audit mode and metrics
+// wired through.
+func NewWithOptions(opts Options) *Detector {
+	cfg := opts.Config
+	if cfg == (pointerlog.Config{}) {
+		cfg = pointerlog.DefaultConfig()
+	}
+	cfg.Audit = cfg.Audit || opts.Audit
+	d := NewWithConfig(cfg)
+	d.AttachMetrics(opts.Metrics)
+	return d
+}
+
+// AttachMetrics registers the detector's instruments — the pointer
+// logger's and the shadow table's — with reg. Safe to call with nil.
+func (d *Detector) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.logger.AttachMetrics(reg)
+	d.table.AttachMetrics(reg)
+}
+
 // Bind implements detectors.Binder.
 func (d *Detector) Bind(mem detectors.Memory) { d.mem = mem }
 
@@ -71,10 +108,10 @@ func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
 		return
 	}
 	meta := d.logger.MetaAt(handle)
-	if meta == nil || meta.Base != base {
+	if meta == nil || meta.Base() != base {
 		return
 	}
-	meta.Size = newSize
+	meta.SetSize(newSize)
 	d.table.CreateObject(base, newSize, align, handle)
 	if newSize < oldSize {
 		d.table.ClearObject(base+newSize, oldSize-newSize, align)
@@ -91,7 +128,7 @@ func (d *Detector) OnFree(base, size, align uint64) {
 		return
 	}
 	meta := d.logger.MetaAt(handle)
-	if meta == nil || meta.Base != base {
+	if meta == nil || meta.Base() != base {
 		return
 	}
 	d.logger.Invalidate(meta, d.mem)
@@ -155,7 +192,7 @@ func (d *Detector) OnPtrStoreCtx(ctx detectors.ThreadContext, loc, val uint64) {
 		return
 	}
 	tl := d.logger.Register(meta, loc, c.tid)
-	c.tl, c.base, c.end, c.gen = tl, meta.Base, meta.Base+meta.Size, gen
+	c.tl, c.base, c.end, c.gen = tl, meta.Base(), meta.Base()+meta.Size(), gen
 }
 
 // OnMemcpy implements detectors.MemcpyHooker (the §7 extension): scan every
@@ -183,8 +220,18 @@ func (d *Detector) MetadataBytes() uint64 {
 }
 
 // Stats exposes the pointer-log counters for the Table 1 experiments.
+// With audit mode on, taking a snapshot also runs the accounting
+// cross-check, so a drift shows up in AuditViolations even if no free
+// happens afterwards.
 func (d *Detector) Stats() pointerlog.Snapshot {
+	d.logger.AuditCheck()
 	return d.logger.Stats().Snapshot()
+}
+
+// AuditViolations reports accumulated audit-mode accounting failures
+// (empty unless Options.Audit was set and the accounting drifted).
+func (d *Detector) AuditViolations() []string {
+	return d.logger.AuditViolations()
 }
 
 // Logger exposes the underlying logger (tests and ablations).

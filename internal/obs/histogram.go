@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histShards is the number of histogram shards. Histograms carry 67 words
+// of state per shard, so they use fewer shards than counters; 16 still
+// separates the writers of any workload this repository runs.
+const histShards = 16
+
+// numBuckets is the number of power-of-two buckets: bucket k holds values
+// v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k), with bucket 0
+// holding exactly zero. 65 buckets cover the full uint64 range.
+const numBuckets = 65
+
+type histShard struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Histogram is a fixed-bucket log2 histogram: recording is two atomic adds
+// and one atomic increment into the value's power-of-two bucket, with no
+// allocation and no locking. It is meant for latencies in nanoseconds and
+// small cardinalities like fan-out widths, where factor-of-two resolution
+// is plenty. A nil *Histogram is a no-op.
+type Histogram struct {
+	shards [histShards]histShard
+	max    atomic.Uint64
+}
+
+// Observe records v on the shard for tid.
+func (h *Histogram) Observe(tid int32, v uint64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[uint32(tid)&(histShards-1)]
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	sh.buckets[bits.Len64(v)].Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Since records the nanoseconds elapsed from start, the latency-timer
+// idiom: callers check Enabled (or a nil instrument pointer) before
+// reading the clock so a disabled histogram costs no time.Now call.
+func (h *Histogram) Since(tid int32, start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(tid, uint64(time.Since(start)))
+}
+
+// snapshot aggregates the shards.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var buckets [numBuckets]uint64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+		for b := range sh.buckets {
+			buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	s.Max = h.max.Load()
+	for b, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		le := uint64(0)
+		if b > 0 {
+			le = 1<<uint(b) - 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// Bucket is one populated histogram bucket: Count values were <= Le (and
+// greater than the previous bucket's Le).
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the aggregated, JSON-exportable view of a
+// Histogram. Only populated buckets are listed.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// inclusive upper edge of the bucket containing it. Resolution is a
+// factor of two, which is what log2 buckets buy.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest bucket whose cumulative count reaches
+	// ceil(q*Count) observations.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return s.Max
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"dangsan/internal/obs"
 	"dangsan/internal/vmem"
 )
 
@@ -60,6 +61,19 @@ func BenchmarkRegisterParallelFastPath(b *testing.B) {
 // BenchmarkRegisterSingle is the 1-thread anchor for RegisterParallel.
 func BenchmarkRegisterSingle(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
+	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Register(meta, vmem.GlobalsBase+(uint64(i)&1023)*8, 0)
+	}
+}
+
+// BenchmarkRegisterSingleMetricsOn is RegisterSingle with an observability
+// registry attached: the delta against RegisterSingle is the cost of the
+// two time.Now() calls bracketing each register for the latency histogram.
+func BenchmarkRegisterSingleMetricsOn(b *testing.B) {
+	lg := NewLogger(DefaultConfig())
+	lg.AttachMetrics(obs.NewRegistry())
 	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -72,6 +72,12 @@ type Config struct {
 	// free-time walk is parallelized. 0 picks
 	// DefaultParallelInvalidateMin; negative disables parallel walks.
 	ParallelInvalidateMin int
+	// Audit enables the accounting cross-check: at every release (and on
+	// demand via AuditCheck) the logger re-measures the live log footprint
+	// by walking the structures and requires it to match the incremental
+	// LogBytes charges exactly. Debugging aid for deterministic workloads;
+	// see audit.go for the precise identity and its caveats.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's configuration.

@@ -3,6 +3,7 @@ package pointerlog
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dangsan/internal/vmem"
 )
@@ -85,8 +86,16 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 	// Any cached {meta, ThreadLog} fast-path pair is stale from here on.
 	lg.gen.Add(1)
 
-	base, end := meta.Base, meta.Base+meta.Size
-	sh := lg.stats.shard(int32(meta.Base >> 12))
+	var start time.Time
+	met := lg.met
+	if met != nil {
+		start = time.Now()
+	}
+
+	base := meta.Base()
+	end := base + meta.Size()
+	sh := lg.stats.shard(int32(base >> 12))
+	tid := int32(base >> 12)
 
 	// Size the walk. Thread-log inline storage is bounded by
 	// MaxLogEntries; only hash fallbacks (and many-threaded objects) can
@@ -109,6 +118,11 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 			lg.invalidateLocation(loc, base, end, mem, &c)
 		})
 		c.flush(sh)
+		if met != nil {
+			met.invalidateSerial.Inc(tid)
+			met.invalidateUnits.Observe(tid, 1)
+			met.invalidateNs.Since(tid, start)
+		}
 		return
 	}
 
@@ -151,6 +165,11 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 		}(w)
 	}
 	wg.Wait()
+	if met != nil {
+		met.invalidateParallel.Inc(tid)
+		met.invalidateUnits.Observe(tid, uint64(len(units)))
+		met.invalidateNs.Since(tid, start)
+	}
 }
 
 // invalidateUnit walks one unit. The hash-range walk reads the table

@@ -23,7 +23,7 @@ func fillObject(lg *Logger, as *vmem.AddressSpace, meta *ObjectMeta, nLocs, nTid
 	for i := range locs {
 		loc := vmem.GlobalsBase + uint64(i)*8
 		locs[i] = loc
-		as.StoreWord(loc, meta.Base+uint64(i)%meta.Size&^7)
+		as.StoreWord(loc, meta.Base()+uint64(i)%meta.Size()&^7)
 		lg.Register(meta, loc, int32(i%nTids))
 	}
 	return locs
@@ -127,7 +127,7 @@ func TestParallelInvalidateConcurrentStores(t *testing.T) {
 		// Every slot now holds the overwritten marker, an invalidated
 		// pointer, or a still-live pointer registered after the last walk
 		// — never a clobbered marker.
-		if w != 7 && w&InvalidBit == 0 && (w < meta.Base || w >= meta.Base+meta.Size) {
+		if w != 7 && w&InvalidBit == 0 && (w < meta.Base() || w >= meta.Base()+meta.Size()) {
 			t.Fatalf("loc %d corrupted: 0x%x", i, w)
 		}
 	}

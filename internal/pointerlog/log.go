@@ -3,6 +3,9 @@ package pointerlog
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dangsan/internal/obs"
 )
 
 const (
@@ -46,15 +49,29 @@ type ThreadLog struct {
 
 // ObjectMeta is the per-object metadata the shadow map points at: the
 // object's extent and the head of its thread-log list.
+//
+// The extent is stored atomically because metas are recycled: a thread
+// holding a stale handle (its object freed and the meta re-issued for a
+// new allocation) may read the extent while CreateMeta is overwriting it.
+// The value it sees is reconciled by free-time verification either way —
+// the atomics only remove the data race, not the (benign) staleness.
 type ObjectMeta struct {
-	// Base is the object's start address.
-	Base uint64
-	// Size is the object's usable size in bytes (including DangSan's +1
-	// allocation pad).
-	Size uint64
+	base atomic.Uint64
+	size atomic.Uint64
 
 	logs atomic.Pointer[ThreadLog]
 }
+
+// Base returns the object's start address.
+func (meta *ObjectMeta) Base() uint64 { return meta.base.Load() }
+
+// Size returns the object's usable size in bytes (including DangSan's +1
+// allocation pad).
+func (meta *ObjectMeta) Size() uint64 { return meta.size.Load() }
+
+// SetSize updates the object's usable size (in-place realloc). The caller
+// must bump the logger generation so cached extents are refreshed.
+func (meta *ObjectMeta) SetSize(n uint64) { meta.size.Store(n) }
 
 // Logger owns the pointer-log state for one simulated process.
 type Logger struct {
@@ -76,6 +93,25 @@ type Logger struct {
 	slabs []atomic.Pointer[metaSlab]
 	free  []uint64
 	next  atomic.Uint64
+
+	// met holds the observability instruments; nil until AttachMetrics,
+	// so the metrics-off hot path pays one predicted branch.
+	met *loggerMetrics
+
+	// Audit-mode state (cfg.Audit; guarded by mu): the set of live meta
+	// indices, so the auditor can re-measure every live log structure,
+	// and the violations it found.
+	auditLive map[uint64]struct{}
+	auditErrs []string
+}
+
+// loggerMetrics bundles the logger's obs instruments.
+type loggerMetrics struct {
+	registerNs         *obs.Histogram
+	invalidateNs       *obs.Histogram
+	invalidateUnits    *obs.Histogram
+	invalidateSerial   *obs.Counter
+	invalidateParallel *obs.Counter
 }
 
 const metaSlabSize = 1 << 12
@@ -88,10 +124,49 @@ type metaSlab [metaSlabSize]ObjectMeta
 
 // NewLogger creates a Logger with the given configuration.
 func NewLogger(cfg Config) *Logger {
-	return &Logger{
+	lg := &Logger{
 		cfg:   cfg.validated(),
 		slabs: make([]atomic.Pointer[metaSlab], maxMetaSlabs),
 	}
+	if lg.cfg.Audit {
+		lg.auditLive = make(map[uint64]struct{})
+	}
+	return lg
+}
+
+// AttachMetrics registers the logger's instruments with reg: Register and
+// Invalidate latency histograms, the free-time fan-out histogram, and
+// gauges over the counters Stats already tracks. Call before the logger
+// sees concurrent traffic.
+func (lg *Logger) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lg.met = &loggerMetrics{
+		registerNs:         reg.Histogram("pointerlog.register_ns"),
+		invalidateNs:       reg.Histogram("pointerlog.invalidate_ns"),
+		invalidateUnits:    reg.Histogram("pointerlog.invalidate_units"),
+		invalidateSerial:   reg.Counter("pointerlog.invalidate_serial"),
+		invalidateParallel: reg.Counter("pointerlog.invalidate_parallel"),
+	}
+	reg.RegisterFunc("pointerlog.log_bytes", func() int64 {
+		return int64(lg.stats.LogBytesTotal())
+	})
+	reg.RegisterFunc("pointerlog.log_bytes_live", func() int64 {
+		return int64(lg.stats.Snapshot().LogBytesLive)
+	})
+	reg.RegisterFunc("pointerlog.objects_tracked", func() int64 {
+		return int64(lg.stats.Snapshot().ObjectsTracked)
+	})
+	reg.RegisterFunc("pointerlog.hash_tables", func() int64 {
+		return int64(lg.stats.Snapshot().HashTables)
+	})
+	reg.RegisterFunc("pointerlog.registered", func() int64 {
+		return int64(lg.stats.Snapshot().Registered)
+	})
+	reg.RegisterFunc("pointerlog.duplicates", func() int64 {
+		return int64(lg.stats.Snapshot().Duplicates)
+	})
 }
 
 // Config returns the logger's configuration.
@@ -130,10 +205,13 @@ func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
 		}
 		lg.next.Store(idx + 1)
 	}
+	if lg.auditLive != nil {
+		lg.auditLive[idx] = struct{}{}
+	}
 	m := &lg.slabs[idx>>12].Load()[idx&(metaSlabSize-1)]
 	lg.mu.Unlock()
-	m.Base = base
-	m.Size = size
+	m.base.Store(base)
+	m.size.Store(size)
 	m.logs.Store(nil)
 	// No tid on the allocation path; spread by handle instead.
 	lg.stats.shard(int32(idx)).objectsTracked.Add(1)
@@ -162,13 +240,50 @@ func (lg *Logger) MetaAt(handle uint64) *ObjectMeta {
 // a racing Register may still append to the dying log list, which is benign
 // because every entry is re-verified at the next free of whatever object
 // the meta gets recycled for.
+//
+// The object's log structures die with it: their measured footprint moves
+// from the live accounting into LogBytesReleased, and the log list is
+// dropped so the memory is actually reclaimable. Bytes a racing Register
+// charges after the measurement leak from the live gauge until process
+// teardown — the same benign race as the append itself.
 func (lg *Logger) ReleaseMeta(handle uint64) {
 	if handle == 0 {
 		return
 	}
+	if meta := lg.MetaAt(handle); meta != nil {
+		if fp := meta.logFootprint(); fp != 0 {
+			lg.stats.shard(int32(handle-1)).logBytesReleased.Add(fp)
+		}
+		meta.logs.Store(nil)
+	}
 	lg.mu.Lock()
+	if lg.auditLive != nil {
+		delete(lg.auditLive, handle-1)
+	}
 	lg.free = append(lg.free, handle-1)
 	lg.mu.Unlock()
+	if lg.cfg.Audit {
+		lg.auditNow("free")
+	}
+}
+
+// logFootprint measures the memory currently held by meta's log
+// structures, mirroring exactly what the incremental LogBytes charges
+// account for: per thread log its fixed struct cost, indirect blocks, and
+// hash-table fallback. Safe for any thread; a racing owner's appends may
+// or may not be counted.
+func (meta *ObjectMeta) logFootprint() uint64 {
+	var n uint64
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		n += embedEntries*8 + 64 + uint64(len(tl.lookback))*8
+		for b := tl.blocks.Load(); b != nil; b = b.next.Load() {
+			n += blockEntries*8 + 8
+		}
+		if h := tl.hash.Load(); h != nil {
+			n += h.bytes()
+		}
+	}
+	return n
 }
 
 // threadLogFor finds or creates the calling thread's log for meta. New logs
@@ -214,9 +329,17 @@ func (lg *Logger) threadLogFor(meta *ObjectMeta, tid int32, sh *statShard) *Thre
 // pass to RegisterWith for as long as Gen() is unchanged, skipping the
 // log-list walk on subsequent stores into the same object.
 func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) *ThreadLog {
+	var start time.Time
+	met := lg.met
+	if met != nil {
+		start = time.Now()
+	}
 	sh := lg.stats.shard(tid)
 	tl := lg.threadLogFor(meta, tid, sh)
 	lg.registerIn(tl, loc, sh)
+	if met != nil {
+		met.registerNs.Since(tid, start)
+	}
 	return tl
 }
 
@@ -225,10 +348,39 @@ func (lg *Logger) Register(meta *ObjectMeta, loc uint64, tid int32) *ThreadLog {
 // previously returned by Register for the same (object, tid) pair at
 // the current generation.
 func (lg *Logger) RegisterWith(tl *ThreadLog, loc uint64, tid int32) {
+	var start time.Time
+	met := lg.met
+	if met != nil {
+		start = time.Now()
+	}
 	lg.registerIn(tl, loc, lg.stats.shard(tid))
+	if met != nil {
+		met.registerNs.Since(tid, start)
+	}
 }
 
 func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
+	// Hash-table mode: the log overflowed earlier. Checked before the
+	// lookback ring: once every location lands in the hash table, the ring
+	// is pure overhead — scanning it can only reclassify a hash-resident
+	// duplicate (same outcome, more work) and refreshing it buys nothing
+	// because the table already deduplicates the full history.
+	if h := tl.hash.Load(); h != nil {
+		added, grown := h.insert(loc)
+		// A duplicate insert can still grow the table — the load-factor
+		// check runs before probing — so growth must be charged before the
+		// duplicate return or those bytes vanish from the accounting.
+		if grown > 0 {
+			sh.logBytes.Add(grown)
+		}
+		if !added {
+			sh.duplicates.Add(1)
+			return
+		}
+		sh.logged.Add(1)
+		return
+	}
+
 	// Lookback: suppress duplicates within the recent window.
 	if n := len(tl.lookback); n > 0 {
 		for i := 0; i < n; i++ {
@@ -242,20 +394,6 @@ func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 		if tl.lookPos == n {
 			tl.lookPos = 0
 		}
-	}
-
-	// Hash-table mode: the log overflowed earlier.
-	if h := tl.hash.Load(); h != nil {
-		added, grown := h.insert(loc)
-		if !added {
-			sh.duplicates.Add(1)
-			return
-		}
-		if grown > 0 {
-			sh.logBytes.Add(grown)
-		}
-		sh.logged.Add(1)
-		return
 	}
 
 	// Compression: fold into the most recent entry when possible.

@@ -394,7 +394,7 @@ func TestMetaRecycling(t *testing.T) {
 	if h2 != h1 {
 		t.Fatalf("handle not recycled: %d vs %d", h1, h2)
 	}
-	if m2.Base != vmem.HeapBase+128 || m2.Size != 32 {
+	if m2.Base() != vmem.HeapBase+128 || m2.Size() != 32 {
 		t.Fatalf("recycled meta not reset: %+v", m2)
 	}
 	if got := collect(m2); len(got) != 0 {

@@ -17,16 +17,17 @@ const statShardCount = 64
 // Registered is not stored: every Register call ends in exactly one of
 // logged or duplicates, so Snapshot derives it as their sum.
 type statShard struct {
-	objectsTracked atomic.Uint64
-	logged         atomic.Uint64
-	duplicates     atomic.Uint64
-	compressed     atomic.Uint64
-	hashTables     atomic.Uint64
-	invalidated    atomic.Uint64
-	stale          atomic.Uint64
-	faulted        atomic.Uint64
-	logBytes       atomic.Uint64
-	_              [128 - 9*8]byte // pad to two cache lines (adjacent-line prefetch)
+	objectsTracked   atomic.Uint64
+	logged           atomic.Uint64
+	duplicates       atomic.Uint64
+	compressed       atomic.Uint64
+	hashTables       atomic.Uint64
+	invalidated      atomic.Uint64
+	stale            atomic.Uint64
+	faulted          atomic.Uint64
+	logBytes         atomic.Uint64
+	logBytesReleased atomic.Uint64
+	_                [128 - 10*8]byte // pad to two cache lines (adjacent-line prefetch)
 }
 
 // Stats mirrors the per-benchmark statistics of the paper's Table 1 plus
@@ -44,17 +45,25 @@ func (s *Stats) shard(tid int32) *statShard {
 }
 
 // Snapshot is a plain-value copy of Stats for reporting.
+//
+// LogBytes is cumulative — every byte ever charged to log structures —
+// matching the paper's Table 1 memory-overhead accounting. LogBytesReleased
+// is the measured footprint of log structures whose object has been
+// released, and LogBytesLive is their difference: what log memory is
+// actually held right now.
 type Snapshot struct {
-	ObjectsTracked uint64
-	Registered     uint64
-	Logged         uint64
-	Duplicates     uint64
-	Compressed     uint64
-	HashTables     uint64
-	Invalidated    uint64
-	Stale          uint64
-	Faulted        uint64
-	LogBytes       uint64
+	ObjectsTracked   uint64
+	Registered       uint64
+	Logged           uint64
+	Duplicates       uint64
+	Compressed       uint64
+	HashTables       uint64
+	Invalidated      uint64
+	Stale            uint64
+	Faulted          uint64
+	LogBytes         uint64
+	LogBytesReleased uint64
+	LogBytesLive     uint64
 }
 
 // Snapshot aggregates the shards into a consistent-enough copy of the
@@ -75,8 +84,12 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Stale += sh.stale.Load()
 		out.Faulted += sh.faulted.Load()
 		out.LogBytes += sh.logBytes.Load()
+		out.LogBytesReleased += sh.logBytesReleased.Load()
 	}
 	out.Registered = out.Logged + out.Duplicates
+	if out.LogBytes >= out.LogBytesReleased {
+		out.LogBytesLive = out.LogBytes - out.LogBytesReleased
+	}
 	return out
 }
 
@@ -86,6 +99,16 @@ func (s *Stats) LogBytesTotal() uint64 {
 	var n uint64
 	for i := range s.shards {
 		n += s.shards[i].logBytes.Load()
+	}
+	return n
+}
+
+// ReleasedLogBytesTotal aggregates the released-log-memory counter alone,
+// for the audit identity LogBytesTotal == live + released.
+func (s *Stats) ReleasedLogBytesTotal() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].logBytesReleased.Load()
 	}
 	return n
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/obs"
 	"dangsan/internal/tcmalloc"
 	"dangsan/internal/vmem"
 )
@@ -45,6 +46,10 @@ type Process struct {
 	// tracer, when set, receives every traced operation (see trace.go).
 	tracer TraceSink
 
+	// met holds the per-operation counters; nil until AttachMetrics, so
+	// the metrics-off hot path pays one predicted branch.
+	met *procMetrics
+
 	// Quarantine state (see EnableQuarantine).
 	quarantineLimit uint64
 	quarantineMu    sync.Mutex
@@ -57,6 +62,45 @@ type Process struct {
 type quarantined struct {
 	base uint64
 	size uint64
+}
+
+// procMetrics bundles the process's per-operation counters, each sharded
+// by thread id.
+type procMetrics struct {
+	mallocs   *obs.Counter
+	frees     *obs.Counter
+	reallocs  *obs.Counter
+	ptrStores *obs.Counter
+	intStores *obs.Counter
+	loads     *obs.Counter
+	memcpys   *obs.Counter
+}
+
+// AttachMetrics registers the process's instruments with reg — operation
+// counters, a thread-count gauge — and forwards to the allocator and (when
+// it supports it) the detector. Call before threads run; safe with nil.
+func (p *Process) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.met = &procMetrics{
+		mallocs:   reg.Counter("proc.mallocs"),
+		frees:     reg.Counter("proc.frees"),
+		reallocs:  reg.Counter("proc.reallocs"),
+		ptrStores: reg.Counter("proc.ptr_stores"),
+		intStores: reg.Counter("proc.int_stores"),
+		loads:     reg.Counter("proc.loads"),
+		memcpys:   reg.Counter("proc.memcpys"),
+	}
+	reg.RegisterFunc("proc.threads", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(p.nextTID)
+	})
+	p.alloc.AttachMetrics(reg)
+	if ma, ok := p.det.(interface{ AttachMetrics(*obs.Registry) }); ok {
+		ma.AttachMetrics(reg)
+	}
 }
 
 // New creates a process protected by the given detector (use
@@ -306,6 +350,9 @@ func (th *Thread) Malloc(size uint64) (uint64, error) {
 	usable, _ := p.alloc.UsableSize(base)
 	align, _ := p.alloc.PageAlignOf(base)
 	p.det.OnAlloc(base, usable, align)
+	if p.met != nil {
+		p.met.mallocs.Inc(th.id)
+	}
 	th.emit(TraceMalloc, size, base, 0)
 	return base, nil
 }
@@ -343,11 +390,17 @@ func (th *Thread) Free(ptr uint64) error {
 				return err
 			}
 		}
+		if p.met != nil {
+			p.met.frees.Inc(th.id)
+		}
 		th.emit(TraceFree, ptr, 0, 0)
 		return nil
 	}
 	err := th.tc.Free(ptr)
 	if err == nil {
+		if p.met != nil {
+			p.met.frees.Inc(th.id)
+		}
 		th.emit(TraceFree, ptr, 0, 0)
 	}
 	return err
@@ -381,6 +434,9 @@ func (th *Thread) Memcpy(dst, src, n uint64) *vmem.Fault {
 	if th.proc.memcpyHook != nil {
 		th.proc.memcpyHook.OnMemcpy(dst, src, n, th.id)
 	}
+	if th.proc.met != nil {
+		th.proc.met.memcpys.Inc(th.id)
+	}
 	th.emit(TraceMemcpy, dst, src, n)
 	return nil
 }
@@ -409,6 +465,9 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 			newUsable, _ := p.alloc.UsableSize(ptr)
 			align, _ := p.alloc.PageAlignOf(ptr)
 			p.det.OnReallocInPlace(ptr, oldUsable, newUsable, align)
+		}
+		if p.met != nil {
+			p.met.reallocs.Inc(th.id)
 		}
 		th.emit(TraceRealloc, ptr, size, ptr)
 		return ptr, nil
@@ -441,6 +500,9 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 	if err := th.Free(ptr); err != nil {
 		return 0, err
 	}
+	if p.met != nil {
+		p.met.reallocs.Inc(th.id)
+	}
 	th.noTrace = suppressed
 	th.emit(TraceRealloc, ptr, size, newPtr)
 	return newPtr, nil
@@ -455,6 +517,9 @@ func (th *Thread) StorePtr(loc, val uint64) *vmem.Fault {
 		return f
 	}
 	th.RegisterPtr(loc, val)
+	if th.proc.met != nil {
+		th.proc.met.ptrStores.Inc(th.id)
+	}
 	th.emit(TraceStorePtr, loc, val, 0)
 	return nil
 }
@@ -478,12 +543,18 @@ func (th *Thread) StoreInt(loc, val uint64) *vmem.Fault {
 	if f := th.proc.as.StoreWord(loc, val); f != nil {
 		return f
 	}
+	if th.proc.met != nil {
+		th.proc.met.intStores.Inc(th.id)
+	}
 	th.emit(TraceStoreInt, loc, val, 0)
 	return nil
 }
 
 // Load reads a word.
 func (th *Thread) Load(loc uint64) (uint64, *vmem.Fault) {
+	if th.proc.met != nil {
+		th.proc.met.loads.Inc(th.id)
+	}
 	return th.proc.as.LoadWord(loc)
 }
 

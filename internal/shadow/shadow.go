@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dangsan/internal/obs"
 	"dangsan/internal/vmem"
 )
 
@@ -140,6 +141,10 @@ type Table struct {
 	roots    []atomic.Pointer[leaf]
 	arena    *arena
 	leaves   atomic.Uint64 // allocated leaf count, for memory accounting
+
+	// Observability instruments; nil until AttachMetrics.
+	slotWrites *obs.Counter
+	slotClears *obs.Counter
 }
 
 // NewTable creates a metapagetable covering the standard heap reservation.
@@ -150,6 +155,19 @@ func NewTable() *Table {
 		roots:    make([]atomic.Pointer[leaf], (nPages+leafSize-1)/leafSize),
 		arena:    newArena(),
 	}
+}
+
+// AttachMetrics registers the table's instruments with reg: slot write and
+// clear counters and gauges over the sizes Bytes already tracks. Safe to
+// call with nil.
+func (t *Table) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.slotWrites = reg.Counter("shadow.slot_writes")
+	t.slotClears = reg.Counter("shadow.slot_clears")
+	reg.RegisterFunc("shadow.bytes", func() int64 { return int64(t.Bytes()) })
+	reg.RegisterFunc("shadow.leaves", func() int64 { return int64(t.leaves.Load()) })
 }
 
 // pageIndex maps a heap address to its page number; ok is false outside the
@@ -231,6 +249,7 @@ func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
 		panic(fmt.Sprintf("shadow: object 0x%x not aligned to %d", base, align))
 	}
 	end := base + size
+	var slots uint64
 	for addr := base; addr < end; {
 		pageAddr := addr &^ (vmem.PageSize - 1)
 		arr := t.ensurePage(pageAddr, shift)
@@ -244,7 +263,15 @@ func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
 		for s := firstSlot; s <= lastSlot; s++ {
 			t.arena.store(arr+s, meta)
 		}
+		slots += lastSlot - firstSlot + 1
 		addr = pageEnd
+	}
+	// No tid on this path; shard by page so concurrent allocators in
+	// different heap regions stay on separate lines.
+	if meta != 0 {
+		t.slotWrites.Add(int32(base>>vmem.PageShift), slots)
+	} else {
+		t.slotClears.Add(int32(base>>vmem.PageShift), slots)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dangsan/internal/obs"
 	"dangsan/internal/sizeclass"
 	"dangsan/internal/vmem"
 )
@@ -81,21 +82,94 @@ type Allocator struct {
 	liveBytes   atomic.Uint64
 	totalAllocs atomic.Uint64
 	totalFrees  atomic.Uint64
+
+	// classAllocs/classFrees count operations per size class; the trailing
+	// element counts large spans. Plain atomics, no sharding: the caller's
+	// thread cache already batches central traffic, and these sit next to
+	// liveObjects/totalAllocs which the same paths already touch.
+	classAllocs []atomic.Uint64
+	classFrees  []atomic.Uint64
 }
 
 // New creates an allocator over the given heap segment (normally
 // space.Heap()).
 func New(seg *vmem.Segment) *Allocator {
 	a := &Allocator{
-		seg:     seg,
-		heap:    newPageHeap(seg),
-		central: make([]centralList, sizeclass.NumClasses()),
+		seg:         seg,
+		heap:        newPageHeap(seg),
+		central:     make([]centralList, sizeclass.NumClasses()),
+		classAllocs: make([]atomic.Uint64, sizeclass.NumClasses()+1),
+		classFrees:  make([]atomic.Uint64, sizeclass.NumClasses()+1),
 	}
 	for c := range a.central {
 		a.central[c].class = c
 		a.central[c].heap = a.heap
 	}
 	return a
+}
+
+// SizeClassCount holds one size class's row of the per-class breakdown.
+type SizeClassCount struct {
+	Class  int    `json:"class"`
+	Size   uint64 `json:"size"` // 0 for the large-span row
+	Allocs uint64 `json:"allocs"`
+	Frees  uint64 `json:"frees"`
+}
+
+// SizeClassCounts returns the nonzero rows of the per-class operation
+// counts. The large-span row reports Class == NumClasses and Size == 0.
+func (a *Allocator) SizeClassCounts() []SizeClassCount {
+	var out []SizeClassCount
+	for c := range a.classAllocs {
+		allocs, frees := a.classAllocs[c].Load(), a.classFrees[c].Load()
+		if allocs == 0 && frees == 0 {
+			continue
+		}
+		row := SizeClassCount{Class: c, Allocs: allocs, Frees: frees}
+		if c < sizeclass.NumClasses() {
+			row.Size = sizeclass.ForClass(c).Size
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// CentralFreeBytes sums the bytes parked on central free lists (objects in
+// partially used spans), the component of allocator slack that
+// FreeListBytes — whole free spans in the page heap — does not cover.
+func (a *Allocator) CentralFreeBytes() uint64 {
+	var n uint64
+	for c := range a.central {
+		cl := &a.central[c]
+		size := sizeclass.ForClass(c).Size
+		cl.mu.Lock()
+		for _, s := range cl.nonempty {
+			n += uint64(len(s.freeObjs)) * size
+		}
+		cl.mu.Unlock()
+	}
+	return n
+}
+
+// AttachMetrics registers the allocator's instruments with reg: gauges
+// over the Stats counters, central-list slack, and the per-sizeclass
+// breakdown as a structured object. Safe to call with nil.
+func (a *Allocator) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("tcmalloc.live_objects", func() int64 { return int64(a.liveObjects.Load()) })
+	reg.RegisterFunc("tcmalloc.live_bytes", func() int64 { return int64(a.liveBytes.Load()) })
+	reg.RegisterFunc("tcmalloc.total_allocs", func() int64 { return int64(a.totalAllocs.Load()) })
+	reg.RegisterFunc("tcmalloc.total_frees", func() int64 { return int64(a.totalFrees.Load()) })
+	reg.RegisterFunc("tcmalloc.pageheap_free_bytes", func() int64 {
+		a.heap.mu.Lock()
+		defer a.heap.mu.Unlock()
+		return int64(a.heap.freeBytes)
+	})
+	reg.RegisterFunc("tcmalloc.central_free_bytes", func() int64 { return int64(a.CentralFreeBytes()) })
+	reg.RegisterFunc("tcmalloc.mapped_bytes", func() int64 { return int64(a.seg.MappedBytes()) })
+	reg.RegisterObject("tcmalloc.sizeclass", func() any { return a.SizeClassCounts() })
 }
 
 // NewThreadCache creates a cache for one thread. The caller owns it and must
@@ -124,15 +198,16 @@ func (tc *ThreadCache) Malloc(size uint64) (uint64, error) {
 			panic(fmt.Sprintf("tcmalloc: allocated object 0x%x already live", addr))
 		}
 		a.liveBytes.Add(sizeclass.ForClass(class).Size)
+		a.classAllocs[class].Add(1)
 	} else {
 		npages := int((size + vmem.PageSize - 1) / vmem.PageSize)
-		s := a.heap.allocSpan(npages)
+		s := a.heap.allocSpan(npages, spanLarge, 0)
 		if s == nil {
 			return 0, &OutOfMemoryError{Size: size}
 		}
-		s.state = spanLarge
 		addr = s.base
 		a.liveBytes.Add(uint64(npages) * vmem.PageSize)
+		a.classAllocs[len(a.classAllocs)-1].Add(1)
 	}
 	a.liveObjects.Add(1)
 	a.totalAllocs.Add(1)
@@ -159,6 +234,7 @@ func (tc *ThreadCache) Free(addr uint64) error {
 		}
 		a.liveBytes.Add(^(uint64(s.npages)*vmem.PageSize - 1))
 		a.heap.freeSpan(s)
+		a.classFrees[len(a.classFrees)-1].Add(1)
 	case spanSmall:
 		idx, exact := s.objectIndex(addr)
 		if !exact {
@@ -170,6 +246,7 @@ func (tc *ThreadCache) Free(addr uint64) error {
 		class := s.class
 		tc.push(class, addr)
 		a.liveBytes.Add(^(sizeclass.ForClass(class).Size - 1))
+		a.classFrees[class].Add(1)
 	default:
 		// Span is on a free list: the whole range is free already.
 		return &DoubleFreeError{Addr: addr}

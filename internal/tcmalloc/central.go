@@ -62,12 +62,10 @@ func (c *centralList) fetch(out []uint64, max int) int {
 // populate pulls a fresh span from the page heap and carves it into objects.
 func (c *centralList) populate() bool {
 	cl := sizeclass.ForClass(c.class)
-	s := c.heap.allocSpan(cl.Pages)
+	s := c.heap.allocSpan(cl.Pages, spanSmall, c.class)
 	if s == nil {
 		return false
 	}
-	s.state = spanSmall
-	s.class = c.class
 	s.allocated = 0
 	s.freeObjs = make([]uint32, cl.ObjectsPerSpan)
 	s.liveBits = make([]uint64, (cl.ObjectsPerSpan+63)/64)

@@ -62,13 +62,21 @@ func listRemove(s *span) {
 	s.prev, s.next = nil, nil
 }
 
-// allocSpan returns a span of exactly n pages, growing the heap if needed.
-// The span's pages are mapped. Returns nil if the heap reservation is
-// exhausted.
-func (ph *pageHeap) allocSpan(n int) *span {
+// allocSpan returns a span of exactly n pages with the given state and
+// class, growing the heap if needed. The span's pages are mapped. Returns
+// nil if the heap reservation is exhausted. state and class are set while
+// the lock is still held: freeSpan reads a neighbor's state during
+// coalescing under this lock, so the caller must not write them after
+// allocSpan returns.
+func (ph *pageHeap) allocSpan(n int, state spanState, class int) *span {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
-	return ph.allocSpanLocked(n)
+	s := ph.allocSpanLocked(n)
+	if s != nil {
+		s.state = state
+		s.class = class
+	}
+	return s
 }
 
 func (ph *pageHeap) allocSpanLocked(n int) *span {
@@ -112,7 +120,7 @@ func (ph *pageHeap) carve(s *span, n int) *span {
 		listPush(ph.listFor(rest.npages), rest)
 		ph.freeBytes += uint64(rest.npages) * vmem.PageSize
 	}
-	s.state = spanSmall // caller overwrites; any non-free state works here
+	s.state = spanSmall // allocSpan overwrites; any non-free state works here
 	ph.pm.setSpan(s)
 	// Pages may have been released to the OS while the span was free.
 	ph.seg.MapPages(s.base, s.npages)

@@ -72,11 +72,24 @@ func RunServer(p *proc.Process, prof ServerProfile, workers, requests int, seed 
 			errs[w] = serverWorker(p, prof, queue, seed+int64(w)*104729)
 		}(w)
 	}
+	// A worker that hits an error stops draining the queue; once all of
+	// them are gone the producer would block forever on a full channel, so
+	// it also watches for the pool emptying and stops enqueueing then.
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+produce:
 	for r := 0; r < requests; r++ {
-		queue <- r
+		select {
+		case queue <- r:
+		case <-workersDone:
+			break produce
+		}
 	}
 	close(queue)
-	wg.Wait()
+	<-workersDone
 	for _, err := range errs {
 		if err != nil {
 			return err

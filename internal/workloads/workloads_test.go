@@ -3,6 +3,7 @@ package workloads
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"dangsan/internal/detectors"
 	"dangsan/internal/detectors/dangnull"
@@ -233,6 +234,33 @@ func TestRunServerAllProfiles(t *testing.T) {
 		if st := p.Allocator().Stats(); st.LiveObjects != 0 {
 			t.Fatalf("%s: %d objects leaked", prof.Name, st.LiveObjects)
 		}
+	}
+}
+
+// Regression: when every worker exits early on an error, the producer
+// used to block forever on the full request queue. The error must
+// propagate instead. Buffers larger than the 64 GiB heap make every
+// worker's first Malloc fail, and far more requests than queue capacity
+// plus workers guarantees the producer would fill the channel.
+func TestRunServerWorkerErrorPropagates(t *testing.T) {
+	prof := ServerProfile{
+		Name:                "oom",
+		AllocsPerRequest:    1,
+		PtrStoresPerRequest: 1,
+		ComputePerRequest:   1,
+		BufferMin:           1 << 40,
+		BufferMax:           1 << 40,
+	}
+	p := proc.New(dangsan.New())
+	done := make(chan error, 1)
+	go func() { done <- RunServer(p, prof, 4, 100000, 7) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker OOM error did not propagate")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunServer deadlocked after all workers errored")
 	}
 }
 
