@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation|chaos
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
+//	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
+//	              [-max-metadata-bytes 0] [-heap-bytes 0]
 //	              [-cpuprofile prof.out] [-memprofile mem.out]
 //
 // Results go to stdout; progress (with -v) and periodic metric dumps (with
@@ -13,6 +15,17 @@
 // every instrument to the given file ("-" for stdout); feed it to
 // `dangsan-stats metrics` for a human-readable rendering. -audit turns on
 // DangSan's log-byte accounting cross-check; any drift fails the run.
+//
+// Fault injection: -faultrate arms every injection site (vmem mapping,
+// tcmalloc spans, pointer-log blocks, shadow pages, ...) at the given
+// probability on every measured run; -faultseed/-faultbudget make the
+// failure pattern deterministic and bounded. -max-metadata-bytes caps
+// DangSan's metadata, putting objects past the cap into degraded
+// (untracked) mode; -heap-bytes shrinks the simulated heap. The chaos
+// experiment sweeps a rate × seed grid asserting the fail-open invariants
+// (no false UAF, no hangs, exact accounting, exploits still detected at
+// full coverage) and exits nonzero on any violation. The chaos grid is
+// overridden by -faultrate/-faultseed when set.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"time"
 
 	"dangsan/internal/bench"
+	"dangsan/internal/chaos"
 	"dangsan/internal/detectors"
 	"dangsan/internal/obs"
 	"dangsan/internal/proc"
@@ -43,6 +57,11 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit (\"-\" for stdout)")
 	metricsInterval := flag.Duration("metrics-interval", 0, "also dump one-line JSON snapshots to stderr at this interval (requires -metrics)")
 	audit := flag.Bool("audit", false, "enable DangSan's log-byte accounting cross-check (fails on drift)")
+	faultRate := flag.Float64("faultrate", 0, "arm every fault-injection site at this probability per measured run (0 = off)")
+	faultSeed := flag.Int64("faultseed", 0, "fault-plane seed (0 = reuse -seed)")
+	faultBudget := flag.Int64("faultbudget", 0, "max injections per site per run (0 = 256, negative = unlimited)")
+	maxMetadataBytes := flag.Uint64("max-metadata-bytes", 0, "cap DangSan's metadata footprint; objects past the cap go untracked (0 = unlimited)")
+	heapBytes := flag.Uint64("heap-bytes", 0, "shrink the simulated heap to this many bytes (0 = full layout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -70,7 +89,11 @@ func main() {
 	if *verbose {
 		progress = func(s string) { fmt.Fprintf(os.Stderr, "... %s\n", s) }
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed, Repeat: *repeat, Audit: *audit}
+	opts := bench.Options{
+		Scale: *scale, Seed: *seed, Repeat: *repeat, Audit: *audit,
+		FaultRate: *faultRate, FaultSeed: *faultSeed, FaultBudget: *faultBudget,
+		MaxMetadataBytes: *maxMetadataBytes, HeapBytes: *heapBytes,
+	}
 
 	var reg *obs.Registry
 	if *metricsFile != "" {
@@ -162,6 +185,10 @@ func main() {
 		ran = true
 		runExploits()
 	}
+	if *experiment == "chaos" {
+		ran = true
+		runChaos(opts)
+	}
 	if want("ablation") {
 		ran = true
 		lb, err := bench.RunLookbackSweep(nil, opts, progress)
@@ -180,6 +207,53 @@ func main() {
 	if !ran {
 		fatalf("unknown experiment %q", *experiment)
 	}
+}
+
+// runChaos sweeps the fault-injection grid and fails the process on any
+// broken fail-open invariant. -faultrate/-faultseed, when set, replace the
+// default grid with a single cell axis; -scale scales the request count.
+func runChaos(opts bench.Options) {
+	rates := []float64{0.02, 0.1, 0.3}
+	if opts.FaultRate > 0 {
+		rates = []float64{opts.FaultRate}
+	}
+	seeds := []int64{1, 2, 3}
+	if opts.FaultSeed != 0 {
+		seeds = []int64{opts.FaultSeed}
+	}
+	cfg := chaos.Config{
+		Requests:         maxi(int(300*opts.Scale), 50),
+		HeapBytes:        opts.HeapBytes,
+		MaxMetadataBytes: opts.MaxMetadataBytes,
+		Budget:           opts.FaultBudget,
+	}
+	results := chaos.Sweep(cfg, rates, seeds)
+	fmt.Println("Chaos sweep: fail-open invariants under injected resource failure")
+	fmt.Printf("%8s %6s %9s %10s %5s %9s %9s %8s %s\n",
+		"rate", "seed", "req/s", "completed", "oom", "injected", "degraded", "dropped", "violations")
+	for _, r := range results {
+		rps := "-"
+		if r.Seconds > 0 && r.Completed {
+			rps = fmt.Sprintf("%.0f", float64(cfg.Requests)/r.Seconds)
+		}
+		fmt.Printf("%8g %6d %9s %10v %5v %9d %9d %8d %d\n",
+			r.Rate, r.Seed, rps, r.Completed, r.OOMAborted, r.Injected, r.Degraded, r.Dropped,
+			len(r.Violations))
+	}
+	if failures := chaos.Failed(results); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "dangsan-bench: chaos violation: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all invariants held")
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // runExploits reproduces §8.1: each CVE scenario under the baseline (where

@@ -17,6 +17,7 @@ import (
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
@@ -68,6 +69,9 @@ type Measurement struct {
 	// Stats carries DangSan's pointer-log counters when the detector was
 	// DangSan, zero otherwise.
 	Stats pointerlog.Snapshot
+	// Injected counts fault-plane injections during the run (0 when
+	// injection was off).
+	Injected uint64
 }
 
 // Measure times run against a fresh process using the given detector,
@@ -81,7 +85,13 @@ func Measure(det detectors.Detector, run func(p *proc.Process) error) (Measureme
 // measurements sharing one registry accumulate counters across runs —
 // snapshot between runs to separate them.
 func MeasureWith(det detectors.Detector, run func(p *proc.Process) error, reg *obs.Registry) (Measurement, error) {
-	p := proc.New(det)
+	return measureProc(det, run, reg, proc.Options{})
+}
+
+// measureProc is the common measurement core; popts configures the
+// process (heap size, allocator-side fault plane).
+func measureProc(det detectors.Detector, run func(p *proc.Process) error, reg *obs.Registry, popts proc.Options) (Measurement, error) {
+	p := proc.NewWithOptions(det, popts)
 	p.AttachMetrics(reg)
 	var peak atomic.Uint64
 	stop := make(chan struct{})
@@ -132,22 +142,28 @@ func MeasureWith(det detectors.Detector, run func(p *proc.Process) error, reg *o
 // MeasureN runs the measurement opts.Repeat times with a fresh detector
 // and process each time, returning the fastest run (the standard way to
 // suppress scheduler noise) with the largest observed footprint. The
-// options' registry, if any, is attached to every run.
-func MeasureN(opts Options, factory func() (detectors.Detector, error), run func(p *proc.Process) error) (Measurement, error) {
+// options' registry, if any, is attached to every run. When the options
+// arm fault injection, each repeat gets its own plane — passed to the
+// factory so the detector and the allocator share it — making the failure
+// pattern identical across repeats.
+func MeasureN(opts Options, factory func(*faultinject.Plane) (detectors.Detector, error), run func(p *proc.Process) error) (Measurement, error) {
 	n := opts.Repeat
 	if n < 1 {
 		n = 1
 	}
 	var best Measurement
 	for i := 0; i < n; i++ {
-		det, err := factory()
+		plane := opts.NewPlane()
+		det, err := factory(plane)
 		if err != nil {
 			return Measurement{}, err
 		}
-		m, err := MeasureWith(det, run, opts.Metrics)
+		m, err := measureProc(det, run, opts.Metrics,
+			proc.Options{HeapBytes: opts.HeapBytes, Faults: plane})
 		if err != nil {
 			return Measurement{}, err
 		}
+		m.Injected = plane.TotalInjected()
 		if i == 0 || m.Seconds < best.Seconds {
 			peak := best.PeakFootprint
 			best = m

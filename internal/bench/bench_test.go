@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"dangsan/internal/detectors"
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/proc"
 	"dangsan/internal/workloads"
@@ -39,7 +41,7 @@ func TestMeasureWithMetricsAndAudit(t *testing.T) {
 	prof = scaleSpec(prof, 0.02)
 	var mallocs uint64
 	for run := 0; run < 2; run++ {
-		det, err := opts.NewDetector(DangSan)
+		det, err := opts.NewDetector(DangSan, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,6 +59,47 @@ func TestMeasureWithMetricsAndAudit(t *testing.T) {
 		if s.Histograms["pointerlog.register_ns"].Count == 0 {
 			t.Fatalf("run %d: register_ns histogram empty", run)
 		}
+	}
+}
+
+// The fault options flow through MeasureN: a fresh plane per repeat shared
+// by detector and allocator, injections reported on the measurement, and a
+// degraded-but-successful run when the rate is survivable.
+func TestMeasureNWithFaults(t *testing.T) {
+	opts := Options{
+		Seed:        3,
+		Repeat:      2,
+		FaultRate:   0.05,
+		FaultBudget: 16,
+		HeapBytes:   8 << 20,
+	}
+	prof, err := workloads.ServerProfileByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureN(opts,
+		func(pl *faultinject.Plane) (detectors.Detector, error) { return opts.NewDetector(DangSan, pl) },
+		func(p *proc.Process) error { return workloads.RunServer(p, prof, 2, 150, opts.Seed) })
+	if err != nil {
+		t.Fatalf("pressured measurement failed: %v", err)
+	}
+	if m.Injected == 0 {
+		t.Fatal("no injections reported despite FaultRate > 0")
+	}
+	if m.Stats.DegradedObjects == 0 {
+		t.Fatal("metadata-site injections produced no degraded objects")
+	}
+
+	// Injection off: the same measurement reports zero injections.
+	opts.FaultRate = 0
+	m, err = MeasureN(opts,
+		func(pl *faultinject.Plane) (detectors.Detector, error) { return opts.NewDetector(DangSan, pl) },
+		func(p *proc.Process) error { return workloads.RunServer(p, prof, 2, 50, opts.Seed) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Injected != 0 || m.Stats.DegradedObjects != 0 {
+		t.Fatalf("injection-off run touched: injected=%d degraded=%d", m.Injected, m.Stats.DegradedObjects)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"dangsan/internal/detectors"
 	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
@@ -29,13 +30,58 @@ type Options struct {
 	// Audit enables DangSan's log-byte accounting cross-check on every
 	// DangSan detector the run builds.
 	Audit bool
+	// FaultRate arms every fault-injection site at this probability for
+	// each measured run (0 disables injection entirely). Each run gets a
+	// fresh plane so draws are deterministic per run, shared between the
+	// allocator and the detector.
+	FaultRate float64
+	// FaultSeed seeds the fault plane (0: reuse Seed).
+	FaultSeed int64
+	// FaultBudget bounds injections per site per run so pressure stays
+	// transient (0: the default 256; negative: unlimited).
+	FaultBudget int64
+	// MaxMetadataBytes caps DangSan's pointer-log metadata footprint;
+	// objects allocated past the cap go untracked (degraded mode) instead
+	// of growing metadata without bound. 0 means unlimited.
+	MaxMetadataBytes uint64
+	// HeapBytes shrinks each measured process's simulated heap (0: the
+	// full 64 GiB layout) so allocator pressure is reachable.
+	HeapBytes uint64
+}
+
+// NewPlane builds one run's fault-injection plane; nil when injection is
+// off. Every measured run gets its own plane so the draw sequence — and
+// therefore the failure pattern — is identical across repeats.
+func (o Options) NewPlane() *faultinject.Plane {
+	if o.FaultRate <= 0 {
+		return nil
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = o.Seed
+	}
+	budget := o.FaultBudget
+	if budget == 0 {
+		budget = 256
+	}
+	p := faultinject.New(seed)
+	p.EnableAll(o.FaultRate, budget)
+	return p
 }
 
 // NewDetector builds a detector of the given kind honoring the options:
-// DangSan detectors get audit mode and the metrics registry wired in.
-func (o Options) NewDetector(kind Kind) (detectors.Detector, error) {
-	if kind == DangSan && (o.Audit || o.Metrics != nil) {
-		return dangsan.NewWithOptions(dangsan.Options{Audit: o.Audit, Metrics: o.Metrics}), nil
+// DangSan detectors get audit mode, the metadata budget, the fault plane,
+// and the metrics registry wired in. plane may be nil.
+func (o Options) NewDetector(kind Kind, plane *faultinject.Plane) (detectors.Detector, error) {
+	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0) {
+		cfg := pointerlog.DefaultConfig()
+		cfg.MaxMetadataBytes = o.MaxMetadataBytes
+		return dangsan.NewWithOptions(dangsan.Options{
+			Config:  cfg,
+			Audit:   o.Audit,
+			Metrics: o.Metrics,
+			Faults:  plane,
+		}), nil
 	}
 	return NewDetector(kind)
 }
@@ -105,7 +151,7 @@ func RunSPEC(opts Options, progress func(string)) ([]SPECRow, error) {
 			}
 			kind := kind
 			m, err := MeasureN(opts,
-				func() (detectors.Detector, error) { return opts.NewDetector(kind) },
+				func(pl *faultinject.Plane) (detectors.Detector, error) { return opts.NewDetector(kind, pl) },
 				func(p *proc.Process) error { return workloads.RunSPEC(p, prof, opts.Seed) })
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
@@ -155,7 +201,7 @@ func RunScalability(threadCounts []int, opts Options, progress func(string)) ([]
 				}
 				kind := kind
 				m, err := MeasureN(opts,
-					func() (detectors.Detector, error) { return opts.NewDetector(kind) },
+					func(pl *faultinject.Plane) (detectors.Detector, error) { return opts.NewDetector(kind, pl) },
 					func(p *proc.Process) error { return workloads.RunParallel(p, prof, threads, opts.Seed) })
 				if err != nil {
 					return nil, fmt.Errorf("%s/%d/%s: %w", prof.Name, threads, kind, err)
@@ -194,7 +240,7 @@ func RunServers(opts Options, progress func(string)) ([]ServerRow, error) {
 			}
 			kind := kind
 			m, err := MeasureN(opts,
-				func() (detectors.Detector, error) { return opts.NewDetector(kind) },
+				func(pl *faultinject.Plane) (detectors.Detector, error) { return opts.NewDetector(kind, pl) },
 				func(p *proc.Process) error { return workloads.RunServer(p, prof, workers, requests, opts.Seed) })
 			if err != nil {
 				return nil, fmt.Errorf("server %s/%s: %w", prof.Name, kind, err)
@@ -225,7 +271,9 @@ func RunTable1(opts Options, progress func(string)) ([]Table1Row, error) {
 		if progress != nil {
 			progress(prof.Name)
 		}
-		ds, err := opts.NewDetector(DangSan)
+		// Table 1 is the statistics table; it always runs injection-free so
+		// the counters describe the design, not the chaos configuration.
+		ds, err := opts.NewDetector(DangSan, nil)
 		if err != nil {
 			return nil, err
 		}

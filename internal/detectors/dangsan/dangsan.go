@@ -16,6 +16,7 @@ package dangsan
 
 import (
 	"dangsan/internal/detectors"
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/shadow"
@@ -58,6 +59,10 @@ type Options struct {
 	Audit bool
 	// Metrics, when non-nil, receives the detector's instruments.
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects failures into the detector's own
+	// metadata paths (registry, log blocks, hash tables, shadow pages);
+	// failed allocations fall into degraded (untracked) mode.
+	Faults *faultinject.Plane
 }
 
 // NewWithOptions creates a DangSan detector with audit mode and metrics
@@ -69,8 +74,16 @@ func NewWithOptions(opts Options) *Detector {
 	}
 	cfg.Audit = cfg.Audit || opts.Audit
 	d := NewWithConfig(cfg)
+	d.InjectFaults(opts.Faults)
 	d.AttachMetrics(opts.Metrics)
 	return d
+}
+
+// InjectFaults attaches a fault-injection plane to the logger and shadow
+// table. Call before the detector sees traffic; nil disables injection.
+func (d *Detector) InjectFaults(p *faultinject.Plane) {
+	d.logger.InjectFaults(p)
+	d.table.InjectFaults(p)
 }
 
 // AttachMetrics registers the detector's instruments — the pointer
@@ -94,9 +107,23 @@ func (d *Detector) Name() string { return "dangsan" }
 func (d *Detector) AllocPad() uint64 { return 1 }
 
 // OnAlloc implements detectors.Detector (the heap tracker's malloc hook).
+// When metadata cannot be allocated (registry full, MaxMetadataBytes
+// reached, or injected failure) the object enters degraded mode: it is
+// simply never mapped in the shadow table, so pointer stores into it cost
+// one failed lookup and its free skips invalidation — coverage loss,
+// never a crash or a false UAF report.
 func (d *Detector) OnAlloc(base, size, align uint64) {
-	_, handle := d.logger.CreateMeta(base, size)
-	d.table.CreateObject(base, size, align, handle)
+	_, handle, err := d.logger.CreateMeta(base, size)
+	if err != nil {
+		d.logger.NoteDegraded(int32(base >> 12))
+		return
+	}
+	if err := d.table.CreateObject(base, size, align, handle); err != nil {
+		// Shadow population failed (rolled back internally): release the
+		// metadata again so the handle can never surface half-mapped.
+		d.logger.ReleaseMeta(handle)
+		d.logger.NoteDegraded(int32(base >> 12))
+	}
 }
 
 // OnReallocInPlace implements detectors.Detector. Growth extends the shadow
@@ -112,7 +139,22 @@ func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
 		return
 	}
 	meta.SetSize(newSize)
-	d.table.CreateObject(base, newSize, align, handle)
+	if err := d.table.CreateObject(base, newSize, align, handle); err != nil {
+		// Extending the shadow mapping failed and the failed CreateObject
+		// rolled back what it wrote, which may include part of the old
+		// mapping. Converge to a consistent state by untracking the object
+		// entirely: clear both extents (infallible), retire the metadata.
+		// Its logged locations die unverified — coverage loss only.
+		old := oldSize
+		if newSize > old {
+			old = newSize
+		}
+		d.table.ClearObject(base, old, align)
+		d.logger.ReleaseMeta(handle)
+		d.logger.NoteDegraded(int32(base >> 12))
+		d.logger.BumpGen()
+		return
+	}
 	if newSize < oldSize {
 		d.table.ClearObject(base+newSize, oldSize-newSize, align)
 	}

@@ -1,0 +1,142 @@
+package faultinject
+
+import "testing"
+
+// TestDeterminism: two planes with the same seed must produce identical
+// verdict sequences at every site; a different seed must diverge somewhere.
+func TestDeterminism(t *testing.T) {
+	const draws = 10000
+	a, b := New(42), New(42)
+	a.EnableAll(0.1, -1)
+	b.EnableAll(0.1, -1)
+	for s := Site(0); s < NumSites; s++ {
+		for i := 0; i < draws; i++ {
+			if a.Fail(s) != b.Fail(s) {
+				t.Fatalf("site %v draw %d: same seed diverged", s, i)
+			}
+		}
+	}
+
+	c := New(43)
+	c.EnableAll(0.1, -1)
+	d2 := New(42)
+	d2.EnableAll(0.1, -1)
+	diverged := false
+	for i := 0; i < draws; i++ {
+		if c.Fail(VmemMap) != d2.Fail(VmemMap) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatalf("different seeds produced identical verdicts over %d draws", draws)
+	}
+}
+
+// TestRate: the empirical injection frequency must track the configured
+// rate, and sites must be independent of one another's draw counts.
+func TestRate(t *testing.T) {
+	const draws = 200000
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		p := New(7)
+		p.Enable(SpanAlloc, rate, -1)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if p.Fail(SpanAlloc) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if got < rate*0.8 || got > rate*1.2 {
+			t.Errorf("rate %.2f: empirical frequency %.4f outside ±20%%", rate, got)
+		}
+		if p.Injected(SpanAlloc) != uint64(hits) {
+			t.Errorf("rate %.2f: Injected=%d want %d", rate, p.Injected(SpanAlloc), hits)
+		}
+	}
+}
+
+// TestBudget: a site with budget N injects at most N times, then disarms —
+// further draws are free (threshold cleared) and never inject.
+func TestBudget(t *testing.T) {
+	p := New(1)
+	p.Enable(MetaAlloc, 1.0, 5)
+	for i := 0; i < 5; i++ {
+		if !p.Fail(MetaAlloc) {
+			t.Fatalf("draw %d: rate-1.0 site with budget left should inject", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if p.Fail(MetaAlloc) {
+			t.Fatalf("injection after budget drained (extra draw %d)", i)
+		}
+	}
+	if got := p.Injected(MetaAlloc); got != 5 {
+		t.Fatalf("Injected=%d want 5", got)
+	}
+	// A zero budget never injects at all.
+	q := New(1)
+	q.Enable(MetaAlloc, 1.0, 0)
+	if q.Fail(MetaAlloc) {
+		t.Fatal("budget-0 site injected")
+	}
+}
+
+// TestNilAndDisabled: nil planes and disabled sites are inert.
+func TestNilAndDisabled(t *testing.T) {
+	var p *Plane
+	if p.Fail(VmemMap) {
+		t.Fatal("nil plane injected")
+	}
+	p.Enable(VmemMap, 1.0, -1) // must not panic
+	if p.Injected(VmemMap) != 0 || p.TotalInjected() != 0 {
+		t.Fatal("nil plane reported injections")
+	}
+	if p.Snapshot() != nil {
+		t.Fatal("nil plane snapshot non-nil")
+	}
+
+	q := New(9)
+	for i := 0; i < 1000; i++ {
+		if q.Fail(SpanAlloc) {
+			t.Fatal("disabled site injected")
+		}
+	}
+	if q.Fail(NumSites) || q.Fail(Site(200)) {
+		t.Fatal("out-of-range site injected")
+	}
+	if got := q.Snapshot(); got != nil {
+		t.Fatalf("disabled sites appear in snapshot: %v", got)
+	}
+}
+
+// TestSnapshot: consulted sites appear with accurate counters.
+func TestSnapshot(t *testing.T) {
+	p := New(3)
+	p.Enable(LogBlockAlloc, 0.5, -1)
+	for i := 0; i < 100; i++ {
+		p.Fail(LogBlockAlloc)
+	}
+	snap := p.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d sites, want 1", len(snap))
+	}
+	if snap[0].Site != "log_block_alloc" || snap[0].Draws != 100 {
+		t.Fatalf("snapshot = %+v", snap[0])
+	}
+	if snap[0].Injected != p.Injected(LogBlockAlloc) {
+		t.Fatalf("snapshot injected %d != Injected() %d", snap[0].Injected, p.Injected(LogBlockAlloc))
+	}
+	if p.TotalInjected() != snap[0].Injected {
+		t.Fatalf("TotalInjected %d != site injected %d", p.TotalInjected(), snap[0].Injected)
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if VmemMap.String() != "vmem_map" || ShadowPopulate.String() != "shadow_populate" {
+		t.Fatal("site names wrong")
+	}
+	if Site(99).String() != "site(99)" {
+		t.Fatalf("out-of-range name = %q", Site(99).String())
+	}
+}

@@ -51,6 +51,9 @@ type Options struct {
 	Output io.Writer
 	// MaxSteps bounds instructions per thread (0 = default 100M).
 	MaxSteps uint64
+	// Proc configures the underlying process (heap size, allocator-level
+	// fault injection). The zero value is the standard layout.
+	Proc proc.Options
 }
 
 // Result reports a completed run.
@@ -92,7 +95,7 @@ func New(mod *ir.Module, det detectors.Detector, opts Options) *Runtime {
 	}
 	rt := &Runtime{
 		mod:     mod,
-		p:       proc.New(det),
+		p:       proc.NewWithOptions(det, opts.Proc),
 		opts:    opts,
 		globals: make(map[string]uint64),
 		threads: make(map[uint64]*threadState),

@@ -16,7 +16,7 @@ func hashModeLogger(t testing.TB, cfg Config) (*Logger, *ObjectMeta, *ThreadLog)
 	cfg.MaxLogEntries = embedEntries
 	cfg.Compression = false
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	for i := 0; i <= embedEntries; i++ {
 		lg.Register(meta, vmem.GlobalsBase+uint64(i)*0x1000, 1)
 	}
@@ -34,14 +34,14 @@ func TestLocSetGrowOnDuplicateInsert(t *testing.T) {
 	s := newLocSet()
 	// 64 slots grow once used*10 >= 64*7; 45 distinct entries cross it.
 	for i := 0; i < 45; i++ {
-		if added, _ := s.insert(vmem.GlobalsBase + uint64(i)*8); !added {
+		if added, _, _ := s.insert(vmem.GlobalsBase+uint64(i)*8, nil); !added {
 			t.Fatalf("insert %d reported duplicate", i)
 		}
 	}
 	if got := s.bytes(); got != locSetInitial*8 {
 		t.Fatalf("table grew early: %d bytes", got)
 	}
-	added, grown := s.insert(vmem.GlobalsBase) // duplicate of the first
+	added, grown, _ := s.insert(vmem.GlobalsBase, nil) // duplicate of the first
 	if added {
 		t.Fatal("duplicate reported as added")
 	}
@@ -180,7 +180,7 @@ func TestStaleHandleRaceRecycle(t *testing.T) {
 
 	for i := 0; i < 2000; i++ {
 		base := vmem.HeapBase + uint64(i%4)*4096
-		meta, h := lg.CreateMeta(base, 128+uint64(i%7)*8)
+		meta, h := lg.MustCreateMeta(base, 128+uint64(i%7)*8)
 		lg.Register(meta, vmem.GlobalsBase+uint64(i%64)*8, 0)
 		lg.Invalidate(meta, as)
 		lg.ReleaseMeta(h)

@@ -16,7 +16,7 @@ import (
 // is contention our implementation added, not the algorithm's.
 func BenchmarkRegisterParallel(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 1<<20)
 	var tids atomic.Int32
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -37,7 +37,7 @@ func BenchmarkRegisterParallel(b *testing.B) {
 // on a cache hit.
 func BenchmarkRegisterParallelFastPath(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 1<<20)
 	var tids atomic.Int32
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -61,7 +61,7 @@ func BenchmarkRegisterParallelFastPath(b *testing.B) {
 // BenchmarkRegisterSingle is the 1-thread anchor for RegisterParallel.
 func BenchmarkRegisterSingle(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 1<<20)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lg.Register(meta, vmem.GlobalsBase+(uint64(i)&1023)*8, 0)
@@ -74,7 +74,7 @@ func BenchmarkRegisterSingle(b *testing.B) {
 func BenchmarkRegisterSingleMetricsOn(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
 	lg.AttachMetrics(obs.NewRegistry())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 1<<20)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 1<<20)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lg.Register(meta, vmem.GlobalsBase+(uint64(i)&1023)*8, 0)
@@ -89,7 +89,7 @@ func invalidateFixture(b *testing.B, nLocs int, tids int) (*Logger, *ObjectMeta,
 	as := vmem.New()
 	as.Heap().MapPages(vmem.HeapBase, 16)
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
 	locs := make([]uint64, nLocs)
 	for i := range locs {
 		loc := vmem.GlobalsBase + uint64(i)*8
@@ -128,7 +128,7 @@ func BenchmarkInvalidateLargeLogWorkers4(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.InvalidateWorkers = 4
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
 	locs := make([]uint64, 1<<16)
 	for i := range locs {
 		loc := vmem.GlobalsBase + uint64(i)*8

@@ -78,6 +78,12 @@ type Config struct {
 	// LogBytes charges exactly. Debugging aid for deterministic workloads;
 	// see audit.go for the precise identity and its caveats.
 	Audit bool
+	// MaxMetadataBytes caps the logger's metadata footprint (live log
+	// structures plus registry slabs). Once MetadataBytes() reaches the
+	// cap, CreateMeta returns ErrMetadataExhausted and the detector tracks
+	// no further objects until pressure subsides — explicit degraded mode
+	// in place of unbounded growth. 0 means unlimited.
+	MaxMetadataBytes uint64
 }
 
 // DefaultConfig returns the paper's configuration.

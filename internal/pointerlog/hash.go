@@ -39,23 +39,37 @@ func hashLoc(loc uint64) uint64 {
 // by how many bytes the table grew (so the caller charges LogBytes
 // without re-measuring the table on every call). Owner-only. loc must
 // be nonzero.
-func (s *locSet) insert(loc uint64) (added bool, grown uint64) {
+//
+// growOK, when non-nil, is consulted before the table is doubled; a false
+// return denies the grow (fault injection simulating allocation failure).
+// A denied grow is survivable — inserts continue into the existing table —
+// until the table is nearly full, at which point new locations are dropped
+// (reported via dropped) rather than filling the last free slot, which
+// would turn every miss probe into an infinite loop.
+func (s *locSet) insert(loc uint64, growOK func() bool) (added bool, grown uint64, dropped bool) {
 	t := s.table.Load()
 	if t.used*10 >= len(t.entries)*7 {
-		old := uint64(len(t.entries)) * 8
-		t = s.grow(t)
-		grown = uint64(len(t.entries))*8 - old
+		if growOK == nil || growOK() {
+			old := uint64(len(t.entries)) * 8
+			t = s.grow(t)
+			grown = uint64(len(t.entries))*8 - old
+		} else if t.used >= len(t.entries)-1 {
+			if s.contains(loc) {
+				return false, 0, false
+			}
+			return false, 0, true
+		}
 	}
 	i := hashLoc(loc) & t.mask
 	for {
 		e := atomic.LoadUint64(&t.entries[i])
 		if e == loc {
-			return false, grown
+			return false, grown, false
 		}
 		if e == 0 {
 			atomic.StoreUint64(&t.entries[i], loc)
 			t.used++
-			return true, grown
+			return true, grown, false
 		}
 		i = (i + 1) & t.mask
 	}

@@ -46,7 +46,7 @@ func TestParallelInvalidateMatchesSerial(t *testing.T) {
 				as := vmem.New()
 				as.Heap().MapPages(vmem.HeapBase, 4)
 				lg := NewLogger(invalConfig(workers))
-				meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+				meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
 				locs := fillObject(lg, as, meta, nLocs, tc.nTids)
 				// Overwrite a deterministic subset so the stale path runs.
 				for i := 0; i < len(locs); i += 3 {
@@ -84,7 +84,7 @@ func TestParallelInvalidateConcurrentStores(t *testing.T) {
 	as := vmem.New()
 	as.Heap().MapPages(vmem.HeapBase, 4)
 	lg := NewLogger(invalConfig(4))
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
 	locs := fillObject(lg, as, meta, 20000, 2)
 
 	stop := make(chan struct{})
@@ -141,7 +141,7 @@ func TestThreadLogBytesExactUnderContention(t *testing.T) {
 	cfg := DefaultConfig()
 	for iter := 0; iter < 50; iter++ {
 		lg := NewLogger(cfg)
-		meta, _ := lg.CreateMeta(vmem.HeapBase, 4096)
+		meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
 		const nThreads = 8
 		var start, done sync.WaitGroup
 		start.Add(1)
@@ -168,7 +168,7 @@ func TestParallelInvalidateFewUnits(t *testing.T) {
 	as := vmem.New()
 	as.Heap().MapPages(vmem.HeapBase, 1)
 	lg := NewLogger(invalConfig(8))
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	loc := uint64(vmem.GlobalsBase + 8)
 	as.StoreWord(loc, vmem.HeapBase+8)
 	lg.Register(meta, loc, 0)
@@ -186,7 +186,7 @@ func TestGenBumpsOnInvalidate(t *testing.T) {
 	as := vmem.New()
 	as.Heap().MapPages(vmem.HeapBase, 1)
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	g0 := lg.Gen()
 	lg.Invalidate(meta, as)
 	if lg.Gen() == g0 {

@@ -1,12 +1,21 @@
 package pointerlog
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 )
+
+// ErrMetadataExhausted reports that the logger could not allocate per-object
+// metadata: the registry is full, Config.MaxMetadataBytes is reached, or a
+// fault was injected. Callers (the DangSan detector) route it into degraded
+// mode — the object stays usable but untracked — instead of crashing.
+var ErrMetadataExhausted = errors.New("pointerlog: metadata exhausted")
 
 const (
 	// embedEntries is the number of log entries embedded directly in the
@@ -93,6 +102,16 @@ type Logger struct {
 	slabs []atomic.Pointer[metaSlab]
 	free  []uint64
 	next  atomic.Uint64
+	// slabCount tracks allocated registry slabs for MetadataBytes.
+	slabCount atomic.Uint64
+
+	// faults, when set, can fail metadata allocation (CreateMeta), log-block
+	// allocation, and hash-table creation/growth. hashGrowOK is the
+	// precomputed grow gate handed to locSet.insert so the hot path does not
+	// allocate a closure per call. Set both via InjectFaults before the
+	// logger sees concurrent traffic.
+	faults     atomic.Pointer[faultinject.Plane]
+	hashGrowOK func() bool
 
 	// met holds the observability instruments; nil until AttachMetrics,
 	// so the metrics-off hot path pays one predicted branch.
@@ -167,6 +186,15 @@ func (lg *Logger) AttachMetrics(reg *obs.Registry) {
 	reg.RegisterFunc("pointerlog.duplicates", func() int64 {
 		return int64(lg.stats.Snapshot().Duplicates)
 	})
+	reg.RegisterFunc("pointerlog.degraded_objects", func() int64 {
+		return int64(lg.stats.Snapshot().DegradedObjects)
+	})
+	reg.RegisterFunc("pointerlog.dropped_registrations", func() int64 {
+		return int64(lg.stats.Snapshot().DroppedRegistrations)
+	})
+	reg.RegisterFunc("pointerlog.metadata_bytes", func() int64 {
+		return int64(lg.MetadataBytes())
+	})
 }
 
 // Config returns the logger's configuration.
@@ -185,9 +213,53 @@ func (lg *Logger) Gen() uint64 { return lg.gen.Load() }
 // cached object extents stale (e.g. in-place realloc).
 func (lg *Logger) BumpGen() { lg.gen.Add(1) }
 
+// metaSlabBytes is the in-memory size of one registry slab, for the
+// MetadataBytes budget accounting.
+const metaSlabBytes = uint64(unsafe.Sizeof(metaSlab{}))
+
+// InjectFaults attaches a fault-injection plane covering metadata
+// allocation (MetaAlloc), indirect log blocks (LogBlockAlloc), and
+// hash-table creation and growth (HashGrowAlloc). Must be called before the
+// logger sees concurrent traffic; a nil plane disables injection.
+func (lg *Logger) InjectFaults(p *faultinject.Plane) {
+	lg.faults.Store(p)
+	if p == nil {
+		lg.hashGrowOK = nil
+	} else {
+		lg.hashGrowOK = func() bool { return !p.Fail(faultinject.HashGrowAlloc) }
+	}
+}
+
+// MetadataBytes reports the logger's current metadata footprint: live log
+// structures plus registry slabs. This is the quantity bounded by
+// Config.MaxMetadataBytes.
+func (lg *Logger) MetadataBytes() uint64 {
+	n := lg.slabCount.Load() * metaSlabBytes
+	total := lg.stats.LogBytesTotal()
+	if released := lg.stats.ReleasedLogBytesTotal(); released < total {
+		n += total - released
+	}
+	return n
+}
+
+// NoteDegraded records that an allocation entered degraded (untracked)
+// mode. The detector calls this when CreateMeta or the shadow map fails.
+func (lg *Logger) NoteDegraded(tid int32) {
+	lg.stats.shard(tid).degradedObjects.Add(1)
+}
+
 // CreateMeta allocates (or recycles) an ObjectMeta for a new object and
 // returns it together with the nonzero handle to store in the shadow map.
-func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
+// It returns ErrMetadataExhausted when the registry is full, the
+// MaxMetadataBytes budget is reached, or a fault is injected; the caller
+// must leave the object untracked (degraded) rather than abort.
+func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64, error) {
+	if lg.faults.Load().Fail(faultinject.MetaAlloc) {
+		return nil, 0, ErrMetadataExhausted
+	}
+	if max := lg.cfg.MaxMetadataBytes; max > 0 && lg.MetadataBytes() >= max {
+		return nil, 0, ErrMetadataExhausted
+	}
 	lg.mu.Lock()
 	var idx uint64
 	if n := len(lg.free); n > 0 {
@@ -198,10 +270,11 @@ func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
 		si := int(idx >> 12)
 		if si >= maxMetaSlabs {
 			lg.mu.Unlock()
-			panic("pointerlog: metadata registry exhausted")
+			return nil, 0, ErrMetadataExhausted
 		}
 		if lg.slabs[si].Load() == nil {
 			lg.slabs[si].Store(new(metaSlab))
+			lg.slabCount.Add(1)
 		}
 		lg.next.Store(idx + 1)
 	}
@@ -215,7 +288,17 @@ func (lg *Logger) CreateMeta(base, size uint64) (*ObjectMeta, uint64) {
 	m.logs.Store(nil)
 	// No tid on the allocation path; spread by handle instead.
 	lg.stats.shard(int32(idx)).objectsTracked.Add(1)
-	return m, idx + 1
+	return m, idx + 1, nil
+}
+
+// MustCreateMeta is CreateMeta for contexts where exhaustion cannot happen
+// (no fault plane, no budget); it panics on error.
+func (lg *Logger) MustCreateMeta(base, size uint64) (*ObjectMeta, uint64) {
+	m, handle, err := lg.CreateMeta(base, size)
+	if err != nil {
+		panic(err)
+	}
+	return m, handle
 }
 
 // MetaAt resolves a handle previously returned by CreateMeta (and stored in
@@ -366,12 +449,18 @@ func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 	// duplicate (same outcome, more work) and refreshing it buys nothing
 	// because the table already deduplicates the full history.
 	if h := tl.hash.Load(); h != nil {
-		added, grown := h.insert(loc)
+		added, grown, dropped := h.insert(loc, lg.hashGrowOK)
 		// A duplicate insert can still grow the table — the load-factor
 		// check runs before probing — so growth must be charged before the
 		// duplicate return or those bytes vanish from the accounting.
 		if grown > 0 {
 			sh.logBytes.Add(grown)
+		}
+		if dropped {
+			// Denied grow on a full table: the location goes unlogged.
+			// Coverage loss only — a free simply won't invalidate it.
+			sh.droppedRegs.Add(1)
+			return
 		}
 		if !added {
 			sh.duplicates.Add(1)
@@ -407,11 +496,15 @@ func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 	// unbounded growth when duplicates recur with cycles longer than the
 	// lookback (paper §4.4).
 	if tl.count >= lg.cfg.MaxLogEntries {
+		if lg.faults.Load().Fail(faultinject.HashGrowAlloc) {
+			sh.droppedRegs.Add(1)
+			return
+		}
 		h := newLocSet()
 		sh.hashTables.Add(1)
 		sh.logBytes.Add(h.bytes())
 		tl.hash.Store(h)
-		h.insert(loc)
+		h.insert(loc, nil)
 		sh.logged.Add(1)
 		return
 	}
@@ -422,6 +515,10 @@ func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 		slot = &tl.embed[tl.count]
 	} else {
 		if tl.tail == nil || tl.tailUsed == blockEntries {
+			if lg.faults.Load().Fail(faultinject.LogBlockAlloc) {
+				sh.droppedRegs.Add(1)
+				return
+			}
 			b := new(logBlock)
 			sh.logBytes.Add(blockEntries*8 + 8)
 			if tl.tail == nil {

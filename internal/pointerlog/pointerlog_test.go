@@ -84,7 +84,7 @@ func TestEntryDiscriminationProperty(t *testing.T) {
 
 func TestRegisterAndCollect(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
-	meta, handle := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, handle := lg.MustCreateMeta(vmem.HeapBase, 64)
 	if handle == 0 {
 		t.Fatal("zero handle")
 	}
@@ -111,7 +111,7 @@ func TestRegisterAndCollect(t *testing.T) {
 
 func TestLookbackSuppressesDuplicates(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	loc := uint64(vmem.GlobalsBase + 0x100)
 	for i := 0; i < 100; i++ {
 		lg.Register(meta, loc, 1)
@@ -132,7 +132,7 @@ func TestLookbackWindowCycles(t *testing.T) {
 	cfg.Lookback = 2
 	cfg.Compression = false
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	locs := []uint64{
 		vmem.GlobalsBase + 0x1000,
 		vmem.GlobalsBase + 0x3000,
@@ -153,7 +153,7 @@ func TestZeroLookback(t *testing.T) {
 	cfg.Lookback = 0
 	cfg.Compression = false
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	loc := uint64(vmem.GlobalsBase + 0x100)
 	lg.Register(meta, loc, 1)
 	lg.Register(meta, loc, 1)
@@ -166,7 +166,7 @@ func TestCompressionPacksNeighbors(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Lookback = 0 // isolate compression
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	base := uint64(vmem.GlobalsBase + 0x300)
 	lg.Register(meta, base, 1)
 	lg.Register(meta, base+8, 1)
@@ -191,7 +191,7 @@ func TestCompressionDisabled(t *testing.T) {
 	cfg.Lookback = 0
 	cfg.Compression = false
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	base := uint64(vmem.GlobalsBase + 0x300)
 	lg.Register(meta, base, 1)
 	lg.Register(meta, base+8, 1)
@@ -206,7 +206,7 @@ func TestIndirectBlocksAndHashFallback(t *testing.T) {
 	cfg.Compression = false
 	cfg.MaxLogEntries = 40 // embed (12) + part of one block
 	lg := NewLogger(cfg)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	// Spread locations so neither lookback nor compression could apply.
 	n := 200
 	for i := 0; i < n; i++ {
@@ -228,7 +228,7 @@ func TestIndirectBlocksAndHashFallback(t *testing.T) {
 
 func TestPerThreadLogs(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	lg.Register(meta, vmem.GlobalsBase+0x100, 1)
 	lg.Register(meta, vmem.GlobalsBase+0x1100, 2)
 	lg.Register(meta, vmem.GlobalsBase+0x2100, 3)
@@ -242,7 +242,7 @@ func TestPerThreadLogs(t *testing.T) {
 
 func TestConcurrentRegister(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	const threads = 8
 	const perThread = 500
 	var wg sync.WaitGroup
@@ -275,7 +275,7 @@ func TestInvalidate(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
 	as.Heap().MapPages(vmem.HeapBase, 1)
 	objBase := uint64(vmem.HeapBase)
-	meta, _ := lg.CreateMeta(objBase, 64)
+	meta, _ := lg.MustCreateMeta(objBase, 64)
 
 	ptrLoc := uint64(vmem.GlobalsBase + 0x100)
 	staleLoc := uint64(vmem.GlobalsBase + 0x200)
@@ -326,7 +326,7 @@ func TestInvalidateOnePastEnd(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
 	as.Heap().MapPages(vmem.HeapBase, 1)
 	logical := uint64(64)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, logical+8) // padded usable size
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, logical+8) // padded usable size
 	loc := uint64(vmem.GlobalsBase + 0x100)
 	as.StoreWord(loc, vmem.HeapBase+logical) // one past the end
 	lg.Register(meta, loc, 1)
@@ -340,7 +340,7 @@ func TestInvalidateSkipsUnmappedLocation(t *testing.T) {
 	as := newSpace(t)
 	lg := NewLogger(DefaultConfig())
 	as.Heap().MapPages(vmem.HeapBase, 2)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	// The pointer lives in a heap page that later gets unmapped.
 	loc := uint64(vmem.HeapBase + vmem.PageSize)
 	as.StoreWord(loc, vmem.HeapBase)
@@ -361,7 +361,7 @@ func TestInvalidateRace(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
 	as.Heap().MapPages(vmem.HeapBase, 1)
 	for iter := 0; iter < 200; iter++ {
-		meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+		meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 		loc := uint64(vmem.GlobalsBase + 0x100)
 		as.StoreWord(loc, vmem.HeapBase)
 		lg.Register(meta, loc, 1)
@@ -388,9 +388,9 @@ func TestInvalidateRace(t *testing.T) {
 
 func TestMetaRecycling(t *testing.T) {
 	lg := NewLogger(DefaultConfig())
-	_, h1 := lg.CreateMeta(vmem.HeapBase, 64)
+	_, h1 := lg.MustCreateMeta(vmem.HeapBase, 64)
 	lg.ReleaseMeta(h1)
-	m2, h2 := lg.CreateMeta(vmem.HeapBase+128, 32)
+	m2, h2 := lg.MustCreateMeta(vmem.HeapBase+128, 32)
 	if h2 != h1 {
 		t.Fatalf("handle not recycled: %d vs %d", h1, h2)
 	}
@@ -416,7 +416,7 @@ func TestRegisterCollectProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for iter := 0; iter < 50; iter++ {
 		lg := NewLogger(DefaultConfig())
-		meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+		meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 		n := rng.Intn(300) + 1
 		set := make(map[uint64]bool, n)
 		for len(set) < n {
@@ -447,7 +447,7 @@ func TestLocSet(t *testing.T) {
 	locs := make([]uint64, 500)
 	for i := range locs {
 		locs[i] = vmem.GlobalsBase + uint64(i)*8
-		if added, _ := s.insert(locs[i]); !added {
+		if added, _, _ := s.insert(locs[i], nil); !added {
 			t.Fatalf("insert %d reported duplicate", i)
 		}
 	}
@@ -458,7 +458,7 @@ func TestLocSet(t *testing.T) {
 		if !s.contains(loc) {
 			t.Fatalf("missing 0x%x", loc)
 		}
-		if added, _ := s.insert(loc); added {
+		if added, _, _ := s.insert(loc, nil); added {
 			t.Fatalf("re-insert of 0x%x not detected", loc)
 		}
 	}
@@ -474,7 +474,7 @@ func TestLocSet(t *testing.T) {
 
 func BenchmarkRegisterUnique(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lg.Register(meta, vmem.GlobalsBase+uint64(i%(1<<20))*8, 1)
@@ -483,7 +483,7 @@ func BenchmarkRegisterUnique(b *testing.B) {
 
 func BenchmarkRegisterDuplicate(b *testing.B) {
 	lg := NewLogger(DefaultConfig())
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	loc := uint64(vmem.GlobalsBase + 0x100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -495,7 +495,7 @@ func BenchmarkInvalidate(b *testing.B) {
 	as := vmem.New()
 	lg := NewLogger(DefaultConfig())
 	as.Heap().MapPages(vmem.HeapBase, 1)
-	meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 	for i := 0; i < 64; i++ {
 		loc := vmem.GlobalsBase + uint64(i)*0x100
 		as.StoreWord(loc, vmem.HeapBase)

@@ -103,7 +103,7 @@ func TestCompressLSBZeroFirstSlotQuick(t *testing.T) {
 		// compressed entry with base in the first slot.
 		for _, order := range [][2]uint64{{base, other}, {other, base}} {
 			lg := NewLogger(DefaultConfig())
-			meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+			meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 			tl := lg.Register(meta, order[0], 0)
 			lg.Register(meta, order[1], 0)
 			e := atomic.LoadUint64(tl.lastSlot)
@@ -118,7 +118,7 @@ func TestCompressLSBZeroFirstSlotQuick(t *testing.T) {
 		// (c) A compressed entry that is already seeded with nonzero LSBs
 		// never absorbs the LSB-0 location: it starts a fresh raw entry.
 		lg := NewLogger(DefaultConfig())
-		meta, _ := lg.CreateMeta(vmem.HeapBase, 64)
+		meta, _ := lg.MustCreateMeta(vmem.HeapBase, 64)
 		third := base | uint64(lsb&0xf8|8)%0x100
 		if third == other || third == base {
 			third = base | (uint64(other&0xff)+8)%0x100&^7
@@ -199,7 +199,7 @@ func TestInvalidateContractQuick(t *testing.T) {
 	as.Heap().MapPages(vmem.HeapBase, 4)
 	f := func(offsets [6]uint16, overwrite [6]bool) bool {
 		lg := NewLogger(DefaultConfig())
-		meta, _ := lg.CreateMeta(vmem.HeapBase, 256)
+		meta, _ := lg.MustCreateMeta(vmem.HeapBase, 256)
 		type slot struct {
 			loc       uint64
 			val       uint64

@@ -27,7 +27,9 @@ type statShard struct {
 	faulted          atomic.Uint64
 	logBytes         atomic.Uint64
 	logBytesReleased atomic.Uint64
-	_                [128 - 10*8]byte // pad to two cache lines (adjacent-line prefetch)
+	degradedObjects  atomic.Uint64
+	droppedRegs      atomic.Uint64
+	_                [128 - 12*8]byte // pad to two cache lines (adjacent-line prefetch)
 }
 
 // Stats mirrors the per-benchmark statistics of the paper's Table 1 plus
@@ -64,6 +66,13 @@ type Snapshot struct {
 	LogBytes         uint64
 	LogBytesReleased uint64
 	LogBytesLive     uint64
+	// DegradedObjects counts allocations the detector could not track
+	// (metadata exhausted, budget hit, or injected failure); their frees
+	// skip invalidation, losing coverage but never correctness.
+	DegradedObjects uint64
+	// DroppedRegistrations counts pointer stores whose log append was
+	// abandoned because log-block or hash-table memory was unavailable.
+	DroppedRegistrations uint64
 }
 
 // Snapshot aggregates the shards into a consistent-enough copy of the
@@ -85,6 +94,8 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Faulted += sh.faulted.Load()
 		out.LogBytes += sh.logBytes.Load()
 		out.LogBytesReleased += sh.logBytesReleased.Load()
+		out.DegradedObjects += sh.degradedObjects.Load()
+		out.DroppedRegistrations += sh.droppedRegs.Load()
 	}
 	out.Registered = out.Logged + out.Duplicates
 	if out.LogBytes >= out.LogBytesReleased {

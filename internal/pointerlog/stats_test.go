@@ -17,7 +17,7 @@ func goldenWorkload(lg *Logger, as *vmem.AddressSpace) Snapshot {
 	}
 	var metas []*ObjectMeta
 	for i := 0; i < 8; i++ {
-		m, _ := lg.CreateMeta(vmem.HeapBase+uint64(i)*8192, 4096)
+		m, _ := lg.MustCreateMeta(vmem.HeapBase+uint64(i)*8192, 4096)
 		metas = append(metas, m)
 	}
 	for i := 0; i < 50000; i++ {
@@ -110,7 +110,7 @@ func TestAuditAcrossRelease(t *testing.T) {
 	var handles []uint64
 	var metas []*ObjectMeta
 	for i := 0; i < 4; i++ {
-		m, h := lg.CreateMeta(vmem.HeapBase+uint64(i)*8192, 4096)
+		m, h := lg.MustCreateMeta(vmem.HeapBase+uint64(i)*8192, 4096)
 		metas = append(metas, m)
 		handles = append(handles, h)
 	}

@@ -17,10 +17,28 @@ import (
 	"sync"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/tcmalloc"
 	"dangsan/internal/vmem"
 )
+
+// ExhaustedError reports exhaustion of a fixed process resource (globals
+// segment, a thread stack). The infallible AllocGlobal/Alloca panic with
+// this value; TryAllocGlobal/TryAlloca return it, so workloads that want to
+// survive pressure can.
+type ExhaustedError struct {
+	Resource string // "globals" or "stack"
+	Tid      int32  // thread id for stack exhaustion, -1 otherwise
+	Size     uint64 // the request that did not fit
+}
+
+func (e *ExhaustedError) Error() string {
+	if e.Resource == "stack" {
+		return fmt.Sprintf("proc: thread %d stack overflow allocating %d bytes", e.Tid, e.Size)
+	}
+	return fmt.Sprintf("proc: %s segment exhausted allocating %d bytes", e.Resource, e.Size)
+}
 
 // Process is one simulated process: address space, allocator, detector.
 type Process struct {
@@ -106,14 +124,41 @@ func (p *Process) AttachMetrics(reg *obs.Registry) {
 // New creates a process protected by the given detector (use
 // detectors.None{} for the uninstrumented baseline).
 func New(det detectors.Detector) *Process {
-	as := vmem.New()
+	return NewWithOptions(det, Options{})
+}
+
+// Options configures process creation beyond the detector.
+type Options struct {
+	// HeapBytes shrinks the heap reservation (0 means the standard 64 GiB
+	// layout). Tests and chaos runs use tiny heaps so OutOfMemoryError is
+	// reachable quickly.
+	HeapBytes uint64
+	// Faults, when non-nil, injects failures into the allocator's span,
+	// central-list, and thread-cache paths and the heap's page mapping.
+	// Detector-side injection is configured on the detector itself.
+	Faults *faultinject.Plane
+}
+
+// NewWithOptions creates a process with a custom heap size and optional
+// allocator-level fault injection.
+func NewWithOptions(det detectors.Detector, opts Options) *Process {
+	var as *vmem.AddressSpace
+	if opts.HeapBytes > 0 {
+		as = vmem.NewSized(opts.HeapBytes)
+	} else {
+		as = vmem.New()
+	}
 	if b, ok := det.(detectors.Binder); ok {
 		b.Bind(as)
 	}
 	ta, _ := det.(detectors.ThreadAware)
+	alloc := tcmalloc.New(as.Heap())
+	if opts.Faults != nil {
+		alloc.InjectFaults(opts.Faults)
+	}
 	return &Process{
 		as:          as,
-		alloc:       tcmalloc.New(as.Heap()),
+		alloc:       alloc,
 		det:         det,
 		threadAware: ta,
 		globalsBump: vmem.GlobalsBase,
@@ -207,17 +252,29 @@ func (p *Process) Allocator() *tcmalloc.Allocator { return p.alloc }
 func (p *Process) Detector() detectors.Detector { return p.det }
 
 // AllocGlobal carves n bytes (8-byte aligned) out of the globals segment,
-// modelling a global variable. It never fails until the segment is full.
+// modelling a global variable. It panics with *ExhaustedError when the
+// segment is full — global allocation happens at program load, where
+// exhaustion is a configuration error; use TryAllocGlobal to handle it.
 func (p *Process) AllocGlobal(n uint64) uint64 {
+	addr, err := p.TryAllocGlobal(n)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// TryAllocGlobal is AllocGlobal with the exhaustion case surfaced as a
+// typed error instead of a panic.
+func (p *Process) TryAllocGlobal(n uint64) (uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	addr := (p.globalsBump + 7) &^ 7
 	if addr+n > vmem.GlobalsBase+vmem.GlobalsSize {
-		panic("proc: globals segment exhausted")
+		return 0, &ExhaustedError{Resource: "globals", Tid: -1, Size: n}
 	}
 	p.globalsBump = addr + n
 	p.emit(TraceGlobal, -1, n, addr, 0)
-	return addr
+	return addr, nil
 }
 
 // GlobalsUsed returns the allocated extent of the globals segment, for
@@ -310,11 +367,23 @@ func (th *Thread) ID() int32 { return th.id }
 func (th *Thread) Process() *Process { return th.proc }
 
 // Alloca reserves n bytes (8-byte aligned) of this thread's stack,
-// modelling stack variables. The reservation lives until FreeStack.
+// modelling stack variables. The reservation lives until FreeStack. It
+// panics with *ExhaustedError on stack overflow, as a real process would
+// fault; use TryAlloca to handle overflow gracefully.
 func (th *Thread) Alloca(n uint64) uint64 {
+	addr, err := th.TryAlloca(n)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// TryAlloca is Alloca with the overflow case surfaced as a typed error
+// instead of a panic.
+func (th *Thread) TryAlloca(n uint64) (uint64, error) {
 	addr := (th.stackBump + 7) &^ 7
 	if addr+n > th.stackEnd {
-		panic(fmt.Sprintf("proc: thread %d stack overflow", th.id))
+		return 0, &ExhaustedError{Resource: "stack", Tid: th.id, Size: n}
 	}
 	th.emit(TraceAlloca, n, addr, 0)
 	th.stackBump = addr + n
@@ -323,7 +392,7 @@ func (th *Thread) Alloca(n uint64) uint64 {
 		th.proc.as.Stacks().MapPages(th.stackMapped, int(grow))
 		th.stackMapped += grow * vmem.PageSize
 	}
-	return addr
+	return addr, nil
 }
 
 // StackMark returns the current stack height, for use with FreeStack.

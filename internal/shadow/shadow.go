@@ -18,14 +18,22 @@
 package shadow
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
 
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/vmem"
 )
+
+// ErrShadowExhausted reports that populating a page's metadata mapping
+// failed (in practice, via fault injection simulating metapagetable arena
+// exhaustion). The object's mapping is rolled back; the detector treats the
+// object as untracked.
+var ErrShadowExhausted = errors.New("shadow: metapagetable population failed")
 
 const (
 	// leafBits is the size of one metapagetable leaf in entries. The table
@@ -145,6 +153,9 @@ type Table struct {
 	// Observability instruments; nil until AttachMetrics.
 	slotWrites *obs.Counter
 	slotClears *obs.Counter
+
+	// faults, when set, can fail page population in CreateObject.
+	faults atomic.Pointer[faultinject.Plane]
 }
 
 // NewTable creates a metapagetable covering the standard heap reservation.
@@ -168,6 +179,13 @@ func (t *Table) AttachMetrics(reg *obs.Registry) {
 	t.slotClears = reg.Counter("shadow.slot_clears")
 	reg.RegisterFunc("shadow.bytes", func() int64 { return int64(t.Bytes()) })
 	reg.RegisterFunc("shadow.leaves", func() int64 { return int64(t.leaves.Load()) })
+}
+
+// InjectFaults attaches a fault-injection plane; CreateObject consults its
+// ShadowPopulate site whenever a page needs a fresh metadata array. A nil
+// plane disables injection.
+func (t *Table) InjectFaults(p *faultinject.Plane) {
+	t.faults.Store(p)
 }
 
 // pageIndex maps a heap address to its page number; ok is false outside the
@@ -206,8 +224,10 @@ func unpackEntry(e uint64) (arrayIdx uint64, shift uint) {
 // ensurePage makes sure the page containing addr has a metadata array for
 // the given shift, returning the array's arena index. If the page was
 // previously initialized with a different shift (span recycled for another
-// size class), the old array is released and replaced.
-func (t *Table) ensurePage(pageAddr uint64, shift uint) uint64 {
+// size class), the old array is released and replaced. Returns
+// ErrShadowExhausted when the fault plane fails a needed fresh allocation;
+// pages whose mapping already matches never fail.
+func (t *Table) ensurePage(pageAddr uint64, shift uint) (uint64, error) {
 	pi, ok := t.pageIndex(pageAddr)
 	if !ok {
 		panic(fmt.Sprintf("shadow: address 0x%x outside heap", pageAddr))
@@ -218,7 +238,10 @@ func (t *Table) ensurePage(pageAddr uint64, shift uint) uint64 {
 		e := slot.Load()
 		idx, s := unpackEntry(e)
 		if e != 0 && s == shift {
-			return idx
+			return idx, nil
+		}
+		if t.faults.Load().Fail(faultinject.ShadowPopulate) {
+			return 0, ErrShadowExhausted
 		}
 		n := uint64(vmem.PageSize) >> shift
 		fresh := t.arena.allocArray(n)
@@ -226,7 +249,7 @@ func (t *Table) ensurePage(pageAddr uint64, shift uint) uint64 {
 			if e != 0 {
 				t.arena.freeArray(idx, uint64(vmem.PageSize)>>s)
 			}
-			return fresh
+			return fresh, nil
 		}
 		t.arena.freeArray(fresh, n)
 	}
@@ -237,7 +260,11 @@ func (t *Table) ensurePage(pageAddr uint64, shift uint) uint64 {
 // guarantee for the object's pages and determines the compression shift.
 // This implements the paper's createobj (also used on in-place realloc
 // growth, where it simply overwrites the old mapping).
-func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
+//
+// On ErrShadowExhausted the slots already written are zeroed again, so a
+// partially mapped object can never feed stale handles to Lookup — the
+// object is simply untracked.
+func (t *Table) CreateObject(base, size, align uint64, meta uint64) error {
 	if align < 1<<MinShift || align&(align-1) != 0 {
 		panic(fmt.Sprintf("shadow: bad alignment %d", align))
 	}
@@ -252,7 +279,14 @@ func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
 	var slots uint64
 	for addr := base; addr < end; {
 		pageAddr := addr &^ (vmem.PageSize - 1)
-		arr := t.ensurePage(pageAddr, shift)
+		arr, err := t.ensurePage(pageAddr, shift)
+		if err != nil {
+			// Roll back the prefix already written.
+			if meta != 0 && addr > base {
+				t.clearRange(base, addr)
+			}
+			return err
+		}
 		pageEnd := pageAddr + vmem.PageSize
 		stop := end
 		if stop > pageEnd {
@@ -273,14 +307,52 @@ func (t *Table) CreateObject(base, size, align uint64, meta uint64) {
 	} else {
 		t.slotClears.Add(int32(base>>vmem.PageShift), slots)
 	}
+	return nil
 }
 
 // ClearObject zeroes the metadata slots covered by the object, called at
 // free time so that later stores of dangling pointers are not registered
 // into recycled metadata (the "careful reuse of per-object metadata" the
-// paper's §7 race discussion requires).
+// paper's §7 race discussion requires). Unlike CreateObject it never
+// allocates — it zeroes at whatever granularity each page already has — so
+// it cannot fail and cannot draw an injected fault.
 func (t *Table) ClearObject(base, size, align uint64) {
-	t.CreateObject(base, size, align, 0)
+	if size == 0 {
+		return
+	}
+	t.slotClears.Add(int32(base>>vmem.PageShift), t.clearRange(base, base+size))
+}
+
+// clearRange zeroes every metadata slot covering [start, end) using each
+// page's stored shift, skipping pages that were never populated. Returns the
+// number of slots zeroed.
+func (t *Table) clearRange(start, end uint64) uint64 {
+	var slots uint64
+	for addr := start; addr < end; {
+		pageAddr := addr &^ (vmem.PageSize - 1)
+		pageEnd := pageAddr + vmem.PageSize
+		stop := end
+		if stop > pageEnd {
+			stop = pageEnd
+		}
+		pi, ok := t.pageIndex(pageAddr)
+		if !ok {
+			panic(fmt.Sprintf("shadow: address 0x%x outside heap", pageAddr))
+		}
+		if l := t.leafFor(pi, false); l != nil {
+			if e := l.entries[pi&(leafSize-1)].Load(); e != 0 {
+				arr, shift := unpackEntry(e)
+				firstSlot := (addr - pageAddr) >> shift
+				lastSlot := (stop - 1 - pageAddr) >> shift
+				for s := firstSlot; s <= lastSlot; s++ {
+					t.arena.store(arr+s, 0)
+				}
+				slots += lastSlot - firstSlot + 1
+			}
+		}
+		addr = pageEnd
+	}
+	return slots
 }
 
 // Lookup returns the metadata word for ptr, or 0 when ptr does not point

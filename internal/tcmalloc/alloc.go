@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/sizeclass"
 	"dangsan/internal/vmem"
@@ -176,6 +177,15 @@ func (a *Allocator) AttachMetrics(reg *obs.Registry) {
 // not share it between goroutines.
 func (a *Allocator) NewThreadCache() *ThreadCache {
 	return newThreadCache(a)
+}
+
+// InjectFaults attaches a fault-injection plane to the allocator's span
+// allocation, central-list population, thread-cache refill, and heap page
+// mapping. Injected failures surface as ordinary OutOfMemoryError values. A
+// nil plane disables injection.
+func (a *Allocator) InjectFaults(p *faultinject.Plane) {
+	a.heap.faults.Store(p)
+	a.seg.InjectFaults(p)
 }
 
 // Malloc allocates size bytes and returns the object base address. A size of

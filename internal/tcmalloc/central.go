@@ -3,6 +3,7 @@ package tcmalloc
 import (
 	"sync"
 
+	"dangsan/internal/faultinject"
 	"dangsan/internal/sizeclass"
 )
 
@@ -61,6 +62,9 @@ func (c *centralList) fetch(out []uint64, max int) int {
 
 // populate pulls a fresh span from the page heap and carves it into objects.
 func (c *centralList) populate() bool {
+	if c.heap.faults.Load().Fail(faultinject.CentralPopulate) {
+		return false
+	}
 	cl := sizeclass.ForClass(c.class)
 	s := c.heap.allocSpan(cl.Pages, spanSmall, c.class)
 	if s == nil {

@@ -3,7 +3,9 @@ package tcmalloc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"dangsan/internal/faultinject"
 	"dangsan/internal/vmem"
 )
 
@@ -28,6 +30,9 @@ type pageHeap struct {
 	// Stats (guarded by mu).
 	reservedBytes uint64 // total heap pages ever reserved from the segment
 	freeBytes     uint64 // bytes sitting on free lists
+
+	// faults, when set, can fail span allocation and page mapping.
+	faults atomic.Pointer[faultinject.Plane]
 }
 
 func newPageHeap(seg *vmem.Segment) *pageHeap {
@@ -83,6 +88,30 @@ func (ph *pageHeap) allocSpanLocked(n int) *span {
 	if n < 1 {
 		panic("tcmalloc: allocSpan of zero pages")
 	}
+	if ph.faults.Load().Fail(faultinject.SpanAlloc) {
+		return nil
+	}
+	s := ph.takeSpanLocked(n)
+	if s == nil {
+		return nil
+	}
+	// Map the span's pages now that it is ours: they may never have been
+	// mapped, or were released to the OS while the span sat free. On map
+	// failure the span returns to the free lists exactly as taken, and the
+	// caller observes ordinary heap exhaustion.
+	if ph.seg.TryMapPages(s.base, s.npages) != nil {
+		s.state = spanFree
+		ph.pm.setSpan(s)
+		listPush(ph.listFor(s.npages), s)
+		ph.freeBytes += uint64(s.npages) * vmem.PageSize
+		return nil
+	}
+	return s
+}
+
+// takeSpanLocked removes a span of exactly n pages from the free lists or
+// grows the heap; the span's pages are NOT guaranteed mapped yet.
+func (ph *pageHeap) takeSpanLocked(n int) *span {
 	// Best fit: exact list first, then longer lists, then the large list.
 	for ln := n; ln <= maxSmallSpanPages; ln++ {
 		head := &ph.free[ln]
@@ -122,8 +151,6 @@ func (ph *pageHeap) carve(s *span, n int) *span {
 	}
 	s.state = spanSmall // allocSpan overwrites; any non-free state works here
 	ph.pm.setSpan(s)
-	// Pages may have been released to the OS while the span was free.
-	ph.seg.MapPages(s.base, s.npages)
 	return s
 }
 
@@ -142,7 +169,6 @@ func (ph *pageHeap) grow(n int) *span {
 	}
 	base := ph.heapEnd
 	ph.heapEnd += uint64(ask) * vmem.PageSize
-	ph.seg.MapPages(base, ask)
 	ph.reservedBytes += uint64(ask) * vmem.PageSize
 	s := &span{base: base, npages: ask}
 	ph.pm.setSpan(s)
@@ -214,6 +240,11 @@ func (ph *pageHeap) resizeSpan(s *span, wantPages int) bool {
 		if next == nil || next.state != spanFree || next.npages < need {
 			return false
 		}
+		// Map the absorbed pages before touching any free-list state so a
+		// mapping failure leaves the heap exactly as it was.
+		if ph.seg.TryMapPages(next.base, need) != nil {
+			return false
+		}
 		listRemove(next)
 		ph.freeBytes -= uint64(next.npages) * vmem.PageSize
 		if next.npages > need {
@@ -228,7 +259,6 @@ func (ph *pageHeap) resizeSpan(s *span, wantPages int) bool {
 		}
 		s.npages = wantPages
 		ph.pm.setSpan(s)
-		ph.seg.MapPages(next.base, need)
 		return true
 	}
 }

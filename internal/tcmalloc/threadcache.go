@@ -1,6 +1,9 @@
 package tcmalloc
 
-import "dangsan/internal/sizeclass"
+import (
+	"dangsan/internal/faultinject"
+	"dangsan/internal/sizeclass"
+)
 
 // ThreadCache serves small allocations for one thread without any locking.
 // Each size class has a stack of free object addresses; refills and
@@ -33,6 +36,9 @@ func newThreadCache(a *Allocator) *ThreadCache {
 func (tc *ThreadCache) pop(class int) uint64 {
 	list := tc.lists[class]
 	if len(list) == 0 {
+		if tc.alloc.heap.faults.Load().Fail(faultinject.ThreadCacheRefill) {
+			return 0
+		}
 		batch := batchSize(class)
 		buf := make([]uint64, batch)
 		got := tc.alloc.central[class].fetch(buf, batch)

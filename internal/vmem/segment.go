@@ -1,9 +1,17 @@
 package vmem
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"dangsan/internal/faultinject"
 )
+
+// ErrNoMemory is the simulated mmap failure: the OS refused to back the
+// requested pages. It is returned only by TryMapPages; MapPages remains
+// infallible (misuse panics aside) for callers that mapped eagerly at setup.
+var ErrNoMemory = errors.New("vmem: cannot map pages (simulated ENOMEM)")
 
 const (
 	// PageShift is log2 of the simulated page size (4 KiB, as on x86-64 and
@@ -44,6 +52,8 @@ type Segment struct {
 	chunks []atomic.Pointer[chunk]
 	// mappedBytes counts currently mapped pages (for RSS-style accounting).
 	mappedBytes atomic.Uint64
+	// faults, when set, lets TryMapPages simulate mmap failure.
+	faults atomic.Pointer[faultinject.Plane]
 }
 
 // NewSegment reserves the virtual range [base, base+size). base and size
@@ -120,6 +130,25 @@ func (s *Segment) MapPages(addr uint64, n int) {
 			s.mappedBytes.Add(PageSize)
 		}
 	}
+}
+
+// InjectFaults attaches a fault-injection plane; subsequent TryMapPages
+// calls consult its VmemMap site. A nil plane disables injection.
+func (s *Segment) InjectFaults(p *faultinject.Plane) {
+	s.faults.Store(p)
+}
+
+// TryMapPages is MapPages with a fallible contract: it maps n pages at addr
+// or returns ErrNoMemory without mapping any of them. The only failure
+// source is the fault-injection plane (the simulation's backing store cannot
+// actually run out), but callers must treat it exactly like a real ENOMEM
+// from mmap: unwind bookkeeping and surface an allocation failure.
+func (s *Segment) TryMapPages(addr uint64, n int) error {
+	if s.faults.Load().Fail(faultinject.VmemMap) {
+		return ErrNoMemory
+	}
+	s.MapPages(addr, n)
+	return nil
 }
 
 // UnmapPages marks n pages starting at page-aligned addr as unmapped,

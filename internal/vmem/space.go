@@ -44,8 +44,22 @@ type AddressSpace struct {
 // The globals segment is fully mapped; heap and stack pages are mapped on
 // demand by the allocator and thread runtime.
 func New() *AddressSpace {
+	return NewSized(HeapMax)
+}
+
+// NewSized is New with a custom heap reservation, for tests and workloads
+// that want a tiny heap so allocation failure is reachable quickly. heapBytes
+// is rounded up to a page and clamped to [PageSize, HeapMax].
+func NewSized(heapBytes uint64) *AddressSpace {
+	heapBytes = (heapBytes + PageSize - 1) &^ (PageSize - 1)
+	if heapBytes == 0 {
+		heapBytes = PageSize
+	}
+	if heapBytes > HeapMax {
+		heapBytes = HeapMax
+	}
 	as := &AddressSpace{
-		heap:    NewSegment(HeapBase, HeapMax, "heap"),
+		heap:    NewSegment(HeapBase, heapBytes, "heap"),
 		globals: NewSegment(GlobalsBase, GlobalsSize, "globals"),
 		stacks:  NewSegment(StacksBase, StackSize*MaxStacks, "stacks"),
 	}

@@ -1,11 +1,14 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dangsan/internal/proc"
+	"dangsan/internal/tcmalloc"
 )
 
 // ServerProfile parameterizes a web-server analog for the paper's §8.2:
@@ -69,6 +72,14 @@ func RunServer(p *proc.Process, prof ServerProfile, workers, requests int, seed 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panicking worker must not take the process (or the
+			// producer) with it: convert the panic into this worker's
+			// error and let the normal drain logic wind the run down.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("server %s: worker %d panic: %v", prof.Name, w, r)
+				}
+			}()
 			errs[w] = serverWorker(p, prof, queue, seed+int64(w)*104729)
 		}(w)
 	}
@@ -98,6 +109,31 @@ produce:
 	return nil
 }
 
+// mallocRetries bounds the per-allocation retry loop under transient
+// memory pressure; backoff grows linearly with the attempt number.
+const mallocRetries = 4
+
+// mallocRobust is Malloc with bounded retry: on OutOfMemoryError it
+// returns idle pages to the OS (ReleaseFreeMemory), backs off briefly, and
+// tries again — a server sheds load under transient pressure instead of
+// dying. Non-OOM errors and persistent exhaustion are returned.
+func mallocRobust(th *proc.Thread, size uint64) (uint64, error) {
+	var err error
+	for attempt := 0; attempt < mallocRetries; attempt++ {
+		var b uint64
+		if b, err = th.Malloc(size); err == nil {
+			return b, nil
+		}
+		var oom *tcmalloc.OutOfMemoryError
+		if !errors.As(err, &oom) {
+			return 0, err
+		}
+		th.Process().Allocator().ReleaseFreeMemory()
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Microsecond)
+	}
+	return 0, err
+}
+
 func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed int64) error {
 	th := p.NewThread()
 	defer th.Exit()
@@ -106,7 +142,7 @@ func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed in
 	// Per-worker connection structure: a heap object whose fields hold
 	// pointers to the request's buffers.
 	connSlots := 64
-	conn, err := th.Malloc(uint64(8 * connSlots))
+	conn, err := mallocRobust(th, uint64(8*connSlots))
 	if err != nil {
 		return fmt.Errorf("server %s: %w", prof.Name, err)
 	}
@@ -134,6 +170,17 @@ func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed in
 	}
 
 	bufs := make([]uint64, 0, prof.AllocsPerRequest)
+	// failRequest releases the current request's buffers before bailing
+	// out. Without this, a mid-request allocation failure leaked every
+	// buffer already allocated for the request (only conn and the pool are
+	// covered by defers) — and under memory pressure that is exactly the
+	// path that runs.
+	failRequest := func(err error) error {
+		for _, b := range bufs {
+			th.Free(b)
+		}
+		return err
+	}
 	for range queue {
 		// Allocate (or reuse) the request's buffers.
 		bufs = bufs[:0]
@@ -144,9 +191,9 @@ func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed in
 				continue
 			}
 			size := prof.BufferMin + uint64(rng.Int63n(int64(prof.BufferMax-prof.BufferMin+1)))
-			b, err := th.Malloc(size)
+			b, err := mallocRobust(th, size)
 			if err != nil {
-				return fmt.Errorf("server %s: %w", prof.Name, err)
+				return failRequest(fmt.Errorf("server %s: %w", prof.Name, err))
 			}
 			bufs = append(bufs, b)
 		}
@@ -159,7 +206,7 @@ func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed in
 			}
 			val := bufs[s%len(bufs)] + uint64(s%4)*8
 			if f := th.StorePtr(loc, val); f != nil {
-				return fmt.Errorf("server %s: %v", prof.Name, f)
+				return failRequest(fmt.Errorf("server %s: %w", prof.Name, f))
 			}
 		}
 		// Protocol work.
@@ -167,10 +214,10 @@ func serverWorker(p *proc.Process, prof ServerProfile, queue <-chan int, seed in
 			slot := scratch + uint64(c&63)*8
 			v, f := th.Load(slot)
 			if f != nil {
-				return fmt.Errorf("server %s: %v", prof.Name, f)
+				return failRequest(fmt.Errorf("server %s: %w", prof.Name, f))
 			}
 			if f := th.StoreInt(slot, v+1); f != nil {
-				return fmt.Errorf("server %s: %v", prof.Name, f)
+				return failRequest(fmt.Errorf("server %s: %w", prof.Name, f))
 			}
 		}
 		// Tear down: free or pool the buffers.

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/faultinject"
+	"dangsan/internal/proc"
+	"dangsan/internal/tcmalloc"
+)
+
+// TestServerMidRequestOOMDoesNotLeak is the regression test for the
+// serverWorker buffer leak: a request whose Nth buffer allocation fails
+// must free the N-1 buffers it already allocated before bailing out.
+// The heap is sized so one request cannot fit — the worker necessarily
+// fails mid-request — and afterwards the allocator must report zero live
+// objects (conn and pool are covered by defers; the request buffers only
+// by the failRequest path under test).
+func TestServerMidRequestOOMDoesNotLeak(t *testing.T) {
+	det := dangsan.New()
+	p := proc.NewWithOptions(det, proc.Options{HeapBytes: 256 << 10})
+	prof := ServerProfile{
+		Name:                "leaktest",
+		AllocsPerRequest:    64, // 64 × 8 KiB = 512 KiB > the 256 KiB heap
+		PtrStoresPerRequest: 4,
+		ComputePerRequest:   1,
+		BufferMin:           8192,
+		BufferMax:           8192,
+	}
+	err := RunServer(p, prof, 1, 4, 1)
+	var oom *tcmalloc.OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected mid-request OutOfMemoryError, got %v", err)
+	}
+	if live := p.Allocator().Stats().LiveObjects; live != 0 {
+		t.Fatalf("worker leaked %d objects on the mid-request failure path", live)
+	}
+}
+
+// TestServerSurvivesTransientPressure: with a bounded injection budget the
+// allocator failures are transient, and mallocRobust's retry (with
+// ReleaseFreeMemory and backoff) must carry every request through — the
+// run completes with no error even though failures were injected.
+func TestServerSurvivesTransientPressure(t *testing.T) {
+	plane := faultinject.New(11)
+	plane.EnableAll(0.05, 24)
+	det := dangsan.NewWithOptions(dangsan.Options{Faults: plane})
+	p := proc.NewWithOptions(det, proc.Options{HeapBytes: 8 << 20, Faults: plane})
+	prof, err := ServerProfileByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunServer(p, prof, 2, 200, 11); err != nil {
+		t.Fatalf("server did not survive transient pressure: %v", err)
+	}
+	if plane.TotalInjected() == 0 {
+		t.Fatal("no failures injected; the test exercised nothing")
+	}
+	if live := p.Allocator().Stats().LiveObjects; live != 0 {
+		t.Fatalf("%d objects leaked across the pressured run", live)
+	}
+}
+
+// panicDetector panics inside OnAlloc once a threshold of allocations is
+// reached — a stand-in for an unexpected detector bug inside a worker.
+type panicDetector struct {
+	dangsan.Detector
+	n, panicAt int
+}
+
+func (d *panicDetector) OnAlloc(base, size, align uint64) {
+	d.n++
+	if d.n == d.panicAt {
+		panic("injected detector panic")
+	}
+	d.Detector.OnAlloc(base, size, align)
+}
+
+// TestServerWorkerPanicRecovered: a panic inside a worker must surface as
+// that worker's error — the run terminates instead of crashing the test
+// process or hanging the request producer on a full queue.
+func TestServerWorkerPanicRecovered(t *testing.T) {
+	det := &panicDetector{Detector: *dangsan.New(), panicAt: 40}
+	p := proc.New(det)
+	prof, err := ServerProfileByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunServer(p, prof, 2, 500, 3)
+	if err == nil {
+		t.Fatal("expected the injected panic to surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "injected detector panic") {
+		t.Fatalf("panic not attributed: %v", err)
+	}
+}
