@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation|chaos
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation|chaos|fuzz
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
@@ -26,6 +26,11 @@
 // (no false UAF, no hangs, exact accounting, exploits still detected at
 // full coverage) and exits nonzero on any violation. The chaos grid is
 // overridden by -faultrate/-faultseed when set.
+//
+// The fuzz experiment runs the differential-fuzzing oracle: -scale sizes
+// the seed sweep (500 at 1.0), each seed's generated program runs through
+// the full mode x detector x config matrix plus a mutated variant with a
+// known dangling use; any divergence or missed detection exits nonzero.
 package main
 
 import (
@@ -48,7 +53,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, exploits, ablation")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, exploits, ablation, chaos, fuzz")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
@@ -189,6 +194,10 @@ func main() {
 		ran = true
 		runChaos(opts)
 	}
+	if *experiment == "fuzz" {
+		ran = true
+		runFuzz(opts, progress)
+	}
 	if want("ablation") {
 		ran = true
 		lb, err := bench.RunLookbackSweep(nil, opts, progress)
@@ -247,6 +256,19 @@ func runChaos(opts bench.Options) {
 		os.Exit(1)
 	}
 	fmt.Println("all invariants held")
+}
+
+// runFuzz sweeps generated programs through the differential matrix and
+// fails the process on any divergence or missed mutation. -scale sizes the
+// sweep (500 seeds at 1.0); -seed positions it.
+func runFuzz(opts bench.Options, progress func(string)) {
+	r, err := bench.RunFuzz(opts, progress)
+	check(err)
+	fmt.Println(bench.FormatFuzz(r))
+	if !r.Clean() {
+		fatalf("fuzz: %d divergences, %d/%d mutations detected",
+			len(r.Report.Divergences), r.Report.MutationDetected, r.Report.MutationDetectors)
+	}
 }
 
 func maxi(a, b int) int {

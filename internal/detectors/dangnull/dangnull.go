@@ -14,9 +14,12 @@
 package dangnull
 
 import (
+	"fmt"
 	"sync"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/faultinject"
+	"dangsan/internal/pointerlog"
 	"dangsan/internal/rbtree"
 	"dangsan/internal/vmem"
 )
@@ -40,8 +43,13 @@ type Detector struct {
 	byLoc   map[uint64]*object // reverse index for unregister-on-overwrite
 	mem     detectors.Memory
 
+	maxMetadataBytes uint64
+	faults           *faultinject.Plane
+
 	statRegistered  uint64
 	statInvalidated uint64
+	statDegraded    uint64
+	statDropped     uint64
 	metadataBytes   uint64
 }
 
@@ -53,6 +61,47 @@ func New() *Detector {
 	return &Detector{byLoc: make(map[uint64]*object)}
 }
 
+// Options configures the baseline beyond its defaults: a metadata budget
+// and a fault-injection plane, mirroring dangsan's degraded-mode knobs so
+// the baselines can be compared under the same memory-pressure model.
+type Options struct {
+	// MaxMetadataBytes caps the detector's (approximate) metadata
+	// footprint; 0 means unlimited. Tracking that would exceed the cap is
+	// dropped fail-open, exactly like dangsan's.
+	MaxMetadataBytes uint64
+	// Faults, when non-nil, injects failures into the metadata paths.
+	Faults *faultinject.Plane
+}
+
+// NewWithOptions creates the baseline with a metadata budget and fault
+// plane attached.
+func NewWithOptions(opts Options) *Detector {
+	d := New()
+	d.maxMetadataBytes = opts.MaxMetadataBytes
+	d.faults = opts.Faults
+	return d
+}
+
+// InjectFaults attaches a fault-injection plane. Call before the detector
+// sees traffic; nil disables injection.
+func (d *Detector) InjectFaults(p *faultinject.Plane) { d.faults = p }
+
+// chargeMeta accounts n metadata bytes against the budget, consulting the
+// fault plane at site first. It fails with the same typed error dangsan's
+// logger uses (pointerlog.ErrMetadataExhausted) so callers up the stack
+// can treat all three detectors' exhaustion uniformly. Must be called with
+// d.mu held.
+func (d *Detector) chargeMeta(site faultinject.Site, n uint64) error {
+	if d.faults.Fail(site) {
+		return fmt.Errorf("dangnull: injected metadata failure: %w", pointerlog.ErrMetadataExhausted)
+	}
+	if d.maxMetadataBytes != 0 && d.metadataBytes+n > d.maxMetadataBytes {
+		return fmt.Errorf("dangnull: metadata budget exceeded: %w", pointerlog.ErrMetadataExhausted)
+	}
+	d.metadataBytes += n
+	return nil
+}
+
 // Bind implements detectors.Binder.
 func (d *Detector) Bind(mem detectors.Memory) { d.mem = mem }
 
@@ -62,16 +111,24 @@ func (d *Detector) Name() string { return "dangnull" }
 // AllocPad implements detectors.Detector.
 func (d *Detector) AllocPad() uint64 { return 0 }
 
-// OnAlloc implements detectors.Detector.
+// OnAlloc implements detectors.Detector. When the tree node cannot be
+// paid for (budget blown or injected failure) the object enters degraded
+// mode: it is simply never inserted, so pointer stores into it miss the
+// containment lookup and its free finds nothing to nullify — coverage
+// loss, never a crash or a false report. This is the same fail-open
+// contract as dangsan's OnAlloc.
 func (d *Detector) OnAlloc(base, size, align uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.chargeMeta(faultinject.MetaAlloc, 96); err != nil {
+		d.statDegraded++
+		return
+	}
 	d.objects.Insert(base, base+size, &object{
 		base: base,
 		end:  base + size,
 		locs: make(map[uint64]struct{}),
 	})
-	d.metadataBytes += 96 // node + object + empty map, approximate
 }
 
 // OnReallocInPlace implements detectors.Detector.
@@ -123,11 +180,17 @@ func (d *Detector) OnPtrStore(loc, val uint64, tid int32) {
 	if !ok {
 		return
 	}
+	// The two map entries must fit the budget; a dropped registration
+	// loses this location's coverage but keeps the structures consistent
+	// (the old binding above is already gone either way).
+	if err := d.chargeMeta(faultinject.LogBlockAlloc, 32); err != nil {
+		d.statDropped++
+		return
+	}
 	obj := v.(*object)
 	obj.locs[loc] = struct{}{}
 	d.byLoc[loc] = obj
 	d.statRegistered++
-	d.metadataBytes += 32 // two map entries, approximate
 }
 
 // MetadataBytes implements detectors.Detector (approximate: the precise
@@ -143,6 +206,14 @@ func (d *Detector) Stats() (registered, invalidated uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.statRegistered, d.statInvalidated
+}
+
+// Degraded reports the fail-open coverage losses: objects that were never
+// tracked and pointer registrations that were dropped.
+func (d *Detector) Degraded() (objects, dropped uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statDegraded, d.statDropped
 }
 
 // LiveObjects reports the number of tracked objects.

@@ -13,9 +13,12 @@
 package freesentry
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/faultinject"
+	"dangsan/internal/pointerlog"
 	"dangsan/internal/shadow"
 )
 
@@ -35,11 +38,16 @@ type Detector struct {
 	free  []uint64
 	mem   detectors.Memory
 
+	maxMetadataBytes uint64
+	faults           *faultinject.Plane
+
 	// Stats are atomic only so that a concurrent observer (the benchmark
 	// harness's memory sampler) can read them; the tracking structures
 	// themselves remain deliberately unsynchronized.
 	statRegistered  atomic.Uint64
 	statInvalidated atomic.Uint64
+	statDegraded    atomic.Uint64
+	statDropped     atomic.Uint64
 	metadataBytes   atomic.Uint64
 }
 
@@ -51,6 +59,48 @@ func New() *Detector {
 	return &Detector{table: shadow.NewTable()}
 }
 
+// Options configures the baseline beyond its defaults: a metadata budget
+// and a fault-injection plane, mirroring dangsan's degraded-mode knobs.
+type Options struct {
+	// MaxMetadataBytes caps the detector's metadata footprint (shadow
+	// table excluded; its own allocations fail through the plane's
+	// ShadowPopulate site); 0 means unlimited.
+	MaxMetadataBytes uint64
+	// Faults, when non-nil, injects failures into the metadata paths.
+	Faults *faultinject.Plane
+}
+
+// NewWithOptions creates the baseline with a metadata budget and fault
+// plane attached.
+func NewWithOptions(opts Options) *Detector {
+	d := New()
+	d.maxMetadataBytes = opts.MaxMetadataBytes
+	d.InjectFaults(opts.Faults)
+	return d
+}
+
+// InjectFaults attaches a fault-injection plane to the detector and its
+// shadow table. Call before the detector sees traffic; nil disables
+// injection.
+func (d *Detector) InjectFaults(p *faultinject.Plane) {
+	d.faults = p
+	d.table.InjectFaults(p)
+}
+
+// chargeMeta accounts n metadata bytes against the budget, consulting the
+// fault plane at site first. Exhaustion is the same typed error dangsan's
+// logger reports (pointerlog.ErrMetadataExhausted); callers fail open.
+func (d *Detector) chargeMeta(site faultinject.Site, n uint64) error {
+	if d.faults.Fail(site) {
+		return fmt.Errorf("freesentry: injected metadata failure: %w", pointerlog.ErrMetadataExhausted)
+	}
+	if d.maxMetadataBytes != 0 && d.metadataBytes.Load()+n > d.maxMetadataBytes {
+		return fmt.Errorf("freesentry: metadata budget exceeded: %w", pointerlog.ErrMetadataExhausted)
+	}
+	d.metadataBytes.Add(n)
+	return nil
+}
+
 // Bind implements detectors.Binder.
 func (d *Detector) Bind(mem detectors.Memory) { d.mem = mem }
 
@@ -60,8 +110,16 @@ func (d *Detector) Name() string { return "freesentry" }
 // AllocPad implements detectors.Detector.
 func (d *Detector) AllocPad() uint64 { return 0 }
 
-// OnAlloc implements detectors.Detector.
+// OnAlloc implements detectors.Detector. Both failure paths — the object
+// record's budget charge and the shadow-table population — degrade
+// fail-open: the object is simply never mapped, so stores into it miss
+// the label lookup and its free finds no handle. Coverage loss, never a
+// crash or a false report (dangsan's OnAlloc contract).
 func (d *Detector) OnAlloc(base, size, align uint64) {
+	if err := d.chargeMeta(faultinject.MetaAlloc, 48); err != nil {
+		d.statDegraded.Add(1)
+		return
+	}
 	obj := &object{base: base, end: base + size}
 	var handle uint64
 	if n := len(d.free); n > 0 {
@@ -72,8 +130,13 @@ func (d *Detector) OnAlloc(base, size, align uint64) {
 		d.objs = append(d.objs, obj)
 		handle = uint64(len(d.objs))
 	}
-	d.table.CreateObject(base, size, align, handle)
-	d.metadataBytes.Add(48)
+	if err := d.table.CreateObject(base, size, align, handle); err != nil {
+		// Shadow population failed (rolled back internally): release the
+		// handle so it can never surface half-mapped.
+		d.objs[handle-1] = nil
+		d.free = append(d.free, handle)
+		d.statDegraded.Add(1)
+	}
 }
 
 // OnReallocInPlace implements detectors.Detector.
@@ -125,9 +188,12 @@ func (d *Detector) OnPtrStore(loc, val uint64, tid int32) {
 	if obj == nil {
 		return
 	}
+	if err := d.chargeMeta(faultinject.LogBlockAlloc, 8); err != nil {
+		d.statDropped.Add(1)
+		return
+	}
 	obj.locs = append(obj.locs, loc)
 	d.statRegistered.Add(1)
-	d.metadataBytes.Add(8)
 }
 
 // MetadataBytes implements detectors.Detector.
@@ -138,4 +204,10 @@ func (d *Detector) MetadataBytes() uint64 {
 // Stats reports (registered, invalidated) counters.
 func (d *Detector) Stats() (registered, invalidated uint64) {
 	return d.statRegistered.Load(), d.statInvalidated.Load()
+}
+
+// Degraded reports the fail-open coverage losses: objects that were never
+// tracked and pointer registrations that were dropped.
+func (d *Detector) Degraded() (objects, dropped uint64) {
+	return d.statDegraded.Load(), d.statDropped.Load()
 }

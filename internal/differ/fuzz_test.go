@@ -1,0 +1,41 @@
+package differ
+
+import (
+	"testing"
+
+	"dangsan/internal/irgen"
+)
+
+// FuzzGeneratedProgram lets the fuzzer drive the generator's whole input
+// space — seed, program size, threading, mutation — through the full
+// differential matrix. Anything the 500-seed sweep's fixed policy misses
+// (odd statement counts, heavy thread counts at tiny sizes, mutation on
+// multi-threaded programs) is reachable here, and failures minimize to a
+// (seed, shape) pair that reproduces deterministically.
+func FuzzGeneratedProgram(f *testing.F) {
+	f.Add(int64(1), int64(12), int64(0), false)
+	f.Add(int64(7), int64(12), int64(2), false)
+	f.Add(int64(42), int64(30), int64(1), false)
+	f.Add(int64(3), int64(5), int64(0), true)
+	f.Add(int64(99), int64(18), int64(4), true)
+	f.Add(int64(-11), int64(2), int64(3), false)
+	f.Fuzz(func(t *testing.T, seed, stmts, threads int64, mutate bool) {
+		cfg := irgen.Config{
+			Stmts:   1 + int(uint64(stmts)%30),
+			Threads: int(uint64(threads) % 5),
+		}
+		if mutate {
+			res := CheckMutation(seed, cfg)
+			for _, d := range res.Divergences {
+				t.Errorf("mutation divergence: %s", d)
+			}
+			if res.Detected != res.Detectors {
+				t.Errorf("mutation detection %d/%d", res.Detected, res.Detectors)
+			}
+			return
+		}
+		for _, d := range CheckSeed(seed, cfg) {
+			t.Errorf("divergence: %s", d)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package differ
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"dangsan/internal/irgen"
+)
+
+// SweepOptions configures a multi-seed differential sweep.
+type SweepOptions struct {
+	// Start is the first seed; the sweep covers [Start, Start+Seeds).
+	Start int64
+	// Seeds is the number of programs to generate and check (default 100).
+	Seeds int
+	// Mutate additionally runs each seed's mutated variant through the
+	// detector matrix.
+	Mutate bool
+	// Workers bounds concurrent seeds (0 = GOMAXPROCS). Each seed's matrix
+	// runs serially within one worker; seeds are independent.
+	Workers int
+	// MaxDivergences stops the sweep early once this many divergences have
+	// been collected (0 = unbounded). The report still counts every seed
+	// started.
+	MaxDivergences int
+}
+
+// SweepReport aggregates a sweep's outcome.
+type SweepReport struct {
+	Seeds int
+	// Runs is the number of matrix cells executed (benign and mutation).
+	Runs int
+	// Divergences lists every oracle violation, ordered by seed.
+	Divergences []Divergence
+	// MutationDetectors / MutationDetected aggregate the mutation sweeps:
+	// detector cells exercised and cells that caught the injected bug.
+	// Detection rate below 100% is a false negative.
+	MutationDetectors int
+	MutationDetected  int
+}
+
+// seedConfig is the per-seed program shape policy: thread count cycles
+// through 0/1/2 so the sweep covers single-threaded programs (where the
+// freesentry cells run) and racy multi-threaded ones.
+func seedConfig(seed int64) irgen.Config {
+	return irgen.Config{Threads: int(seed % 3)}
+}
+
+// Sweep checks Seeds consecutive seeds against the full matrix in parallel.
+func Sweep(opts SweepOptions) SweepReport {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 100
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Seeds {
+		workers = opts.Seeds
+	}
+
+	var (
+		mu     sync.Mutex
+		report SweepReport
+		next   int64 = opts.Start
+		limit        = opts.Start + int64(opts.Seeds)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				over := opts.MaxDivergences > 0 && len(report.Divergences) >= opts.MaxDivergences
+				if next >= limit || over {
+					mu.Unlock()
+					return
+				}
+				seed := next
+				next++
+				report.Seeds++
+				mu.Unlock()
+
+				cfg := seedConfig(seed)
+				prog := irgen.Generate(seed, cfg)
+				divs := CheckSeed(seed, cfg)
+				runs := len(Specs(prog.Multithreaded))
+				var mres MutationResult
+				if opts.Mutate {
+					mres = CheckMutation(seed, cfg)
+					runs += len(MutationSpecs(prog.Multithreaded))
+				}
+
+				mu.Lock()
+				report.Runs += runs
+				report.Divergences = append(report.Divergences, divs...)
+				report.Divergences = append(report.Divergences, mres.Divergences...)
+				report.MutationDetectors += mres.Detectors
+				report.MutationDetected += mres.Detected
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.SliceStable(report.Divergences, func(i, j int) bool {
+		return report.Divergences[i].Seed < report.Divergences[j].Seed
+	})
+	return report
+}

@@ -1,0 +1,210 @@
+package opt_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/instrument"
+	"dangsan/internal/interp"
+	"dangsan/internal/ir"
+	"dangsan/internal/ir/opt"
+	"dangsan/internal/irgen"
+	"dangsan/internal/irparse"
+)
+
+// fingerprint is everything observable about one run that optimization
+// must not change: program output, return value, detector verdict (trap),
+// leak count, the detector's invalidation count, and the final contents of
+// every oracle-tracked memory cell. All four variants run under the same
+// detector, so allocation addresses coincide and cells compare directly.
+type fingerprint struct {
+	Out         string
+	Ret         uint64
+	Trap        string
+	Live        uint64
+	Invalidated uint64
+	Cells       []uint64
+}
+
+func runVariant(t *testing.T, prog *irgen.Program, build func(m *ir.Module) error) fingerprint {
+	t.Helper()
+	m, err := irparse.Parse(prog.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := build(m); err != nil {
+		t.Fatalf("build variant: %v", err)
+	}
+	det := dangsan.New()
+	var out bytes.Buffer
+	rt := interp.New(m, det, interp.Options{Output: &out})
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fp := fingerprint{
+		Out:         out.String(),
+		Ret:         res.Ret,
+		Live:        rt.Process().Allocator().Stats().LiveObjects,
+		Invalidated: det.Stats().Invalidated,
+	}
+	if res.Trap != nil {
+		// Compare the fault (kind + address), not the full trap string: the
+		// optimizer renumbers registers, so the trapping instruction's text
+		// legitimately differs across variants.
+		if res.Trap.Fault != nil {
+			fp.Trap = res.Trap.Fault.Error()
+		} else {
+			fp.Trap = fmt.Sprintf("trap: %v", res.Trap.Err)
+		}
+	}
+	as := rt.Process().AddressSpace()
+	for slot := 0; slot < prog.NumSlots; slot++ {
+		v, f := as.LoadWord(irgen.SlotAddr(slot))
+		if f != nil {
+			t.Fatalf("slot %d: %v", slot, f)
+		}
+		fp.Cells = append(fp.Cells, v)
+	}
+	for _, lo := range prog.Oracle.Live {
+		base, f := as.LoadWord(irgen.SlotAddr(lo.AnchorSlot))
+		if f != nil {
+			t.Fatalf("anchor %d: %v", lo.AnchorSlot, f)
+		}
+		for off := uint64(0); off < lo.Size; off += 8 {
+			v, f := as.LoadWord(base + off)
+			if f != nil {
+				t.Fatalf("obj %d+%d: %v", lo.ID, off, f)
+			}
+			fp.Cells = append(fp.Cells, v)
+		}
+	}
+	return fp
+}
+
+// TestInstrumentationEquivalence sweeps generated programs through four
+// pipeline variants — unoptimized instrumentation, instrumentation with its
+// own static optimizations (hoisting, elision), ir/opt before
+// instrumentation (the paper's LTO order), and ir/opt after — and requires
+// bit-identical observable state under the dangsan detector. This is the
+// targeted form of the cross-mode axis in internal/differ: any hoist or
+// elision that drops, duplicates, or reorders a registration in a way that
+// changes invalidation shows up as a fingerprint mismatch.
+//
+// The sweep is single-threaded only: spawned threads run as goroutines, so
+// heap allocation order — and therefore every absolute pointer value — is
+// scheduler-dependent in threaded programs and cannot be compared across
+// variants bit for bit. Cross-mode equivalence for threaded programs is
+// covered by internal/differ, which checks oracle-relative state instead.
+func TestInstrumentationEquivalence(t *testing.T) {
+	seeds := int64(400)
+	if testing.Short() {
+		seeds = 200
+	}
+	variants := []struct {
+		name  string
+		build func(m *ir.Module) error
+	}{
+		{"instr-plain", func(m *ir.Module) error {
+			_, err := instrument.Pass(m, instrument.Options{})
+			return err
+		}},
+		{"instr-static-opts", func(m *ir.Module) error {
+			_, err := instrument.Pass(m, instrument.DefaultOptions())
+			return err
+		}},
+		{"opt-then-instr", func(m *ir.Module) error {
+			if _, err := opt.Optimize(m); err != nil {
+				return err
+			}
+			_, err := instrument.Pass(m, instrument.DefaultOptions())
+			return err
+		}},
+		{"instr-then-opt", func(m *ir.Module) error {
+			if _, err := instrument.Pass(m, instrument.DefaultOptions()); err != nil {
+				return err
+			}
+			_, err := opt.Optimize(m)
+			return err
+		}},
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := irgen.Config{Mutate: seed%7 == 3}
+		prog := irgen.Generate(seed, cfg)
+		ref := runVariant(t, prog, variants[0].build)
+		for _, v := range variants[1:] {
+			got := runVariant(t, prog, v.build)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("seed %d: %s diverges from %s:\n got %s\nwant %s\nsource:\n%s",
+					seed, v.name, variants[0].name, describe(got, ref), describe(ref, got), prog.Source)
+			}
+		}
+	}
+}
+
+// describe renders the fields of a that differ from b.
+func describe(a, b fingerprint) string {
+	var s string
+	if a.Out != b.Out {
+		s += fmt.Sprintf(" out=%q", a.Out)
+	}
+	if a.Ret != b.Ret {
+		s += fmt.Sprintf(" ret=%d", a.Ret)
+	}
+	if a.Trap != b.Trap {
+		s += fmt.Sprintf(" trap=%q", a.Trap)
+	}
+	if a.Live != b.Live {
+		s += fmt.Sprintf(" live=%d", a.Live)
+	}
+	if a.Invalidated != b.Invalidated {
+		s += fmt.Sprintf(" invalidated=%d", a.Invalidated)
+	}
+	for i := range a.Cells {
+		if i < len(b.Cells) && a.Cells[i] != b.Cells[i] {
+			s += fmt.Sprintf(" cell[%d]=0x%x", i, a.Cells[i])
+		}
+	}
+	if s == "" {
+		s = " (equal)"
+	}
+	return s
+}
+
+// TestOptimizerPreservesRegPtr guards the invariant the equivalence sweep
+// relies on: ir/opt must treat RegPtr as a side-effecting use and never
+// delete it, even when its operands look dead.
+func TestOptimizerPreservesRegPtr(t *testing.T) {
+	src := `
+func main() i64 {
+entry:
+  r1 = malloc 16
+  r2 = gep r1, 8
+  regptr [r2], r1
+  free r1
+  ret 0
+}`
+	m, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Op == ir.OpRegPtr {
+					count++
+				}
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("optimizer left %d regptr instructions, want 1", count)
+	}
+}

@@ -1,0 +1,138 @@
+package irgen_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dangsan/internal/detectors"
+	"dangsan/internal/interp"
+	"dangsan/internal/irgen"
+	"dangsan/internal/irparse"
+)
+
+// TestDeterministic pins the generator's contract with the differ: the
+// program and oracle are a pure function of (seed, config).
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := irgen.Config{Threads: int(seed % 3), Mutate: seed%5 == 0}
+		a := irgen.Generate(seed, cfg)
+		b := irgen.Generate(seed, cfg)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: source differs between generations", seed)
+		}
+		if !reflect.DeepEqual(a.Oracle, b.Oracle) {
+			t.Fatalf("seed %d: oracle differs between generations", seed)
+		}
+	}
+}
+
+// TestSeedsDiffer guards against a degenerate generator that ignores its
+// seed.
+func TestSeedsDiffer(t *testing.T) {
+	distinct := make(map[string]bool)
+	for seed := int64(0); seed < 20; seed++ {
+		distinct[irgen.Generate(seed, irgen.Config{}).Source] = true
+	}
+	if len(distinct) < 15 {
+		t.Fatalf("only %d distinct programs from 20 seeds", len(distinct))
+	}
+}
+
+// TestGeneratedProgramsParse sweeps seeds through the parser: every
+// generated program must be syntactically valid.
+func TestGeneratedProgramsParse(t *testing.T) {
+	n := int64(300)
+	if testing.Short() {
+		n = 100
+	}
+	for seed := int64(0); seed < n; seed++ {
+		cfg := irgen.Config{Threads: int(seed % 3), Mutate: seed%4 == 0}
+		p := irgen.Generate(seed, cfg)
+		if _, err := irparse.Parse(p.Source); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, p.Source)
+		}
+	}
+}
+
+// TestReferenceRunMatchesOracle runs generated programs uninstrumented
+// under the no-op detector and checks the program-visible half of the
+// oracle (output, return value, leak count). The detector-facing half is
+// internal/differ's job.
+func TestReferenceRunMatchesOracle(t *testing.T) {
+	n := int64(100)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := int64(0); seed < n; seed++ {
+		p := irgen.Generate(seed, irgen.Config{Threads: int(seed % 3)})
+		m, err := irparse.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		var out bytes.Buffer
+		rt := interp.New(m, detectors.None{}, interp.Options{Output: &out})
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("seed %d: trap: %v\nsource:\n%s", seed, res.Trap, p.Source)
+		}
+		if int64(res.Ret) != p.Oracle.Ret {
+			t.Errorf("seed %d: ret %d, want %d", seed, int64(res.Ret), p.Oracle.Ret)
+		}
+		var want strings.Builder
+		for _, v := range p.Oracle.Output {
+			fmt.Fprintf(&want, "%d\n", v)
+		}
+		if out.String() != want.String() {
+			t.Errorf("seed %d: output %q, want %q", seed, out.String(), want.String())
+		}
+		live := rt.Process().Allocator().Stats().LiveObjects
+		if live != uint64(p.Oracle.LiveAtExit) {
+			t.Errorf("seed %d: live objects %d, want %d", seed, live, p.Oracle.LiveAtExit)
+		}
+	}
+}
+
+// TestOracleShape sanity-checks structural invariants the differ relies on:
+// anchors are live pointers at offset 0, counters are self-consistent, and
+// every live object's fields appear exactly once in Cells.
+func TestOracleShape(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := irgen.Generate(seed, irgen.Config{Threads: int(seed % 3)})
+		o := p.Oracle
+		if o.InvalidatedHeap > o.InvalidatedAll {
+			t.Fatalf("seed %d: heap invalidations %d > total %d", seed, o.InvalidatedHeap, o.InvalidatedAll)
+		}
+		if o.LiveAtExit != len(o.Live) {
+			t.Fatalf("seed %d: LiveAtExit %d != len(Live) %d", seed, o.LiveAtExit, len(o.Live))
+		}
+		if o.Mallocs < o.Frees+o.LiveAtExit {
+			t.Fatalf("seed %d: mallocs %d < frees %d + live %d", seed, o.Mallocs, o.Frees, o.LiveAtExit)
+		}
+		fields := make(map[int]int)
+		for _, c := range o.Cells {
+			if c.Global {
+				if c.Slot < 0 || c.Slot >= p.NumSlots {
+					t.Fatalf("seed %d: cell slot %d out of range", seed, c.Slot)
+				}
+			} else {
+				fields[c.Obj]++
+			}
+		}
+		for _, lo := range o.Live {
+			anchor := o.Cells[lo.AnchorSlot]
+			if !anchor.Global || anchor.Kind != irgen.CellLivePtr ||
+				anchor.TargetObj != lo.ID || anchor.TargetOff != 0 {
+				t.Fatalf("seed %d: anchor slot %d does not hold object %d's base", seed, lo.AnchorSlot, lo.ID)
+			}
+			if got, want := fields[lo.ID], int(lo.Size/8); got != want {
+				t.Fatalf("seed %d: object %d has %d field cells, want %d", seed, lo.ID, got, want)
+			}
+		}
+	}
+}

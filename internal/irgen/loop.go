@@ -1,0 +1,239 @@
+package irgen
+
+// loopOp is one statement of a loop body together with its whole-loop model
+// effect. The body is emitted once; the effect of executing it trips times
+// is applied to the model in closed form, which is why the op palette is
+// restricted to iteration-convergent operations (last-iteration-wins
+// stores, idempotent pointer publishes, linear accumulators, bounded
+// walks, and per-iteration malloc/free pairs).
+type loopOp struct {
+	pre   func()          // loop-invariant setup, emitted before the loop
+	body  func(iv string) // emitted once inside the body block
+	apply func()          // applies the effect of all iterations
+}
+
+// stLoop emits a counting loop with 1..4 trips and a small body. Zero-trip
+// loops are deliberately never generated: a hoisted registration that runs
+// for a loop whose body never executes is sound for append-only logs
+// (dangsan, freesentry) but changes dangnull's unregister-on-overwrite
+// bookkeeping, which would be a false divergence of the harness, not of
+// the system under test.
+func (c *ctx) stLoop(depth, mult int, used map[*cellState]bool) bool {
+	trips := 1 + c.g.rng.Intn(4)
+	if used == nil {
+		used = make(map[*cellState]bool)
+	}
+	var ops []loopOp
+	n := 1 + c.g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		if op, ok := c.loopOp(depth, mult, trips, used); ok {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return false
+	}
+	for _, o := range ops {
+		o.pre()
+	}
+	iv := c.reg()
+	h, b, x := c.lbl("h"), c.lbl("b"), c.lbl("x")
+	c.emit("%s = mov 0", iv)
+	c.emit("br %s", h)
+	c.label(h)
+	rc := c.reg()
+	c.emit("%s = icmp lt %s, %d", rc, iv, trips)
+	c.emit("br %s, %s, %s", rc, b, x)
+	c.label(b)
+	for _, o := range ops {
+		o.body(iv)
+	}
+	c.emit("%s = add %s, 1", iv, iv)
+	c.emit("br %s", h)
+	c.label(x)
+	for _, o := range ops {
+		o.apply()
+	}
+	return true
+}
+
+// loopOp picks one body operation valid for this depth. Each op claims its
+// target cell in used so ops within one loop nest never alias (aliasing
+// would make the closed-form apply order-dependent).
+func (c *ctx) loopOp(depth, mult, trips int, used map[*cellState]bool) (loopOp, bool) {
+	for attempt := 0; attempt < 6; attempt++ {
+		switch c.g.rng.Intn(6) {
+		case 0: // varying integer store: cell = c0 + c1*i each iteration
+			t, ok := c.pickTarget()
+			if !ok || used[c.state(t)] {
+				continue
+			}
+			st := c.state(t)
+			used[st] = true
+			c0 := int64(1 + c.g.rng.Intn(100))
+			c1 := int64(1 + c.g.rng.Intn(20))
+			var rt string
+			return loopOp{
+				pre: func() { rt = c.addrOf(t) },
+				body: func(iv string) {
+					rv := c.reg()
+					c.emit("%s = mul %s, %d", rv, iv, c1)
+					rw := c.reg()
+					c.emit("%s = add %s, %d", rw, rv, c0)
+					c.emit("store i64 [%s], %s", rt, rw)
+				},
+				apply: func() {
+					*st = cellState{kind: CellInt, ival: c0 + c1*int64(trips-1)}
+				},
+			}, true
+
+		case 1: // loop-invariant pointer publish (the hoisting candidate)
+			o, okO := c.pickLive()
+			t, okT := c.pickTarget()
+			if !okO || !okT || used[c.state(t)] {
+				continue
+			}
+			st := c.state(t)
+			used[st] = true
+			off := 8 * uint64(c.g.rng.Intn(int(o.size/8)))
+			var rt, rq string
+			return loopOp{
+				pre: func() {
+					ra := c.slotAddr(o.anchorSlot)
+					rp := c.reg()
+					c.emit("%s = load ptr [%s]", rp, ra)
+					rq = c.reg()
+					c.emit("%s = gep %s, %d", rq, rp, off)
+					rt = c.addrOf(t)
+				},
+				body: func(string) { c.emit("store ptr [%s], %s", rt, rq) },
+				apply: func() {
+					*st = cellState{kind: CellLivePtr, obj: o, off: off}
+				},
+			}, true
+
+		case 2: // in-loop pointer walk p = p + k (the elision candidate)
+			if depth != 0 {
+				continue
+			}
+			t, ok := c.pickPtrCell()
+			if !ok || used[c.state(t)] {
+				continue
+			}
+			st := c.state(t)
+			nf := int(st.obj.size / 8)
+			fi := int(st.off / 8)
+			var k int64
+			switch {
+			case fi+trips < nf:
+				k = 8
+			case fi-trips >= 0:
+				k = -8
+			default:
+				continue
+			}
+			used[st] = true
+			var rt string
+			return loopOp{
+				pre: func() { rt = c.addrOf(t) },
+				body: func(string) {
+					rp := c.reg()
+					c.emit("%s = load ptr [%s]", rp, rt)
+					rq := c.reg()
+					c.emit("%s = gep %s, %d", rq, rp, k)
+					c.emit("store ptr [%s], %s", rt, rq)
+				},
+				apply: func() {
+					st.off = uint64(int64(st.off) + k*int64(trips))
+				},
+			}, true
+
+		case 3: // free-carrying body: per-iteration malloc, publish, free
+			if depth != 0 {
+				continue
+			}
+			t, ok := c.pickTarget()
+			if !ok || used[c.state(t)] {
+				continue
+			}
+			st := c.state(t)
+			used[st] = true
+			size := uint64(8 * (1 + c.g.rng.Intn(2)))
+			useHelper := c.g.rng.Intn(2) == 0
+			var rt string
+			return loopOp{
+				pre: func() { rt = c.addrOf(t) },
+				body: func(string) {
+					rm := c.reg()
+					c.emit("%s = malloc %d", rm, size)
+					for fi := 0; fi < int(size/8); fi++ {
+						rf := c.reg()
+						c.emit("%s = gep %s, %d", rf, rm, 8*fi)
+						c.emit("store i64 [%s], 5", rf)
+					}
+					c.emit("store ptr [%s], %s", rt, rm)
+					if useHelper {
+						c.emit("call freeIt(%s)", rm)
+					} else {
+						c.emit("free %s", rm)
+					}
+				},
+				apply: func() {
+					// Each iteration leaves the published pointer dangling
+					// at the free, then overwrites it on the next pass; the
+					// final state dangles into the last iteration's object.
+					var last *genObj
+					for i := 0; i < trips; i++ {
+						last = c.g.newObj(size, -1)
+						for fi := range last.fields {
+							last.fields[fi] = cellState{kind: CellInt, ival: 5}
+						}
+						c.g.oracle.Frees++
+						c.g.oracle.InvalidatedAll++
+						if !t.global {
+							c.g.oracle.InvalidatedHeap++
+						}
+					}
+					*st = cellState{kind: CellDangling, obj: last, off: 0}
+				},
+			}, true
+
+		case 4: // accumulate (main only)
+			if c.accSlot < 0 {
+				continue
+			}
+			st := &c.g.slots[c.accSlot]
+			if used[st] {
+				continue
+			}
+			used[st] = true
+			k := int64(1 + c.g.rng.Intn(20))
+			var ra string
+			return loopOp{
+				pre: func() { ra = c.slotAddr(c.accSlot) },
+				body: func(string) {
+					rv := c.reg()
+					c.emit("%s = load i64 [%s]", rv, ra)
+					rw := c.reg()
+					c.emit("%s = add %s, %d", rw, rv, k)
+					c.emit("store i64 [%s], %s", ra, rw)
+				},
+				apply: func() {
+					c.accVal += k * int64(trips*mult)
+					*st = cellState{kind: CellInt, ival: c.accVal}
+				},
+			}, true
+
+		case 5: // nested free-less loop (one level deep)
+			if depth != 0 {
+				continue
+			}
+			return loopOp{
+				pre:   func() {},
+				body:  func(string) { c.stLoop(depth+1, mult*trips, used) },
+				apply: func() {},
+			}, true
+		}
+	}
+	return loopOp{}, false
+}

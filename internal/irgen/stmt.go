@@ -1,0 +1,483 @@
+package irgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ctx generates one function body (main or a worker) while maintaining the
+// shared model. Each context owns a disjoint range of global slots and a
+// private set of objects, so worker effects commute with main's.
+type ctx struct {
+	g      *gen
+	name   string
+	isMain bool
+	body   strings.Builder
+
+	nextReg int
+	nextLbl int
+
+	slotLo, slotHi int
+	baseSlot       int    // slot index at offset 0 of baseReg
+	baseReg        string // register holding the address of slot baseSlot
+	accSlot        int    // accumulator slot index; -1 in workers
+	accVal         int64
+
+	anchorFree []int // anchor slots not currently holding a live object
+	scratch    []int // freely writable slots
+	live       []*genObj
+	maxLive    int
+}
+
+func (c *ctx) emit(format string, a ...any) {
+	fmt.Fprintf(&c.body, "  "+format+"\n", a...)
+}
+
+func (c *ctx) label(l string) { fmt.Fprintf(&c.body, "%s:\n", l) }
+
+// reg returns a fresh register name. r0 is reserved (the cells base in
+// main, the base parameter in workers).
+func (c *ctx) reg() string {
+	c.nextReg++
+	return fmt.Sprintf("r%d", c.nextReg)
+}
+
+func (c *ctx) lbl(kind string) string {
+	c.nextLbl++
+	return fmt.Sprintf("L%d%s", c.nextLbl, kind)
+}
+
+// slotAddr emits the address computation for global slot i.
+func (c *ctx) slotAddr(slot int) string {
+	r := c.reg()
+	c.emit("%s = gep %s, %d", r, c.baseReg, 8*(slot-c.baseSlot))
+	return r
+}
+
+// cellRef names a writable cell: a global slot or a live object's field.
+type cellRef struct {
+	global bool
+	slot   int
+	obj    *genObj
+	fi     int
+}
+
+func (c *ctx) state(r cellRef) *cellState {
+	if r.global {
+		return &c.g.slots[r.slot]
+	}
+	return &r.obj.fields[r.fi]
+}
+
+// addrOf emits code computing the cell's runtime address. Field addresses
+// go through the owner's anchor slot, which by invariant always holds the
+// owner's base pointer while it is live.
+func (c *ctx) addrOf(r cellRef) string {
+	if r.global {
+		return c.slotAddr(r.slot)
+	}
+	ra := c.slotAddr(r.obj.anchorSlot)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, ra)
+	rf := c.reg()
+	c.emit("%s = gep %s, %d", rf, rp, 8*r.fi)
+	return rf
+}
+
+// targets returns every freely writable cell: scratch slots plus all fields
+// of live objects. Anchors and the accumulator are managed separately so
+// their invariants hold.
+func (c *ctx) targets() []cellRef {
+	var out []cellRef
+	for _, s := range c.scratch {
+		out = append(out, cellRef{global: true, slot: s})
+	}
+	for _, o := range c.live {
+		for fi := range o.fields {
+			out = append(out, cellRef{obj: o, fi: fi})
+		}
+	}
+	return out
+}
+
+func (c *ctx) pickTarget() (cellRef, bool) {
+	ts := c.targets()
+	if len(ts) == 0 {
+		return cellRef{}, false
+	}
+	return ts[c.g.rng.Intn(len(ts))], true
+}
+
+// pickPtrCell returns a random cell currently holding a live pointer.
+func (c *ctx) pickPtrCell() (cellRef, bool) {
+	var out []cellRef
+	for _, t := range c.targets() {
+		if c.state(t).kind == CellLivePtr {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return cellRef{}, false
+	}
+	return out[c.g.rng.Intn(len(out))], true
+}
+
+func (c *ctx) pickLive() (*genObj, bool) {
+	if len(c.live) == 0 {
+		return nil, false
+	}
+	return c.live[c.g.rng.Intn(len(c.live))], true
+}
+
+// externalRefs lists every cell outside o that currently points into o.
+// Anchors of other objects cannot reference o, and the accumulator is
+// always an integer, so scratch slots and other live objects' fields are
+// the only candidates.
+func (c *ctx) externalRefs(o *genObj) []cellRef {
+	var out []cellRef
+	for _, s := range c.scratch {
+		if st := c.g.slots[s]; st.kind == CellLivePtr && st.obj == o {
+			out = append(out, cellRef{global: true, slot: s})
+		}
+	}
+	for _, p := range c.live {
+		if p == o {
+			continue
+		}
+		for fi := range p.fields {
+			if st := p.fields[fi]; st.kind == CellLivePtr && st.obj == o {
+				out = append(out, cellRef{obj: p, fi: fi})
+			}
+		}
+	}
+	return out
+}
+
+// stmt emits one random top-level statement, falling back to an
+// always-possible integer store.
+func (c *ctx) stmt(depth int) {
+	if len(c.live) == 0 && len(c.anchorFree) > 0 && c.g.rng.Intn(2) == 0 {
+		if c.stMalloc() {
+			return
+		}
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		var ok bool
+		switch c.g.rng.Intn(10) {
+		case 0, 1:
+			ok = c.stMalloc()
+		case 2:
+			ok = c.stStoreInt()
+		case 3, 4:
+			ok = c.stStorePtr()
+		case 5:
+			ok = c.stPtrArith()
+		case 6:
+			ok = c.stFree()
+		case 7:
+			ok = c.stRealloc()
+		case 8:
+			ok = c.stLoop(depth, 1, nil)
+		case 9:
+			switch {
+			case c.isMain && c.g.rng.Intn(2) == 0:
+				ok = c.stPrint()
+			case c.isMain:
+				ok = c.stAccum()
+			default:
+				ok = c.stCallSink()
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	c.stStoreInt()
+}
+
+// stMalloc allocates an object, anchors it, and initializes every field
+// with a known integer (malloc'd memory is recycled, so uninitialized
+// reads would be undefined).
+func (c *ctx) stMalloc() bool {
+	if len(c.anchorFree) == 0 {
+		return false
+	}
+	anchor := c.anchorFree[len(c.anchorFree)-1]
+	c.anchorFree = c.anchorFree[:len(c.anchorFree)-1]
+	size := uint64(8 * (1 + c.g.rng.Intn(8)))
+	o := c.g.newObj(size, anchor)
+	rp := c.reg()
+	c.emit("%s = malloc %d", rp, size)
+	ra := c.slotAddr(anchor)
+	c.emit("store ptr [%s], %s", ra, rp)
+	for fi := range o.fields {
+		v := int64(1 + c.g.rng.Intn(900))
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rp, 8*fi)
+		c.emit("store i64 [%s], %d", rf, v)
+		o.fields[fi] = cellState{kind: CellInt, ival: v}
+	}
+	c.g.slots[anchor] = cellState{kind: CellLivePtr, obj: o, off: 0}
+	c.live = append(c.live, o)
+	return true
+}
+
+func (c *ctx) stStoreInt() bool {
+	t, ok := c.pickTarget()
+	if !ok {
+		return false
+	}
+	v := int64(1 + c.g.rng.Intn(900))
+	rt := c.addrOf(t)
+	c.emit("store i64 [%s], %d", rt, v)
+	*c.state(t) = cellState{kind: CellInt, ival: v}
+	return true
+}
+
+// stStorePtr copies a (possibly interior) pointer to a live object into a
+// random cell.
+func (c *ctx) stStorePtr() bool {
+	o, ok := c.pickLive()
+	if !ok {
+		return false
+	}
+	t, ok := c.pickTarget()
+	if !ok {
+		return false
+	}
+	off := 8 * uint64(c.g.rng.Intn(int(o.size/8)))
+	ra := c.slotAddr(o.anchorSlot)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, ra)
+	rq := c.reg()
+	c.emit("%s = gep %s, %d", rq, rp, off)
+	rt := c.addrOf(t)
+	c.emit("store ptr [%s], %s", rt, rq)
+	*c.state(t) = cellState{kind: CellLivePtr, obj: o, off: off}
+	return true
+}
+
+// stPtrArith rewrites a pointer cell in place with p = p ± k, staying in
+// bounds — exactly the load/gep/store pattern the instrumentation pass may
+// elide.
+func (c *ctx) stPtrArith() bool {
+	t, ok := c.pickPtrCell()
+	if !ok {
+		return false
+	}
+	st := c.state(t)
+	nf := int(st.obj.size / 8)
+	if nf < 2 {
+		return false
+	}
+	fi := int(st.off / 8)
+	nfi := c.g.rng.Intn(nf)
+	if nfi == fi {
+		nfi = (fi + 1) % nf
+	}
+	k := int64(8 * (nfi - fi))
+	rt := c.addrOf(t)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, rt)
+	rq := c.reg()
+	c.emit("%s = gep %s, %d", rq, rp, k)
+	c.emit("store ptr [%s], %s", rt, rq)
+	st.off = uint64(8 * nfi)
+	return true
+}
+
+// stFree frees a live object. Interior pointer fields are zeroed first (so
+// freed memory never aliases a live object), then each external reference
+// is either zeroed or deliberately left dangling — the dangling count is
+// exactly what invalidation-based detectors must neutralize.
+func (c *ctx) stFree() bool {
+	if len(c.live) == 0 {
+		return false
+	}
+	li := c.g.rng.Intn(len(c.live))
+	o := c.live[li]
+	ra := c.slotAddr(o.anchorSlot)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, ra)
+	for fi := range o.fields {
+		if o.fields[fi].kind == CellInt {
+			continue
+		}
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rp, 8*fi)
+		c.emit("store i64 [%s], 0", rf)
+		o.fields[fi] = cellState{}
+	}
+	for _, t := range c.externalRefs(o) {
+		st := c.state(t)
+		if c.g.rng.Intn(2) == 0 {
+			rt := c.addrOf(t)
+			c.emit("store i64 [%s], 0", rt)
+			*st = cellState{}
+		} else {
+			*st = cellState{kind: CellDangling, obj: o, off: st.off}
+			c.g.oracle.InvalidatedAll++
+			if !t.global {
+				c.g.oracle.InvalidatedHeap++
+			}
+		}
+	}
+	if c.g.rng.Intn(2) == 0 {
+		c.emit("store i64 [%s], 0", ra)
+		c.g.slots[o.anchorSlot] = cellState{}
+	} else {
+		c.g.slots[o.anchorSlot] = cellState{kind: CellDangling, obj: o, off: 0}
+		c.g.oracle.InvalidatedAll++
+	}
+	if c.g.rng.Intn(4) == 0 {
+		c.emit("call freeIt(%s)", rp)
+	} else {
+		c.emit("free %s", rp)
+	}
+	c.live = append(c.live[:li], c.live[li+1:]...)
+	c.anchorFree = append(c.anchorFree, o.anchorSlot)
+	c.g.oracle.Frees++
+	return true
+}
+
+// stRealloc resizes a live object. Every reference to it (and every
+// pointer field inside it) is zeroed first: whether the realloc moves —
+// and therefore frees the old storage and copies bytes type-unsafely —
+// depends on the detector's AllocPad, so the program must not depend on
+// it. All fields are re-initialized afterwards since a grown tail is
+// undefined memory.
+func (c *ctx) stRealloc() bool {
+	if len(c.live) == 0 {
+		return false
+	}
+	o := c.live[c.g.rng.Intn(len(c.live))]
+	newFields := 1 + c.g.rng.Intn(16)
+	ra := c.slotAddr(o.anchorSlot)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, ra)
+	for fi := range o.fields {
+		if o.fields[fi].kind == CellInt {
+			continue
+		}
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rp, 8*fi)
+		c.emit("store i64 [%s], 0", rf)
+	}
+	for _, t := range c.externalRefs(o) {
+		rt := c.addrOf(t)
+		c.emit("store i64 [%s], 0", rt)
+		*c.state(t) = cellState{}
+	}
+	c.emit("store i64 [%s], 0", ra)
+	rq := c.reg()
+	c.emit("%s = realloc %s, %d", rq, rp, 8*newFields)
+	c.emit("store ptr [%s], %s", ra, rq)
+	o.size = uint64(8 * newFields)
+	o.fields = make([]cellState, newFields)
+	for fi := range o.fields {
+		v := int64(1 + c.g.rng.Intn(900))
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rq, 8*fi)
+		c.emit("store i64 [%s], %d", rf, v)
+		o.fields[fi] = cellState{kind: CellInt, ival: v}
+	}
+	c.g.slots[o.anchorSlot] = cellState{kind: CellLivePtr, obj: o, off: 0}
+	c.g.oracle.Reallocs++
+	return true
+}
+
+func (c *ctx) stCallSink() bool {
+	if len(c.scratch) == 0 {
+		return false
+	}
+	s := c.scratch[c.g.rng.Intn(len(c.scratch))]
+	x := int64(1 + c.g.rng.Intn(200))
+	rv := c.reg()
+	c.emit("%s = call sink(%d)", rv, x)
+	rt := c.slotAddr(s)
+	c.emit("store i64 [%s], %s", rt, rv)
+	c.g.slots[s] = cellState{kind: CellInt, ival: 3*x + 7}
+	return true
+}
+
+func (c *ctx) stAccum() bool {
+	if c.accSlot < 0 {
+		return false
+	}
+	k := int64(1 + c.g.rng.Intn(50))
+	ra := c.slotAddr(c.accSlot)
+	rv := c.reg()
+	c.emit("%s = load i64 [%s]", rv, ra)
+	rw := c.reg()
+	c.emit("%s = add %s, %d", rw, rv, k)
+	c.emit("store i64 [%s], %s", ra, rw)
+	c.accVal += k
+	c.g.slots[c.accSlot] = cellState{kind: CellInt, ival: c.accVal}
+	return true
+}
+
+// stPrint prints a model-known integer cell (main only: worker prints
+// would interleave nondeterministically).
+func (c *ctx) stPrint() bool {
+	if !c.isMain {
+		return false
+	}
+	var cands []cellRef
+	for _, t := range c.targets() {
+		if c.state(t).kind == CellInt {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return c.stPrintAcc()
+	}
+	t := cands[c.g.rng.Intn(len(cands))]
+	v := c.state(t).ival
+	rt := c.addrOf(t)
+	rv := c.reg()
+	c.emit("%s = load i64 [%s]", rv, rt)
+	c.emit("print %s", rv)
+	c.g.oracle.Output = append(c.g.oracle.Output, v)
+	return true
+}
+
+func (c *ctx) stPrintAcc() bool {
+	ra := c.slotAddr(c.accSlot)
+	rv := c.reg()
+	c.emit("%s = load i64 [%s]", rv, ra)
+	c.emit("print %s", rv)
+	c.g.oracle.Output = append(c.g.oracle.Output, c.accVal)
+	return true
+}
+
+// emitMutationTail appends the single injected bug: a pointer stored into
+// a heap field (so even dangnull, which tracks heap locations only, sees
+// it), the pointee freed, and the stale pointer loaded and dereferenced.
+// Detectors must trap on the dereference; the baseline must read the
+// recycled memory silently and return 0.
+func (c *ctx) emitMutationTail() {
+	rh := c.reg()
+	c.emit("%s = malloc 16", rh)
+	for fi := 0; fi < 2; fi++ {
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rh, 8*fi)
+		c.emit("store i64 [%s], 1", rf)
+	}
+	rv := c.reg()
+	c.emit("%s = malloc 16", rv)
+	for fi := 0; fi < 2; fi++ {
+		rf := c.reg()
+		c.emit("%s = gep %s, %d", rf, rv, 8*fi)
+		c.emit("store i64 [%s], 77", rf)
+	}
+	c.emit("store ptr [%s], %s", rh, rv)
+	c.emit("free %s", rv)
+	rp := c.reg()
+	c.emit("%s = load ptr [%s]", rp, rh)
+	rx := c.reg()
+	c.emit("%s = load i64 [%s]", rx, rp)
+	ry := c.reg()
+	c.emit("%s = and %s, 0", ry, rx)
+	c.emit("ret %s", ry)
+	c.g.oracle.Ret = 0
+}

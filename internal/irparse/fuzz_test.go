@@ -1,0 +1,38 @@
+package irparse_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dangsan/internal/irparse"
+)
+
+// FuzzParse feeds arbitrary bytes to the parser. The contract is simple:
+// Parse returns a module or an error, and never panics, regardless of
+// input. The example programs seed the corpus with valid syntax so the
+// fuzzer starts from inputs that reach deep into the grammar; the inline
+// seeds cover constructs the examples don't use.
+func FuzzParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.ir"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no example programs found: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("global g 8\nfunc main() i64 {\n  r1 = global g\n  ret 0\n}\n")
+	f.Add("func f(a i64, b ptr) {\nL:\n  br L\n}\n")
+	f.Add("func m() {\n  r1 = icmp slt 1, -2\n  r2 = realloc r1, 0x10\n  join r2\n  ret\n}\n")
+	f.Add("; comment\n# comment\nfunc main() i64 {\n  ret 9223372036854775807\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := irparse.Parse(src)
+		if err == nil && m == nil {
+			t.Fatal("Parse returned nil module and nil error")
+		}
+	})
+}

@@ -24,6 +24,55 @@ func TestParseNeverPanicsQuick(t *testing.T) {
 	}
 }
 
+// TestParseRegressionCorpus is the deterministic companion to FuzzParse: a
+// corpus of malformed inputs that each probe a distinct failure path
+// (truncation, bad operands, structural errors, hostile tokens). Each must
+// produce a module or an error — never a panic. Inputs the fuzzer surfaces
+// as crashers get minimized and added here.
+func TestParseRegressionCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"whitespace", " \t \n\n  \t\n"},
+		{"nul-bytes", "func\x00main() {\x00ret\n}"},
+		{"crlf", "func main() i64 {\r\n  ret 0\r\n}\r\n"},
+		{"truncated-func", "func main() i64 {"},
+		{"unopened-brace", "ret 0\n}"},
+		{"double-brace", "func f() {{\n  ret\n}"},
+		{"label-only", "func f() {\nL:\n}"},
+		{"missing-param-type", "func f(v) {\n  ret\n}"},
+		{"param-comma-garbage", "func f(,) {\n  ret\n}"},
+		{"huge-int", "func f() i64 {\n  ret 99999999999999999999999999\n}"},
+		{"negative-hex", "func f() i64 {\n  ret -0x8000000000000000\n}"},
+		{"bad-store-type", "func f() {\n  store f64 [r1], 0\n  ret\n}"},
+		{"store-no-bracket", "func f() {\n  store i64 r1, 0\n  ret\n}"},
+		{"icmp-bad-pred", "func f() {\n  r1 = icmp wat 1, 2\n  ret\n}"},
+		{"call-unclosed", "func f() {\n  r1 = call g(1, 2\n  ret\n}"},
+		{"br-three-args", "func f() {\n  br 1, a, b, c\n  ret\n}"},
+		{"dup-global", "global g 8\nglobal g 16\n"},
+		{"global-bad-size", "global g -8\n"},
+		{"assign-no-rhs", "func f() {\n  r1 =\n  ret\n}"},
+		{"deep-gep-chain", "func f() {\n" + strings.Repeat("  r1 = gep r1, 8\n", 500) + "  ret\n}"},
+		{"unicode-name", "func fé() {\n  ret\n}"},
+		{"huge-register", "func f() {\n  r999999999999999999999 = mov 0\n  ret\n}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked: %v", r)
+				}
+			}()
+			m, err := Parse(tc.src)
+			if err == nil && m == nil {
+				t.Fatal("nil module and nil error")
+			}
+		})
+	}
+}
+
 // Mutation robustness: valid programs with random line-level corruption
 // must parse or fail cleanly, never panic, and never mis-parse into a
 // module that fails finalization later.

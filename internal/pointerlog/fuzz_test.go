@@ -1,0 +1,85 @@
+package pointerlog
+
+import "testing"
+
+// fuzzLoc masks an arbitrary 64-bit value into a valid pointer location:
+// 8-byte aligned, inside the simulated address range [2^40, 2^48) that the
+// entry encoding's invariants rely on (common part nonzero, top two bytes
+// zero).
+func fuzzLoc(x uint64) uint64 {
+	const lo = uint64(1) << 40
+	const span = (uint64(1) << 48) - lo
+	return (lo + x%span) &^ 7
+}
+
+// FuzzEntryRoundtrip checks that compressed-entry packing is lossless for
+// arbitrary location triples: every location accepted by tryCompressAdd
+// comes back out of decodeEntry exactly once, entryContains agrees with the
+// decoded set, and the LSB-0 first-slot rule holds (a location whose low
+// byte is zero is only representable in the first slot, because zero marks
+// an empty slot elsewhere).
+func FuzzEntryRoundtrip(f *testing.F) {
+	f.Add(uint64(0), uint64(8), uint64(16))
+	f.Add(uint64(0x100), uint64(0x108), uint64(0x1f8)) // shared common part
+	f.Add(uint64(0x200), uint64(0x200), uint64(0x200)) // duplicates
+	f.Add(uint64(0xf00), uint64(0x1000), uint64(0x10000))
+	f.Add(uint64(0xfffffffffff8), uint64(0xfffffffffff0), uint64(0xffffffffff00))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		la, lb, lc := fuzzLoc(a), fuzzLoc(b), fuzzLoc(c)
+
+		e := compressOne(la)
+		if !isCompressed(e) {
+			t.Fatalf("compressOne(%#x) = %#x not recognized as compressed", la, e)
+		}
+		want := []uint64{la}
+		for _, l := range []uint64{lb, lc} {
+			ne, ok := tryCompressAdd(e, l)
+			if ok {
+				e = ne
+				want = append(want, l)
+				if l&0xff == 0 {
+					t.Fatalf("entry %#x accepted LSB-0 location %#x outside the first slot", ne, l)
+				}
+				if l>>8 != la>>8 {
+					t.Fatalf("entry %#x accepted location %#x with a different common part than %#x", ne, l, la)
+				}
+			} else if l&0xff != 0 && l>>8 == la>>8 && len(want) < 3 {
+				t.Fatalf("entry %#x rejected compatible location %#x with a free slot", e, l)
+			}
+		}
+
+		got := decodeEntry(e, nil)
+		if len(got) != len(want) {
+			t.Fatalf("decode %#x: got %d locations %#x, want %d %#x", e, len(got), got, len(want), want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("decode %#x: slot %d = %#x, want %#x", e, i, got[i], want[i])
+			}
+			if !entryContains(e, want[i]) {
+				t.Fatalf("entry %#x does not contain packed location %#x", e, want[i])
+			}
+		}
+
+		// entryContains must not report locations that were never packed.
+		packed := map[uint64]bool{}
+		for _, l := range want {
+			packed[l] = true
+		}
+		for _, probe := range []uint64{la ^ 8, la ^ 0x100, lb ^ 16, lc ^ 0x800} {
+			probe = fuzzLoc(probe)
+			if !packed[probe] && entryContains(e, probe) {
+				t.Fatalf("entry %#x claims to contain %#x, packed only %#x", e, probe, want)
+			}
+		}
+
+		// Raw entries must roundtrip to themselves and never be mistaken
+		// for compressed ones.
+		if isCompressed(la) {
+			t.Fatalf("raw location %#x classified as compressed", la)
+		}
+		if raw := decodeEntry(la, nil); len(raw) != 1 || raw[0] != la {
+			t.Fatalf("raw entry %#x decodes to %#x", la, raw)
+		}
+	})
+}
