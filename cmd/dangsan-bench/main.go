@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|exploits|ablation|chaos|fuzz
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|exploits|ablation|chaos|fuzz
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
 //	              [-max-metadata-bytes 0] [-heap-bytes 0]
-//	              [-cpuprofile prof.out] [-memprofile mem.out]
+//	              [-quarantine-bytes 0] [-quarantine-epoch 0] [-quarantine-sync]
+//	              [-bench-json BENCH.json] [-cpuprofile prof.out] [-memprofile mem.out]
 //
 // Results go to stdout; progress (with -v) and periodic metric dumps (with
 // -metrics-interval) to stderr. -metrics writes a final JSON snapshot of
@@ -26,6 +27,13 @@
 // (no false UAF, no hangs, exact accounting, exploits still detected at
 // full coverage) and exits nonzero on any violation. The chaos grid is
 // overridden by -faultrate/-faultseed when set.
+//
+// -quarantine-bytes arms DangSan's epoch-based free quarantine (deferred
+// frees, batched invalidation); -quarantine-epoch sets the drain batch
+// width and -quarantine-sync forces drains onto the freeing thread. The
+// freelat experiment measures the free-path latency distribution inline vs
+// quarantined on the apache server analog. -bench-json writes every ran
+// experiment's rows as one machine-readable JSON document.
 //
 // The fuzz experiment runs the differential-fuzzing oracle: -scale sizes
 // the seed sweep (500 at 1.0), each seed's generated program runs through
@@ -53,7 +61,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, exploits, ablation, chaos, fuzz")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, exploits, ablation, chaos, fuzz")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
@@ -67,6 +75,10 @@ func main() {
 	faultBudget := flag.Int64("faultbudget", 0, "max injections per site per run (0 = 256, negative = unlimited)")
 	maxMetadataBytes := flag.Uint64("max-metadata-bytes", 0, "cap DangSan's metadata footprint; objects past the cap go untracked (0 = unlimited)")
 	heapBytes := flag.Uint64("heap-bytes", 0, "shrink the simulated heap to this many bytes (0 = full layout)")
+	quarantineBytes := flag.Uint64("quarantine-bytes", 0, "arm DangSan's epoch-based free quarantine with this byte budget (0 = inline frees)")
+	quarantineEpoch := flag.Int("quarantine-epoch", 0, "deferred frees retired per epoch batch (0 = default when quarantine armed)")
+	quarantineSync := flag.Bool("quarantine-sync", false, "drain quarantine epochs on the freeing thread instead of a background worker")
+	benchJSONFile := flag.String("bench-json", "", "write the machine-readable results of every experiment run to this JSON file (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -98,6 +110,16 @@ func main() {
 		Scale: *scale, Seed: *seed, Repeat: *repeat, Audit: *audit,
 		FaultRate: *faultRate, FaultSeed: *faultSeed, FaultBudget: *faultBudget,
 		MaxMetadataBytes: *maxMetadataBytes, HeapBytes: *heapBytes,
+		QuarantineBytes: *quarantineBytes, QuarantineEpoch: *quarantineEpoch,
+		QuarantineSync: *quarantineSync,
+	}
+
+	var benchJSON *bench.BenchJSON
+	if *benchJSONFile != "" {
+		benchJSON = bench.NewBenchJSON()
+		defer func() {
+			check(benchJSON.Write(*benchJSONFile))
+		}()
 	}
 
 	var reg *obs.Registry
@@ -156,6 +178,7 @@ func main() {
 		ran = true
 		rows, err := bench.RunSPEC(opts, progress)
 		check(err)
+		benchJSON.Add("spec", rows)
 		if want("fig9") {
 			fmt.Println(bench.FormatFig9(rows))
 		}
@@ -167,6 +190,7 @@ func main() {
 		ran = true
 		rows, err := bench.RunScalability(threads, opts, progress)
 		check(err)
+		benchJSON.Add("scalability", rows)
 		if want("fig10") {
 			fmt.Println(bench.FormatFig10(rows))
 		}
@@ -184,7 +208,15 @@ func main() {
 		ran = true
 		rows, err := bench.RunServers(opts, progress)
 		check(err)
+		benchJSON.Add("servers", rows)
 		fmt.Println(bench.FormatServers(rows))
+	}
+	if want("freelat") {
+		ran = true
+		rows, err := bench.RunFreeLatency(opts, progress)
+		check(err)
+		benchJSON.Add("freelat", rows)
+		fmt.Println(bench.FormatFreeLatency(rows))
 	}
 	if want("exploits") {
 		ran = true
@@ -192,7 +224,7 @@ func main() {
 	}
 	if *experiment == "chaos" {
 		ran = true
-		runChaos(opts)
+		runChaos(opts, benchJSON)
 	}
 	if *experiment == "fuzz" {
 		ran = true
@@ -221,7 +253,7 @@ func main() {
 // runChaos sweeps the fault-injection grid and fails the process on any
 // broken fail-open invariant. -faultrate/-faultseed, when set, replace the
 // default grid with a single cell axis; -scale scales the request count.
-func runChaos(opts bench.Options) {
+func runChaos(opts bench.Options, benchJSON *bench.BenchJSON) {
 	rates := []float64{0.02, 0.1, 0.3}
 	if opts.FaultRate > 0 {
 		rates = []float64{opts.FaultRate}
@@ -235,8 +267,11 @@ func runChaos(opts bench.Options) {
 		HeapBytes:        opts.HeapBytes,
 		MaxMetadataBytes: opts.MaxMetadataBytes,
 		Budget:           opts.FaultBudget,
+		QuarantineBytes:  opts.QuarantineBytes,
+		QuarantineEpoch:  opts.QuarantineEpoch,
 	}
 	results := chaos.Sweep(cfg, rates, seeds)
+	benchJSON.Add("chaos", results)
 	fmt.Println("Chaos sweep: fail-open invariants under injected resource failure")
 	fmt.Printf("%8s %6s %9s %10s %5s %9s %9s %8s %s\n",
 		"rate", "seed", "req/s", "completed", "oom", "injected", "degraded", "dropped", "violations")

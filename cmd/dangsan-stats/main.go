@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	dangsan-stats [-scale 1.0] [-seed 1] [-compare] <benchmark>
+//	dangsan-stats [-scale 1.0] [-seed 1] [-compare] [-quarantine-bytes N] <benchmark>
 //	dangsan-stats metrics <snapshot.json|->
 //
 // where <benchmark> is a SPEC name like 403.gcc or gcc, or "all". The
 // "metrics" form pretty-prints a JSON snapshot written by
-// `dangsan-bench -metrics` ("-" reads stdin).
+// `dangsan-bench -metrics` ("-" reads stdin). With -quarantine-bytes the
+// run uses deferred (epoch-quarantine) frees and additionally reports the
+// epoch depth and drain batch width.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/obs"
+	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
 	"dangsan/internal/workloads"
 )
@@ -28,6 +31,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	compare := flag.Bool("compare", false, "also run DangNULL for coverage comparison")
+	quarBytes := flag.Uint64("quarantine-bytes", 0, "epoch-quarantine byte budget; 0 keeps inline frees")
+	quarEpoch := flag.Int("quarantine-epoch", 0, "quarantine drain batch width (0: default)")
 	flag.Parse()
 	if flag.NArg() == 2 && flag.Arg(0) == "metrics" {
 		printMetrics(flag.Arg(1))
@@ -53,8 +58,20 @@ func main() {
 		prof.ComputeOps = scaleInt(prof.ComputeOps, *scale)
 		prof.LiveWindow = scaleInt(prof.LiveWindow, *scale)
 
-		d := dangsan.New()
-		check(workloads.RunSPEC(proc.New(d), prof, *seed))
+		var reg *obs.Registry
+		var d *dangsan.Detector
+		if *quarBytes > 0 {
+			cfg := pointerlog.DefaultConfig()
+			cfg.QuarantineBytes = *quarBytes
+			cfg.QuarantineEpoch = *quarEpoch
+			reg = obs.NewRegistry()
+			d = dangsan.NewWithOptions(dangsan.Options{Config: cfg, Metrics: reg})
+		} else {
+			d = dangsan.New()
+		}
+		p := proc.New(d)
+		check(workloads.RunSPEC(p, prof, *seed))
+		p.Quiesce()
 		s := d.Stats()
 		fmt.Printf("%s\n", prof.Name)
 		fmt.Printf("  objects tracked:  %d\n", s.ObjectsTracked)
@@ -65,6 +82,13 @@ func main() {
 		fmt.Printf("  duplicates:       %d\n", s.Duplicates)
 		fmt.Printf("  compressed:       %d\n", s.Compressed)
 		fmt.Printf("  log bytes:        %d\n", s.LogBytes)
+		if reg != nil {
+			snap := reg.Snapshot()
+			batch := snap.Histograms["dangsan.quarantine_batch_objects"]
+			fmt.Printf("  quarantine epochs: %d\n", snap.Gauges["dangsan.quarantine_epochs"])
+			fmt.Printf("  drain batch mean:  %.1f objects\n", batch.Mean())
+			fmt.Printf("  overflow drains:   %d\n", snap.Counters["dangsan.quarantine_overflow_drains"])
+		}
 
 		if *compare {
 			dn := dangnull.New()

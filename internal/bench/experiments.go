@@ -47,6 +47,16 @@ type Options struct {
 	// HeapBytes shrinks each measured process's simulated heap (0: the
 	// full 64 GiB layout) so allocator pressure is reachable.
 	HeapBytes uint64
+	// QuarantineBytes arms DangSan's epoch-based free quarantine with this
+	// byte budget: frees defer into epoch batches instead of invalidating
+	// inline. 0 keeps the inline free path.
+	QuarantineBytes uint64
+	// QuarantineEpoch sets the drain batch width (0: the pointerlog
+	// default when quarantine is armed).
+	QuarantineEpoch int
+	// QuarantineSync drains epochs on the freeing thread instead of a
+	// background worker (deterministic mode, used with Audit).
+	QuarantineSync bool
 }
 
 // NewPlane builds one run's fault-injection plane; nil when injection is
@@ -73,9 +83,12 @@ func (o Options) NewPlane() *faultinject.Plane {
 // DangSan detectors get audit mode, the metadata budget, the fault plane,
 // and the metrics registry wired in. plane may be nil.
 func (o Options) NewDetector(kind Kind, plane *faultinject.Plane) (detectors.Detector, error) {
-	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0) {
+	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0 || o.QuarantineBytes > 0) {
 		cfg := pointerlog.DefaultConfig()
 		cfg.MaxMetadataBytes = o.MaxMetadataBytes
+		cfg.QuarantineBytes = o.QuarantineBytes
+		cfg.QuarantineEpoch = o.QuarantineEpoch
+		cfg.QuarantineSync = o.QuarantineSync
 		return dangsan.NewWithOptions(dangsan.Options{
 			Config:  cfg,
 			Audit:   o.Audit,

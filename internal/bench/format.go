@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -258,6 +260,67 @@ func FormatShadow(points []ShadowPoint) string {
 			fmt.Sprintf("%.0fns", p.FixedNs), fmt.Sprintf("%.0fns", p.VariableNs))
 	}
 	return "Ablation: constant vs variable compression-ratio shadow (paper §4.3: constant ratio pays O(size) init and ~1:1 metadata)\n" + t.String()
+}
+
+// FormatFreeLatency renders the free-path latency comparison (epoch
+// quarantine vs inline invalidation).
+func FormatFreeLatency(rows []FreeLatencyRow) string {
+	var t tw
+	t.row("free path", "req/s", "frees", "mean ns", "p50 ns", "p99 ns", "max ns", "epochs", "batch", "overflow")
+	for _, r := range rows {
+		rps := "-"
+		if r.Seconds > 0 {
+			rps = fmt.Sprintf("%.0f", float64(r.Requests)/r.Seconds)
+		}
+		t.row(r.Config, rps,
+			fmt.Sprintf("%d", r.FreeCount),
+			fmt.Sprintf("%.0f", r.FreeMeanNs),
+			fmt.Sprintf("%d", r.FreeP50Ns),
+			fmt.Sprintf("%d", r.FreeP99Ns),
+			fmt.Sprintf("%d", r.FreeMaxNs),
+			fmt.Sprintf("%d", r.Epochs),
+			fmt.Sprintf("%.1f", r.BatchMean),
+			fmt.Sprintf("%d", r.OverflowDrains))
+	}
+	return "Free-path latency on the apache server analog (log2-bucket quantiles)\n" + t.String()
+}
+
+// BenchJSON accumulates experiment results for the machine-readable
+// BENCH_<n>.json artifact: each experiment that runs adds its row structs
+// under a stable name, and Write emits one indented JSON document. The
+// schema is a flat result map so re-anchor tooling can diff runs without
+// knowing every experiment.
+type BenchJSON struct {
+	Schema  int            `json:"schema"`
+	Results map[string]any `json:"results"`
+}
+
+// NewBenchJSON creates an empty collector (schema version 1).
+func NewBenchJSON() *BenchJSON {
+	return &BenchJSON{Schema: 1, Results: make(map[string]any)}
+}
+
+// Add records one experiment's result rows under name, overwriting any
+// earlier entry with the same name.
+func (b *BenchJSON) Add(name string, v any) {
+	if b == nil {
+		return
+	}
+	b.Results[name] = v
+}
+
+// Write marshals the collected results to path ("-" for stdout).
+func (b *BenchJSON) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // FormatMapper renders the mapper comparison.

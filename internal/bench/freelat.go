@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/obs"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/workloads"
+)
+
+// FreeLatencyRow is one configuration's free-path latency profile on the
+// server workload, read from the dangsan.free_ns histogram (log2 buckets,
+// so the quantiles are factor-of-two upper bounds).
+type FreeLatencyRow struct {
+	// Config names the free path: "inline" or "quarantine".
+	Config string `json:"config"`
+	// Requests served and total wall-clock seconds (throughput context for
+	// the latency numbers).
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	// Free-path latency distribution in nanoseconds.
+	FreeCount  uint64  `json:"free_count"`
+	FreeMeanNs float64 `json:"free_mean_ns"`
+	FreeP50Ns  uint64  `json:"free_p50_ns"`
+	FreeP99Ns  uint64  `json:"free_p99_ns"`
+	FreeMaxNs  uint64  `json:"free_max_ns"`
+	// Quarantine-side figures (zero for the inline row): epochs retired,
+	// mean drain batch width, overflow-forced synchronous drains.
+	Epochs         uint64  `json:"epochs"`
+	BatchMean      float64 `json:"batch_mean"`
+	OverflowDrains uint64  `json:"overflow_drains"`
+}
+
+// RunFreeLatency measures the free-path latency distribution on the apache
+// server analog (the free-heaviest profile) with inline invalidation and
+// with the epoch quarantine, using a fresh registry per row so histograms
+// do not mix. This is the tentpole's before/after experiment: the deferred
+// path should collapse the free-side tail (p99) because the freeing thread
+// no longer walks the object's location set.
+func RunFreeLatency(opts Options, progress func(string)) ([]FreeLatencyRow, error) {
+	opts = opts.normalized()
+	requests := maxi(int(20000*opts.Scale), 500)
+	const workers = 32
+	prof, err := workloads.ServerProfileByName("apache")
+	if err != nil {
+		return nil, err
+	}
+
+	// 64 MiB comfortably holds the apache profile's churn at full scale:
+	// the point of this experiment is the deferred path's latency profile,
+	// not the overflow fallback (the chaos stages cover that), so the
+	// budget must not force synchronous drains back onto freeing threads.
+	qBytes := opts.QuarantineBytes
+	if qBytes == 0 {
+		qBytes = 64 << 20
+	}
+	configs := []struct {
+		name string
+		cfg  pointerlog.Config
+	}{
+		{"inline", pointerlog.DefaultConfig()},
+		{"quarantine", func() pointerlog.Config {
+			c := pointerlog.DefaultConfig()
+			c.QuarantineBytes = qBytes
+			c.QuarantineEpoch = opts.QuarantineEpoch
+			c.QuarantineSync = opts.QuarantineSync
+			return c
+		}()},
+	}
+
+	var rows []FreeLatencyRow
+	for _, c := range configs {
+		if progress != nil {
+			progress(fmt.Sprintf("freelat %s", c.name))
+		}
+		// A private registry per row: the shared opts.Metrics registry
+		// would accumulate both configurations into one histogram.
+		reg := obs.NewRegistry()
+		det := dangsan.NewWithConfig(c.cfg)
+		m, err := MeasureWith(det, func(p *proc.Process) error {
+			return workloads.RunServer(p, prof, workers, requests, opts.Seed)
+		}, reg)
+		if err != nil {
+			return nil, fmt.Errorf("freelat %s: %w", c.name, err)
+		}
+		snap := reg.Snapshot()
+		h := snap.Histograms["dangsan.free_ns"]
+		b := snap.Histograms["dangsan.quarantine_batch_objects"]
+		rows = append(rows, FreeLatencyRow{
+			Config:         c.name,
+			Requests:       requests,
+			Seconds:        m.Seconds,
+			FreeCount:      h.Count,
+			FreeMeanNs:     h.Mean(),
+			FreeP50Ns:      h.Quantile(0.50),
+			FreeP99Ns:      h.Quantile(0.99),
+			FreeMaxNs:      h.Max,
+			Epochs:         uint64(snap.Gauges["dangsan.quarantine_epochs"]),
+			BatchMean:      b.Mean(),
+			OverflowDrains: snap.Counters["dangsan.quarantine_overflow_drains"],
+		})
+	}
+	return rows, nil
+}

@@ -48,6 +48,14 @@ type Config struct {
 	// Budget bounds per-site injections so pressure is transient and the
 	// run can recover (<0: unlimited; 0: the default 256).
 	Budget int64
+	// QuarantineBytes sets the epoch-quarantine byte budget for the
+	// quarantined stages (0: a deliberately tiny 64 KiB so the overflow
+	// fail-open path — synchronous drains on the freeing thread — is
+	// exercised under injection, not just the happy path).
+	QuarantineBytes uint64
+	// QuarantineEpoch sets the drain batch width for the quarantined
+	// stages (0: 16, small enough that epochs retire many times per run).
+	QuarantineEpoch int
 	// Timeout is the per-run watchdog; exceeding it counts as a deadlock
 	// violation (0: 60s).
 	Timeout time.Duration
@@ -117,11 +125,31 @@ type Result struct {
 	Violations []string `json:"violations,omitempty"`
 }
 
+// quarMode selects the free path for one chaos stage.
+type quarMode int
+
+const (
+	quarOff  quarMode = iota // inline invalidation
+	quarBack                 // epoch quarantine, background workers
+	quarSync                 // epoch quarantine, drains on the freeing thread
+)
+
 // detector builds a DangSan detector wired to the plane, with the audit
-// cross-check on request.
-func (c Config) detector(plane *faultinject.Plane, audit bool) *dangsan.Detector {
+// cross-check and the epoch quarantine on request.
+func (c Config) detector(plane *faultinject.Plane, audit bool, quar quarMode) *dangsan.Detector {
 	cfg := pointerlog.DefaultConfig()
 	cfg.MaxMetadataBytes = c.MaxMetadataBytes
+	if quar != quarOff {
+		cfg.QuarantineBytes = c.QuarantineBytes
+		if cfg.QuarantineBytes == 0 {
+			cfg.QuarantineBytes = 64 << 10
+		}
+		cfg.QuarantineEpoch = c.QuarantineEpoch
+		if cfg.QuarantineEpoch == 0 {
+			cfg.QuarantineEpoch = 16
+		}
+		cfg.QuarantineSync = quar == quarSync
+	}
 	return dangsan.NewWithOptions(dangsan.Options{
 		Config: cfg,
 		Audit:  audit,
@@ -157,13 +185,18 @@ func classify(r *Result, stage string, err error) {
 // runServer executes one watched server run and classifies the outcome.
 // It returns false on watchdog expiry (the goroutine is abandoned; the
 // cell already failed).
-func (c Config) runServer(r *Result, stage string, plane *faultinject.Plane, workers int, audit bool) (*dangsan.Detector, bool) {
-	det := c.detector(plane, audit)
+func (c Config) runServer(r *Result, stage string, plane *faultinject.Plane, workers int, audit bool, quar quarMode) (*dangsan.Detector, bool) {
+	det := c.detector(plane, audit, quar)
 	p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
 	done := make(chan error, 1)
 	start := time.Now()
 	go func() {
-		done <- workloads.RunServer(p, c.Profile, workers, c.Requests, r.Seed)
+		err := workloads.RunServer(p, c.Profile, workers, c.Requests, r.Seed)
+		// Retire the quarantine inside the watched section: a drain that
+		// deadlocks or panics must trip the watchdog/classifier, and the
+		// stats read below must see fully-drained counters.
+		p.Quiesce()
+		done <- err
 	}()
 	select {
 	case err := <-done:
@@ -196,7 +229,7 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// classification instead.
 	plane := faultinject.New(seed)
 	plane.EnableAll(rate, cfg.Budget)
-	if _, ok := cfg.runServer(&r, "concurrent", plane, cfg.Workers, false); ok {
+	if _, ok := cfg.runServer(&r, "concurrent", plane, cfg.Workers, false, quarOff); ok {
 		r.Sites = plane.Snapshot()
 	}
 	r.Injected += plane.TotalInjected()
@@ -206,12 +239,32 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// failures.
 	auditPlane := faultinject.New(seed)
 	auditPlane.EnableAll(rate, cfg.Budget)
-	if det, ok := cfg.runServer(&r, "audited", auditPlane, 1, true); ok {
+	if det, ok := cfg.runServer(&r, "audited", auditPlane, 1, true, quarOff); ok {
 		for _, v := range det.AuditViolations() {
 			r.Violations = append(r.Violations, "audited: "+v)
 		}
 	}
 	r.Injected += auditPlane.TotalInjected()
+
+	// Quarantined run: concurrent, background epoch workers, and (by
+	// default) a tiny byte budget so quarantine overflow keeps forcing the
+	// synchronous fail-open drain while injection denies allocations.
+	qPlane := faultinject.New(seed)
+	qPlane.EnableAll(rate, cfg.Budget)
+	cfg.runServer(&r, "quarantined", qPlane, cfg.Workers, false, quarBack)
+	r.Injected += qPlane.TotalInjected()
+
+	// Quarantined audited run: one worker, synchronous drains, and the
+	// extended accounting identity (live + quarantined + released) must
+	// hold exactly through every defer/drain cycle.
+	qaPlane := faultinject.New(seed)
+	qaPlane.EnableAll(rate, cfg.Budget)
+	if det, ok := cfg.runServer(&r, "quarantined-audited", qaPlane, 1, true, quarSync); ok {
+		for _, v := range det.AuditViolations() {
+			r.Violations = append(r.Violations, "quarantined-audited: "+v)
+		}
+	}
+	r.Injected += qaPlane.TotalInjected()
 
 	if !cfg.SkipExploits {
 		r.Exploits = cfg.runExploits(&r, rate, seed)
@@ -235,7 +288,7 @@ func (c Config) runExploits(r *Result, rate float64, seed int64) []ExploitResult
 	for i, sc := range scenarios {
 		plane := faultinject.New(seed + int64(i)*7919)
 		plane.EnableAll(rate, c.Budget)
-		det := c.detector(plane, false)
+		det := c.detector(plane, false, quarOff)
 		p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
 		outcome, err := sc.run(p)
 		res := ExploitResult{Name: sc.name}

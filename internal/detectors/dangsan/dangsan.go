@@ -15,11 +15,14 @@
 package dangsan
 
 import (
+	"time"
+
 	"dangsan/internal/detectors"
 	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/shadow"
+	"dangsan/internal/tcmalloc"
 )
 
 // Detector is the DangSan system. Create with New; it must be bound to the
@@ -28,11 +31,24 @@ type Detector struct {
 	table  *shadow.Table
 	logger *pointerlog.Logger
 	mem    detectors.Memory
+	// quar is the epoch quarantine engine; nil unless
+	// Config.QuarantineBytes armed deferred-free mode.
+	quar *quarantine
+	// met holds the detector-level instruments (free-path latency); nil
+	// until AttachMetrics.
+	met *detMetrics
+}
+
+// detMetrics bundles the detector's own obs instruments (the logger and
+// shadow table attach theirs separately).
+type detMetrics struct {
+	freeNs *obs.Histogram
 }
 
 var _ detectors.Detector = (*Detector)(nil)
 var _ detectors.Binder = (*Detector)(nil)
 var _ detectors.ThreadAware = (*Detector)(nil)
+var _ detectors.DeferredFree = (*Detector)(nil)
 
 // New creates a DangSan detector with the paper's default configuration.
 func New() *Detector {
@@ -42,10 +58,14 @@ func New() *Detector {
 // NewWithConfig creates a DangSan detector with explicit pointer-log
 // tunables (used by the ablation benchmarks).
 func NewWithConfig(cfg pointerlog.Config) *Detector {
-	return &Detector{
+	d := &Detector{
 		table:  shadow.NewTable(),
 		logger: pointerlog.NewLogger(cfg),
 	}
+	// Build the quarantine from the validated config so the epoch width
+	// default has been applied.
+	d.quar = newQuarantine(d, d.logger.Config())
+	return d
 }
 
 // Options configures a detector beyond the pointer-log tunables:
@@ -94,6 +114,10 @@ func (d *Detector) AttachMetrics(reg *obs.Registry) {
 	}
 	d.logger.AttachMetrics(reg)
 	d.table.AttachMetrics(reg)
+	d.met = &detMetrics{freeNs: reg.Histogram("dangsan.free_ns")}
+	if d.quar != nil {
+		d.quar.attachMetrics(reg)
+	}
 }
 
 // Bind implements detectors.Binder.
@@ -165,6 +189,11 @@ func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
 // OnFree implements detectors.Detector (the heap tracker's free hook): this
 // is where dangling pointers die.
 func (d *Detector) OnFree(base, size, align uint64) {
+	var start time.Time
+	met := d.met
+	if met != nil {
+		start = time.Now()
+	}
 	handle := d.table.Lookup(base)
 	if handle == 0 {
 		return
@@ -176,6 +205,68 @@ func (d *Detector) OnFree(base, size, align uint64) {
 	d.logger.Invalidate(meta, d.mem)
 	d.table.ClearObject(base, size, align)
 	d.logger.ReleaseMeta(handle)
+	if met != nil {
+		met.freeNs.Since(int32(base>>12), start)
+	}
+}
+
+// BindRelease implements detectors.DeferredFree: the runtime hands over
+// its memory-return callback and learns whether quarantine mode is armed.
+func (d *Detector) BindRelease(release func(bases []uint64) (int, error)) bool {
+	if d.quar == nil {
+		return false
+	}
+	d.quar.release = release
+	return true
+}
+
+// OnFreeDeferred implements detectors.DeferredFree: instead of walking the
+// object's logs inline, clear its shadow mapping, move its metadata into
+// the quarantined accounting set, and enqueue it for the next epoch drain.
+// The free-side cost is a shadow clear plus a short critical section —
+// independent of the object's location-set size, which is the whole point.
+func (d *Detector) OnFreeDeferred(base, size, align uint64) (bool, error) {
+	var start time.Time
+	met := d.met
+	if met != nil {
+		start = time.Now()
+	}
+	handle := d.table.Lookup(base)
+	if handle == 0 {
+		// Untracked — unless it is a quarantined object being freed again:
+		// its shadow entry was cleared at the first free, so the custody
+		// set is the only thing that can still name it.
+		if d.quar.contains(base) {
+			return true, &tcmalloc.DoubleFreeError{Addr: base}
+		}
+		return false, nil
+	}
+	meta := d.logger.MetaAt(handle)
+	if meta == nil || meta.Base() != base {
+		return false, nil
+	}
+	d.table.ClearObject(base, size, align)
+	// Cached store fast paths may hold this object's extent; invalidate
+	// them now (Invalidate would have, at the epoch boundary — too late
+	// for stores racing the free).
+	d.logger.BumpGen()
+	d.logger.QuarantineMeta(handle)
+	err := d.quar.enqueue(quarEntry{handle: handle, base: base, size: size})
+	if met != nil {
+		met.freeNs.Since(int32(base>>12), start)
+	}
+	return true, err
+}
+
+// Quarantined implements detectors.DeferredFree.
+func (d *Detector) Quarantined(base uint64) bool {
+	return d.quar.contains(base)
+}
+
+// DrainQuarantine implements detectors.DeferredFree: synchronously retire
+// every pending epoch. Safe to call with quarantine unarmed.
+func (d *Detector) DrainQuarantine() {
+	d.quar.Drain()
 }
 
 // OnPtrStore implements detectors.Detector (the pointer tracker's

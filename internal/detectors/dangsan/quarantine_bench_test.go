@@ -1,0 +1,59 @@
+package dangsan
+
+import (
+	"testing"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/vmem"
+)
+
+// benchFree times the malloc → register×8 → free cycle; the free path is
+// the only thing that differs between the two configurations, so the delta
+// is the free-side cost of inline invalidation vs deferred enqueue.
+func benchFree(b *testing.B, cfg pointerlog.Config, deferred bool) {
+	d := NewWithConfig(cfg)
+	as := vmem.New()
+	d.Bind(as)
+	as.Heap().MapPages(vmem.HeapBase, 512)
+	if deferred {
+		if !d.BindRelease(func(bases []uint64) (int, error) { return len(bases), nil }) {
+			b.Fatal("quarantine not armed")
+		}
+	}
+	const nLocs = 8
+	// The base ring must outsize the maximum quarantine depth so a base is
+	// never re-allocated while still in custody.
+	const ring = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := vmem.HeapBase + uint64(i%ring)*vmem.PageSize
+		d.OnAlloc(base, 64, 8)
+		for j := 0; j < nLocs; j++ {
+			loc := vmem.GlobalsBase + uint64(j)*8
+			as.StoreWord(loc, base+8)
+			d.OnPtrStore(loc, base+8, 0)
+		}
+		if deferred {
+			if _, err := d.OnFreeDeferred(base, 64, 8); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			d.OnFree(base, 64, 8)
+		}
+	}
+	b.StopTimer()
+	d.DrainQuarantine()
+}
+
+func BenchmarkFreeSerial(b *testing.B) {
+	benchFree(b, pointerlog.DefaultConfig(), false)
+}
+
+func BenchmarkFreeQuarantined(b *testing.B) {
+	cfg := pointerlog.DefaultConfig()
+	cfg.QuarantineBytes = 8 << 20
+	cfg.QuarantineEpoch = 64
+	cfg.QuarantineSync = true
+	benchFree(b, cfg, true)
+}

@@ -1,0 +1,307 @@
+package dangsan
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dangsan/internal/obs"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/tcmalloc"
+	"dangsan/internal/vmem"
+)
+
+// quarCfg returns the default config with deferred-free mode armed.
+func quarCfg(budget uint64, epoch int, syncMode bool) pointerlog.Config {
+	cfg := pointerlog.DefaultConfig()
+	cfg.QuarantineBytes = budget
+	cfg.QuarantineEpoch = epoch
+	cfg.QuarantineSync = syncMode
+	return cfg
+}
+
+// releaseLog records every batch the quarantine hands back, standing in for
+// the runtime's allocator-return callback.
+type releaseLog struct {
+	mu      sync.Mutex
+	batches [][]uint64
+}
+
+func (r *releaseLog) release(bases []uint64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, append([]uint64(nil), bases...))
+	return len(bases), nil
+}
+
+func (r *releaseLog) flat() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []uint64
+	for _, b := range r.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func (r *releaseLog) sizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int
+	for _, b := range r.batches {
+		out = append(out, len(b))
+	}
+	return out
+}
+
+func newQuarBound(t *testing.T, cfg pointerlog.Config) (*Detector, *vmem.AddressSpace, *releaseLog) {
+	t.Helper()
+	d := NewWithConfig(cfg)
+	as := vmem.New()
+	d.Bind(as)
+	as.Heap().MapPages(vmem.HeapBase, 512)
+	rl := &releaseLog{}
+	if !d.BindRelease(rl.release) {
+		t.Fatal("BindRelease refused: quarantine not armed")
+	}
+	return d, as, rl
+}
+
+// quarObj allocates one 64-byte object at base and plants a pointer to its
+// interior in the given global slot.
+func quarObj(d *Detector, as *vmem.AddressSpace, base, slot uint64) {
+	d.OnAlloc(base, 64, 8)
+	as.StoreWord(slot, base+8)
+	d.OnPtrStore(slot, base+8, 0)
+}
+
+// A deferred free must withhold everything — no invalidation, no memory
+// return — until the epoch boundary, then retire the whole batch in FIFO
+// order with one drain.
+func TestDeferredFreeWithholdsUntilEpoch(t *testing.T) {
+	d, as, rl := newQuarBound(t, quarCfg(1<<20, 4, true))
+	bases := make([]uint64, 4)
+	slots := make([]uint64, 4)
+	for i := range bases {
+		bases[i] = vmem.HeapBase + uint64(i)*vmem.PageSize
+		slots[i] = vmem.GlobalsBase + uint64(i)*8
+		quarObj(d, as, bases[i], slots[i])
+	}
+	for i := 0; i < 3; i++ {
+		taken, err := d.OnFreeDeferred(bases[i], 64, 8)
+		if !taken || err != nil {
+			t.Fatalf("free %d: taken=%v err=%v", i, taken, err)
+		}
+		if !d.Quarantined(bases[i]) {
+			t.Fatalf("base %d not in custody after deferred free", i)
+		}
+		if v, _ := as.LoadWord(slots[i]); v&pointerlog.InvalidBit != 0 {
+			t.Fatalf("slot %d invalidated before the epoch boundary: 0x%x", i, v)
+		}
+	}
+	if got := rl.sizes(); len(got) != 0 {
+		t.Fatalf("memory released before the epoch boundary: %v", got)
+	}
+
+	// The fourth free completes the epoch: everything retires at once.
+	if taken, err := d.OnFreeDeferred(bases[3], 64, 8); !taken || err != nil {
+		t.Fatalf("boundary free: taken=%v err=%v", taken, err)
+	}
+	if got := rl.sizes(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("batch sizes = %v, want [4]", got)
+	}
+	for i, b := range rl.flat() {
+		if b != bases[i] {
+			t.Fatalf("release order %v, want FIFO %v", rl.flat(), bases)
+		}
+	}
+	for i := range bases {
+		if v, _ := as.LoadWord(slots[i]); v != (bases[i]+8)|pointerlog.InvalidBit {
+			t.Fatalf("slot %d after drain: 0x%x", i, v)
+		}
+		if d.Quarantined(bases[i]) {
+			t.Fatalf("base %d still in custody after drain", i)
+		}
+	}
+	if s := d.Stats(); s.Invalidated != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// DrainQuarantine retires a partial epoch on demand.
+func TestDrainQuarantineRetiresPartialEpoch(t *testing.T) {
+	d, as, rl := newQuarBound(t, quarCfg(1<<20, 64, true))
+	base := uint64(vmem.HeapBase)
+	slot := uint64(vmem.GlobalsBase + 8)
+	quarObj(d, as, base, slot)
+	if _, err := d.OnFreeDeferred(base, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	d.DrainQuarantine()
+	if v, _ := as.LoadWord(slot); v != (base+8)|pointerlog.InvalidBit {
+		t.Fatalf("slot after drain: 0x%x", v)
+	}
+	if got := rl.sizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", got)
+	}
+}
+
+// Epoch retirement is deterministic in synchronous mode: batches of exactly
+// the epoch width at each boundary, the remainder on the final drain.
+func TestEpochRetirementDeterministic(t *testing.T) {
+	d, as, rl := newQuarBound(t, quarCfg(1<<20, 2, true))
+	var bases []uint64
+	for i := 0; i < 5; i++ {
+		base := vmem.HeapBase + uint64(i)*vmem.PageSize
+		quarObj(d, as, base, vmem.GlobalsBase+uint64(i)*8)
+		bases = append(bases, base)
+	}
+	for _, b := range bases {
+		if _, err := d.OnFreeDeferred(b, 64, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.DrainQuarantine()
+	if got := rl.sizes(); len(got) != 3 || got[0] != 2 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("batch sizes = %v, want [2 2 1]", got)
+	}
+	for i, b := range rl.flat() {
+		if b != bases[i] {
+			t.Fatalf("release order %v, want FIFO %v", rl.flat(), bases)
+		}
+	}
+}
+
+// Blowing the byte budget must force synchronous drains on the freeing
+// thread (fail-open), never growth without bound and never a worker
+// dependency.
+func TestOverflowForcesSyncDrain(t *testing.T) {
+	d, as, rl := newQuarBound(t, quarCfg(100, 8, false))
+	reg := obs.NewRegistry()
+	d.AttachMetrics(reg)
+
+	b0, b1 := uint64(vmem.HeapBase), uint64(vmem.HeapBase+vmem.PageSize)
+	quarObj(d, as, b0, vmem.GlobalsBase)
+	quarObj(d, as, b1, vmem.GlobalsBase+8)
+	if _, err := d.OnFreeDeferred(b0, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := rl.sizes(); len(got) != 0 {
+		t.Fatalf("drained under budget: %v", got)
+	}
+	// 128 pending bytes > the 100-byte budget: this enqueue must drain
+	// inline before returning.
+	if _, err := d.OnFreeDeferred(b1, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := rl.sizes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("batch sizes = %v, want [2]", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dangsan.quarantine_overflow_drains"] == 0 {
+		t.Fatal("overflow drain not counted")
+	}
+	if v, _ := as.LoadWord(vmem.GlobalsBase); v&pointerlog.InvalidBit == 0 {
+		t.Fatalf("pointer survived overflow drain: 0x%x", v)
+	}
+}
+
+// A second free of a quarantined base is a double free: the custody set is
+// the only structure that can still name it (the shadow entry died at the
+// first free).
+func TestDoubleFreeWhileQuarantined(t *testing.T) {
+	d, as, _ := newQuarBound(t, quarCfg(1<<20, 64, true))
+	base := uint64(vmem.HeapBase)
+	quarObj(d, as, base, vmem.GlobalsBase)
+	if taken, err := d.OnFreeDeferred(base, 64, 8); !taken || err != nil {
+		t.Fatalf("first free: taken=%v err=%v", taken, err)
+	}
+	taken, err := d.OnFreeDeferred(base, 64, 8)
+	if !taken {
+		t.Fatal("double free not taken (would reach the allocator)")
+	}
+	var dfe *tcmalloc.DoubleFreeError
+	if !errors.As(err, &dfe) || dfe.Addr != base {
+		t.Fatalf("err = %v, want DoubleFreeError{%#x}", err, base)
+	}
+	// The first free's custody stands: the drain still retires it cleanly.
+	d.DrainQuarantine()
+	if d.Quarantined(base) {
+		t.Fatal("custody leaked after drain")
+	}
+}
+
+// The extended accounting identity (live + quarantined + released) must
+// hold at every checkpoint of the defer/drain cycle.
+func TestAuditIdentityAcrossQuarantine(t *testing.T) {
+	cfg := quarCfg(1<<20, 4, true)
+	cfg.Audit = true
+	d, as, _ := newQuarBound(t, cfg)
+	for i := 0; i < 10; i++ {
+		base := vmem.HeapBase + uint64(i)*vmem.PageSize
+		quarObj(d, as, base, vmem.GlobalsBase+uint64(i)*8)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := d.OnFreeDeferred(vmem.HeapBase+uint64(i)*vmem.PageSize, 64, 8); err != nil {
+			t.Fatal(err)
+		}
+		d.Stats() // runs the audit cross-check with entries mid-quarantine
+	}
+	d.DrainQuarantine()
+	d.Stats()
+	if aud := d.AuditViolations(); len(aud) > 0 {
+		t.Fatalf("audit violations: %v", aud)
+	}
+}
+
+// Background-worker mode under concurrency: many threads freeing at once,
+// one final drain, nothing lost and nothing double-released. Run with
+// -race. Audit mode stays off here — its identity is only exact without
+// concurrent registers (see the pointerlog audit package comment); the
+// deterministic synchronous tests above cover it.
+func TestQuarantineConcurrent(t *testing.T) {
+	d, as, rl := newQuarBound(t, quarCfg(1<<20, 4, false))
+	const goroutines, each = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				n := uint64(g*each + i)
+				base := vmem.HeapBase + n*vmem.PageSize
+				slot := vmem.GlobalsBase + n*8
+				d.OnAlloc(base, 64, 8)
+				as.StoreWord(slot, base+8)
+				d.OnPtrStore(slot, base+8, int32(g))
+				if taken, err := d.OnFreeDeferred(base, 64, 8); !taken || err != nil {
+					t.Errorf("free %d: taken=%v err=%v", n, taken, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.DrainQuarantine()
+
+	const total = goroutines * each
+	released := rl.flat()
+	if len(released) != total {
+		t.Fatalf("released %d bases, want %d", len(released), total)
+	}
+	seen := make(map[uint64]bool, total)
+	for _, b := range released {
+		if seen[b] {
+			t.Fatalf("base 0x%x released twice", b)
+		}
+		seen[b] = true
+	}
+	for n := uint64(0); n < total; n++ {
+		if v, _ := as.LoadWord(vmem.GlobalsBase + n*8); v != (vmem.HeapBase+n*vmem.PageSize+8)|pointerlog.InvalidBit {
+			t.Fatalf("slot %d: 0x%x", n, v)
+		}
+	}
+	if s := d.Stats(); s.Invalidated != total {
+		t.Fatalf("stats: %+v", s)
+	}
+}

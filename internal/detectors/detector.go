@@ -83,6 +83,40 @@ type Memory interface {
 	StoreWord(addr, val uint64) *vmem.Fault
 }
 
+// DeferredFree is implemented by detectors that can take custody of freed
+// objects instead of invalidating them inline: the free enqueues into a
+// bounded quarantine and a later epoch drain invalidates a whole batch with
+// one merged walk, returning the memory to the allocator only once its
+// metadata has been retired (so no address is reused while invalidation is
+// pending).
+type DeferredFree interface {
+	// BindRelease hands the detector the runtime's memory-return callback
+	// (invoked once per drained epoch with the batch's base addresses) and
+	// reports whether deferred-free mode is armed. A false return means the
+	// detector is not configured for quarantine and the runtime must free
+	// inline; BindRelease is called once, before any OnFreeDeferred.
+	BindRelease(release func(bases []uint64) (int, error)) bool
+
+	// OnFreeDeferred offers the detector custody of a freed object. When it
+	// returns taken=true the detector now owns the memory: the runtime must
+	// NOT free base — it will come back through the release callback when
+	// the object's epoch retires. taken=false means the object is untracked
+	// (degraded mode) and the runtime should free it inline. A non-nil err
+	// (e.g. a double free detected against the quarantine) is returned to
+	// the program either way.
+	OnFreeDeferred(base, size, align uint64) (taken bool, err error)
+
+	// Quarantined reports whether base is currently held in the quarantine
+	// (freed, epoch not yet retired). The runtime consults it on paths that
+	// would otherwise misread quarantined memory as live, e.g. realloc.
+	Quarantined(base uint64) bool
+
+	// DrainQuarantine synchronously retires every pending epoch, returning
+	// all quarantined memory. Called under memory pressure and at
+	// end-of-run quiesce points.
+	DrainQuarantine()
+}
+
 // MemcpyHooker is implemented by detectors that support the paper's §7
 // extension for type-unsafe pointer copies: after a memcpy (including the
 // copy inside a moving realloc), OnMemcpy scans the destination for values

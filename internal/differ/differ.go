@@ -17,10 +17,18 @@
 //     ones). FreeSentry is thread-unsafe by design and is skipped for
 //     multi-threaded programs, as in the paper.
 //   - dangsan pointer-log config: lookback {0,4,8} × compression {on,off} ×
-//     hash fallback {forced, effectively off}. The invalidation count must
-//     be identical across all of them — dedup and representation tuning may
-//     never change what gets invalidated. Audit mode is always on, so the
-//     log-byte accounting identity is cross-checked at every free.
+//     hash fallback {forced, effectively off}, plus two epoch-quarantine
+//     cells (deferred free, one sized to overflow its byte budget). The
+//     invalidation count must be identical across the inline configs —
+//     dedup and representation tuning may never change what gets
+//     invalidated. Quarantine cells invalidate at epoch boundaries instead
+//     of inline, so a cell overwritten before its epoch drains is
+//     legitimately classified stale: their count is only bounded, by
+//     [cells still dangling at exit, dangling-at-free total]. The final
+//     memory state must still be exact — the interpreter quiesces the
+//     quarantine before the run result is read. Audit mode is always on, so
+//     the log-byte accounting identity (extended with the quarantined term)
+//     is cross-checked at every free.
 //
 // Mutation mode (CheckMutation) generates the same program with one injected
 // dangling dereference and asserts every detector traps on it (no false
@@ -114,8 +122,12 @@ func (s Spec) Name() string {
 	if s.Cfg.Compression {
 		comp = "on"
 	}
-	return fmt.Sprintf("%s/dangsan[lb=%d,comp=%s,hash=%s]",
-		s.Mode, s.Cfg.Lookback, comp, hash)
+	quar := ""
+	if s.Cfg.QuarantineBytes > 0 {
+		quar = fmt.Sprintf(",quar=%dB/%d", s.Cfg.QuarantineBytes, s.Cfg.QuarantineEpoch)
+	}
+	return fmt.Sprintf("%s/dangsan[lb=%d,comp=%s,hash=%s%s]",
+		s.Mode, s.Cfg.Lookback, comp, hash, quar)
 }
 
 // DangSanConfigs enumerates the pointer-log configurations the sweep
@@ -135,6 +147,27 @@ func DangSanConfigs() []pointerlog.Config {
 				})
 			}
 		}
+	}
+	// Epoch-quarantine cells: deferred free with synchronous drains (the
+	// deterministic mode — background workers would race the final-state
+	// check's view of the audit log). The narrow epoch exercises frequent
+	// retirement; the 2 KiB budget overflows almost immediately, exercising
+	// the fail-open synchronous-drain path on every seed.
+	for _, q := range []struct {
+		bytes uint64
+		epoch int
+	}{
+		{1 << 20, 4},
+		{2048, 64},
+	} {
+		out = append(out, pointerlog.Config{
+			Lookback:        4,
+			MaxLogEntries:   128,
+			Compression:     true,
+			QuarantineBytes: q.bytes,
+			QuarantineEpoch: q.epoch,
+			QuarantineSync:  true,
+		})
 	}
 	return out
 }
@@ -438,7 +471,16 @@ func checkCounters(o *irgen.Oracle, sp Spec, ex *execution) []string {
 	switch sp.Det {
 	case DetDangSan:
 		snap := ex.ds.Stats()
-		if snap.Invalidated != o.InvalidatedAll {
+		if sp.Cfg.QuarantineBytes > 0 {
+			// Deferred invalidation: a cell overwritten between its free and
+			// its epoch drain is correctly classified stale, so only bounds
+			// hold — cells still dangling at exit are guaranteed to be walked
+			// while stale (floor), and nothing beyond the dangling-at-free
+			// total may ever be invalidated (ceiling).
+			if lo, hi := o.DanglingCells(), o.InvalidatedAll; snap.Invalidated < lo || snap.Invalidated > hi {
+				fail("dangsan quarantined invalidated %d, want %d..%d", snap.Invalidated, lo, hi)
+			}
+		} else if snap.Invalidated != o.InvalidatedAll {
 			fail("dangsan invalidated %d, want %d", snap.Invalidated, o.InvalidatedAll)
 		}
 		// Whether a realloc moves (and allocates) depends on size classes

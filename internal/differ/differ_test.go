@@ -47,18 +47,19 @@ func TestDifferMatrix(t *testing.T) {
 }
 
 // TestMatrixShape pins the matrix dimensions so a silently shrunken sweep
-// cannot pass as a full one: 12 dangsan configs × 2 instrumented modes,
-// 3 baseline cells, 2 dangnull cells, and 2 freesentry cells that must
-// disappear exactly when the program is multi-threaded.
+// cannot pass as a full one: 14 dangsan configs (incl. 2 quarantine
+// cells) × 2 instrumented modes, 3 baseline cells, 2 dangnull cells, and
+// 2 freesentry cells that must disappear exactly when the program is
+// multi-threaded.
 func TestMatrixShape(t *testing.T) {
-	if n := len(DangSanConfigs()); n != 12 {
-		t.Fatalf("dangsan configs = %d, want 12", n)
+	if n := len(DangSanConfigs()); n != 14 {
+		t.Fatalf("dangsan configs = %d, want 14", n)
 	}
-	if n := len(Specs(false)); n != 3+24+2+2 {
-		t.Fatalf("single-threaded specs = %d, want 31", n)
+	if n := len(Specs(false)); n != 3+28+2+2 {
+		t.Fatalf("single-threaded specs = %d, want 35", n)
 	}
-	if n := len(Specs(true)); n != 3+24+2 {
-		t.Fatalf("multi-threaded specs = %d, want 29", n)
+	if n := len(Specs(true)); n != 3+28+2 {
+		t.Fatalf("multi-threaded specs = %d, want 33", n)
 	}
 	for _, sp := range Specs(true) {
 		if sp.Det == DetFreeSentry {

@@ -3,12 +3,17 @@ package pointerlog
 import "fmt"
 
 // Audit mode (Config.Audit) cross-checks the incremental LogBytes
-// accounting against ground truth: it re-measures every live object's log
-// structures by walking them and requires
+// accounting against ground truth: it re-measures every live and
+// quarantined object's log structures by walking them and requires
 //
-//	LogBytes (cumulative charges) == measured live footprint + LogBytesReleased
+//	LogBytes (cumulative charges) == measured live + measured quarantined + LogBytesReleased
 //
-// to hold exactly. The check runs automatically at every ReleaseMeta and
+// to hold exactly. The quarantined term covers objects whose free has been
+// deferred to an epoch drain: their logs are no longer live (the object is
+// dead to the program) but have not yet been released, so their footprint
+// must still balance the charges.
+//
+// The check runs automatically at every ReleaseMeta and
 // whenever a Snapshot is taken with auditing on; violations accumulate and
 // are reported by AuditViolations.
 //
@@ -43,24 +48,33 @@ func (lg *Logger) auditNow(context string) {
 // freezes the live-handle set (CreateMeta/ReleaseMeta) but not the logs
 // themselves — see the package comment above for why that is acceptable.
 func (lg *Logger) auditLocked(context string) error {
-	var live uint64
-	for idx := range lg.auditLive {
+	live := lg.measureSetLocked(lg.auditLive)
+	quar := lg.measureSetLocked(lg.auditQuar)
+	total := lg.stats.LogBytesTotal()
+	released := lg.stats.ReleasedLogBytesTotal()
+	if total == live+quar+released {
+		return nil
+	}
+	err := fmt.Errorf(
+		"pointerlog audit (%s): LogBytes=%d but measured live=%d + quarantined=%d + released=%d = %d (drift %+d)",
+		context, total, live, quar, released, live+quar+released,
+		int64(total)-int64(live+quar+released))
+	lg.auditErrs = append(lg.auditErrs, err.Error())
+	return err
+}
+
+// measureSetLocked sums the log footprint of every meta index in the set.
+// Caller holds mu.
+func (lg *Logger) measureSetLocked(set map[uint64]struct{}) uint64 {
+	var n uint64
+	for idx := range set {
 		slab := lg.slabs[idx>>12].Load()
 		if slab == nil {
 			continue
 		}
-		live += slab[idx&(metaSlabSize-1)].logFootprint()
+		n += slab[idx&(metaSlabSize-1)].logFootprint()
 	}
-	total := lg.stats.LogBytesTotal()
-	released := lg.stats.ReleasedLogBytesTotal()
-	if total == live+released {
-		return nil
-	}
-	err := fmt.Errorf(
-		"pointerlog audit (%s): LogBytes=%d but measured live=%d + released=%d = %d (drift %+d)",
-		context, total, live, released, live+released, int64(total)-int64(live+released))
-	lg.auditErrs = append(lg.auditErrs, err.Error())
-	return err
+	return n
 }
 
 // AuditViolations returns a copy of every audit failure recorded so far.
@@ -79,13 +93,13 @@ func (lg *Logger) AuditViolations() []string {
 func (lg *Logger) MeasureLiveLogBytes() uint64 {
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
-	var live uint64
-	for idx := range lg.auditLive {
-		slab := lg.slabs[idx>>12].Load()
-		if slab == nil {
-			continue
-		}
-		live += slab[idx&(metaSlabSize-1)].logFootprint()
-	}
-	return live
+	return lg.measureSetLocked(lg.auditLive)
+}
+
+// MeasureQuarantinedLogBytes is MeasureLiveLogBytes for the quarantined
+// set: freed objects whose epoch has not yet retired.
+func (lg *Logger) MeasureQuarantinedLogBytes() uint64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.measureSetLocked(lg.auditQuar)
 }

@@ -51,6 +51,17 @@ const DefaultParallelInvalidateMin = 4096
 // MaxInvalidateWorkers caps the free-time worker pool.
 const MaxInvalidateWorkers = 8
 
+// DefaultQuarantineEpoch is the number of deferred frees drained per epoch
+// batch when quarantine mode is on and no explicit epoch is configured.
+// Large enough that the merged walk amortizes the per-batch overhead,
+// small enough that memory is not held hostage long after its free.
+const DefaultQuarantineEpoch = 64
+
+// MaxQuarantineEpoch bounds the configurable epoch width: past a few
+// thousand objects per batch the merged-walk win flattens while the
+// drain's stop-the-free-path cost (on overflow) keeps growing.
+const MaxQuarantineEpoch = 4096
+
 // Config carries the tunables that the paper's design discussion and our
 // ablation benchmarks vary. The zero value is not valid; use
 // DefaultConfig().
@@ -84,6 +95,22 @@ type Config struct {
 	// no further objects until pressure subsides — explicit degraded mode
 	// in place of unbounded growth. 0 means unlimited.
 	MaxMetadataBytes uint64
+	// QuarantineBytes, when nonzero, arms the detector-level free
+	// quarantine: freed objects keep their memory and metadata until an
+	// epoch batch invalidates them together (InvalidateMany), bounded by
+	// this many quarantined object bytes. Exceeding the bound forces a
+	// synchronous drain on the freeing thread — the same fail-open shape
+	// as MaxMetadataBytes, never a panic. 0 disables quarantine.
+	QuarantineBytes uint64
+	// QuarantineEpoch is the number of deferred frees retired per epoch
+	// batch (0 picks DefaultQuarantineEpoch when quarantine is armed).
+	QuarantineEpoch int
+	// QuarantineSync drains epochs synchronously on the freeing thread at
+	// each epoch boundary instead of handing batches to a background
+	// worker. Deterministic-by-construction: the differ's quarantine cells
+	// and the audited chaos stage use it so the accounting identity and
+	// invalidation counts are reproducible run to run.
+	QuarantineSync bool
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -116,6 +143,14 @@ func (c Config) validated() Config {
 		c.ParallelInvalidateMin = DefaultParallelInvalidateMin
 	case c.ParallelInvalidateMin < 0:
 		c.ParallelInvalidateMin = math.MaxInt
+	}
+	if c.QuarantineBytes > 0 {
+		if c.QuarantineEpoch <= 0 {
+			c.QuarantineEpoch = DefaultQuarantineEpoch
+		}
+		if c.QuarantineEpoch > MaxQuarantineEpoch {
+			c.QuarantineEpoch = MaxQuarantineEpoch
+		}
 	}
 	return c
 }

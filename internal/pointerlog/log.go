@@ -117,10 +117,13 @@ type Logger struct {
 	// so the metrics-off hot path pays one predicted branch.
 	met *loggerMetrics
 
-	// Audit-mode state (cfg.Audit; guarded by mu): the set of live meta
-	// indices, so the auditor can re-measure every live log structure,
-	// and the violations it found.
+	// Audit-mode state (cfg.Audit; guarded by mu): the sets of live and
+	// quarantined meta indices, so the auditor can re-measure every log
+	// structure still charged to the accounting, and the violations it
+	// found. A meta moves live → quarantined at QuarantineMeta (deferred
+	// free) and out of both at ReleaseMeta (epoch retirement).
 	auditLive map[uint64]struct{}
+	auditQuar map[uint64]struct{}
 	auditErrs []string
 }
 
@@ -129,6 +132,7 @@ type loggerMetrics struct {
 	registerNs         *obs.Histogram
 	invalidateNs       *obs.Histogram
 	invalidateUnits    *obs.Histogram
+	invalidateBatch    *obs.Histogram
 	invalidateSerial   *obs.Counter
 	invalidateParallel *obs.Counter
 }
@@ -149,6 +153,7 @@ func NewLogger(cfg Config) *Logger {
 	}
 	if lg.cfg.Audit {
 		lg.auditLive = make(map[uint64]struct{})
+		lg.auditQuar = make(map[uint64]struct{})
 	}
 	return lg
 }
@@ -165,6 +170,7 @@ func (lg *Logger) AttachMetrics(reg *obs.Registry) {
 		registerNs:         reg.Histogram("pointerlog.register_ns"),
 		invalidateNs:       reg.Histogram("pointerlog.invalidate_ns"),
 		invalidateUnits:    reg.Histogram("pointerlog.invalidate_units"),
+		invalidateBatch:    reg.Histogram("pointerlog.invalidate_batch_objects"),
 		invalidateSerial:   reg.Counter("pointerlog.invalidate_serial"),
 		invalidateParallel: reg.Counter("pointerlog.invalidate_parallel"),
 	}
@@ -342,12 +348,31 @@ func (lg *Logger) ReleaseMeta(handle uint64) {
 	lg.mu.Lock()
 	if lg.auditLive != nil {
 		delete(lg.auditLive, handle-1)
+		delete(lg.auditQuar, handle-1)
 	}
 	lg.free = append(lg.free, handle-1)
 	lg.mu.Unlock()
 	if lg.cfg.Audit {
 		lg.auditNow("free")
 	}
+}
+
+// QuarantineMeta moves handle's meta from the live to the quarantined
+// audit set: the object has been freed (its shadow entry cleared), but its
+// invalidation and metadata release are deferred to an epoch drain, so the
+// log structures remain charged to the accounting. No-op outside audit
+// mode — the quarantine engine itself tracks its entries independently.
+func (lg *Logger) QuarantineMeta(handle uint64) {
+	if handle == 0 || !lg.cfg.Audit {
+		return
+	}
+	lg.mu.Lock()
+	idx := handle - 1
+	if _, ok := lg.auditLive[idx]; ok {
+		delete(lg.auditLive, idx)
+		lg.auditQuar[idx] = struct{}{}
+	}
+	lg.mu.Unlock()
 }
 
 // logFootprint measures the memory currently held by meta's log

@@ -68,6 +68,19 @@ type Process struct {
 	// the metrics-off hot path pays one predicted branch.
 	met *procMetrics
 
+	// deferred, when non-nil, is the detector's epoch-quarantine interface:
+	// Free hands tracked objects to it instead of invalidating inline, and
+	// their memory comes back through the release callback bound at
+	// construction. Distinct from EnableQuarantine below, which is the
+	// secure-allocator *defense* being modelled (and defeated) — this one
+	// is a detector performance mechanism.
+	deferred detectors.DeferredFree
+	// releaseMu serializes the release thread cache, which epoch drains
+	// (possibly on a background goroutine) use to return quarantined
+	// memory.
+	releaseMu sync.Mutex
+	releaseTC *tcmalloc.ThreadCache
+
 	// Quarantine state (see EnableQuarantine).
 	quarantineLimit uint64
 	quarantineMu    sync.Mutex
@@ -156,13 +169,48 @@ func NewWithOptions(det detectors.Detector, opts Options) *Process {
 	if opts.Faults != nil {
 		alloc.InjectFaults(opts.Faults)
 	}
-	return &Process{
+	p := &Process{
 		as:          as,
 		alloc:       alloc,
 		det:         det,
 		threadAware: ta,
 		globalsBump: vmem.GlobalsBase,
 	}
+	if df, ok := det.(detectors.DeferredFree); ok {
+		p.releaseTC = alloc.NewThreadCache()
+		release := func(bases []uint64) (int, error) {
+			p.releaseMu.Lock()
+			defer p.releaseMu.Unlock()
+			n, err := p.releaseTC.FreeBatch(bases)
+			// Flush per batch so the returned memory reaches the central
+			// lists — reusable by every thread, not parked in a cache no
+			// thread owns.
+			p.releaseTC.Flush()
+			return n, err
+		}
+		if df.BindRelease(release) {
+			p.deferred = df
+		}
+	}
+	return p
+}
+
+// Quiesce drains the detector's deferred-free quarantine, if armed: every
+// pending epoch retires, so invalidation and allocator accounting reach
+// the state an inline-free run would be in. Call at end-of-run checkpoints
+// before comparing LiveObjects or dangling-pointer state.
+func (p *Process) Quiesce() {
+	if p.deferred != nil {
+		p.deferred.DrainQuarantine()
+	}
+}
+
+// ReclaimMemory is the memory-pressure relief valve: drain the quarantine
+// (quarantined spans are unusable until their epoch retires) and then
+// return idle pages to the OS.
+func (p *Process) ReclaimMemory() {
+	p.Quiesce()
+	p.alloc.ReleaseFreeMemory()
 }
 
 // EnableMemcpyHook turns on pointer re-registration on Memcpy and realloc
@@ -440,6 +488,25 @@ func (th *Thread) Free(ptr uint64) error {
 		return th.tc.Free(ptr)
 	}
 	align, _ := p.alloc.PageAlignOf(ptr)
+	// Deferred-free mode: offer the detector custody. Mutually exclusive
+	// with zero-on-free (which wants the wipe before release, while the
+	// object here outlives the free) and with the secure-allocator
+	// quarantine (which owns release ordering itself).
+	if p.deferred != nil && !p.zeroOnFree && p.quarantineLimit == 0 {
+		taken, err := p.deferred.OnFreeDeferred(ptr, usable, align)
+		if taken {
+			if err != nil {
+				return err
+			}
+			if p.met != nil {
+				p.met.frees.Inc(th.id)
+			}
+			th.emit(TraceFree, ptr, 0, 0)
+			return nil
+		}
+		// Untracked (degraded) object: fall through to the inline path,
+		// where OnFree is a cheap no-op lookup and tc.Free reclaims it.
+	}
 	p.det.OnFree(ptr, usable, align)
 	if p.zeroOnFree {
 		if f := p.as.Memset(ptr, 0, usable); f != nil {
@@ -523,6 +590,12 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 	oldUsable, ok := p.alloc.UsableSize(ptr)
 	if !ok {
 		return 0, th.tc.Free(ptr) // surfaces the allocator's error
+	}
+	// A quarantined object is freed-but-withheld: the allocator still
+	// reports it live (its memory has not been returned), so without this
+	// check a realloc of a freed pointer would quietly resize dead memory.
+	if p.deferred != nil && p.deferred.Quarantined(ptr) {
+		return 0, &tcmalloc.DoubleFreeError{Addr: ptr}
 	}
 	padded := size + p.det.AllocPad()
 	kind, err, inPlace := th.tc.TryResizeInPlace(ptr, padded)

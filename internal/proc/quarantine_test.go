@@ -1,0 +1,166 @@
+package proc_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/tcmalloc"
+)
+
+func quarProc(budget uint64, epoch int, syncMode bool) (*proc.Process, *proc.Thread) {
+	cfg := pointerlog.DefaultConfig()
+	cfg.QuarantineBytes = budget
+	cfg.QuarantineEpoch = epoch
+	cfg.QuarantineSync = syncMode
+	p := proc.New(dangsan.NewWithConfig(cfg))
+	return p, p.NewThread()
+}
+
+// In deferred-free mode a free returns immediately, the dangling pointer is
+// invalidated only at the epoch boundary, and the memory reaches the
+// allocator only when the epoch retires — Quiesce forces both.
+func TestDeferredFreeQuiesce(t *testing.T) {
+	p, th := quarProc(1<<20, 8, true)
+	slot := p.AllocGlobal(8)
+	obj, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.StorePtr(slot, obj)
+	live0 := p.Allocator().Stats().LiveObjects
+	if err := th.Free(obj); err != nil {
+		t.Fatal(err)
+	}
+	// Withheld: allocator accounting unchanged, pointer still raw.
+	if live := p.Allocator().Stats().LiveObjects; live != live0 {
+		t.Fatalf("live objects %d, want %d while quarantined", live, live0)
+	}
+	if v, f := th.Load(slot); f != nil || v != obj {
+		t.Fatalf("pointer before drain: 0x%x, %v", v, f)
+	}
+	p.Quiesce()
+	if v, _ := th.Load(slot); v != obj|pointerlog.InvalidBit {
+		t.Fatalf("pointer after drain: 0x%x", v)
+	}
+	if live := p.Allocator().Stats().LiveObjects; live != live0-1 {
+		t.Fatalf("live objects %d after drain, want %d", live, live0-1)
+	}
+}
+
+// A double free of a quarantined object surfaces DoubleFreeError to the
+// program instead of reaching the allocator while it still considers the
+// span live.
+func TestDeferredDoubleFree(t *testing.T) {
+	p, th := quarProc(1<<20, 64, true)
+	obj, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(obj); err != nil {
+		t.Fatal(err)
+	}
+	var dfe *tcmalloc.DoubleFreeError
+	if err := th.Free(obj); !errors.As(err, &dfe) {
+		t.Fatalf("second free: %v, want DoubleFreeError", err)
+	}
+	p.Quiesce()
+}
+
+// Realloc of a quarantined pointer must fail rather than resize dead
+// memory (the allocator still reports the span usable).
+func TestReallocQuarantinedFails(t *testing.T) {
+	p, th := quarProc(1<<20, 64, true)
+	obj, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(obj); err != nil {
+		t.Fatal(err)
+	}
+	var dfe *tcmalloc.DoubleFreeError
+	if _, err := th.Realloc(obj, 128); !errors.As(err, &dfe) {
+		t.Fatalf("realloc of quarantined ptr: %v, want DoubleFreeError", err)
+	}
+	p.Quiesce()
+}
+
+// Overflowing the byte budget must return memory promptly without any
+// Quiesce: the fail-open path drains synchronously on the freeing thread.
+func TestQuarantineOverflowReleasesEagerly(t *testing.T) {
+	p, th := quarProc(256, 8, false)
+	live0 := p.Allocator().Stats().LiveObjects
+	for i := 0; i < 20; i++ {
+		obj, err := th.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Free(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At most a few entries may legitimately still be pending (under
+	// budget); everything else must already be back with the allocator.
+	if live := p.Allocator().Stats().LiveObjects; live > live0+4 {
+		t.Fatalf("live objects %d, want <= %d without Quiesce", live, live0+4)
+	}
+	p.Quiesce()
+	if live := p.Allocator().Stats().LiveObjects; live != live0 {
+		t.Fatalf("live objects %d after Quiesce, want %d", live, live0)
+	}
+}
+
+// Background-worker mode under concurrent malloc/free traffic: after
+// Quiesce, every freed span is back with the allocator and every dangling
+// pointer is dead. Run with -race.
+func TestDeferredFreeConcurrent(t *testing.T) {
+	p, _ := quarProc(1<<20, 4, false)
+	const goroutines, each = 8, 50
+	slots := make([][]uint64, goroutines)
+	objs := make([][]uint64, goroutines)
+	for g := range slots {
+		slots[g] = make([]uint64, each)
+		for i := range slots[g] {
+			slots[g][i] = p.AllocGlobal(8)
+		}
+		objs[g] = make([]uint64, each)
+	}
+	var wg sync.WaitGroup
+	live0 := p.Allocator().Stats().LiveObjects
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := p.NewThread()
+			for i := 0; i < each; i++ {
+				obj, err := th.Malloc(64)
+				if err != nil {
+					t.Errorf("malloc: %v", err)
+					return
+				}
+				objs[g][i] = obj
+				th.StorePtr(slots[g][i], obj)
+				if err := th.Free(obj); err != nil {
+					t.Errorf("free: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Quiesce()
+	if live := p.Allocator().Stats().LiveObjects; live != live0 {
+		t.Fatalf("live objects %d after Quiesce, want %d", live, live0)
+	}
+	th := p.NewThread()
+	for g := range slots {
+		for i, slot := range slots[g] {
+			if v, _ := th.Load(slot); v != objs[g][i]|pointerlog.InvalidBit {
+				t.Fatalf("slot [%d][%d]: 0x%x, want invalidated 0x%x", g, i, v, objs[g][i])
+			}
+		}
+	}
+}

@@ -266,6 +266,27 @@ func (tc *ThreadCache) Free(addr uint64) error {
 	return nil
 }
 
+// FreeBatch releases every object in bases, continuing past per-object
+// errors so one bad address cannot strand the rest of an epoch batch. It
+// returns the number of objects actually freed and the first error
+// encountered. Built for the quarantine drain's memory-return path; like
+// all ThreadCache methods it must run on the cache's owning goroutine (or
+// under the caller's external lock).
+func (tc *ThreadCache) FreeBatch(bases []uint64) (int, error) {
+	freed := 0
+	var first error
+	for _, b := range bases {
+		if err := tc.Free(b); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		freed++
+	}
+	return freed, first
+}
+
 // TryResizeInPlace attempts to satisfy a realloc without moving the object:
 // either the new size fits the existing storage (ReallocSame) or the
 // object's large span is grown/shrunk in place (ReallocInPlace). It reports

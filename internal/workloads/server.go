@@ -114,9 +114,10 @@ produce:
 const mallocRetries = 4
 
 // mallocRobust is Malloc with bounded retry: on OutOfMemoryError it
-// returns idle pages to the OS (ReleaseFreeMemory), backs off briefly, and
-// tries again — a server sheds load under transient pressure instead of
-// dying. Non-OOM errors and persistent exhaustion are returned.
+// reclaims memory (draining any deferred-free quarantine, then returning
+// idle pages to the OS), backs off briefly, and tries again — a server
+// sheds load under transient pressure instead of dying. Non-OOM errors and
+// persistent exhaustion are returned.
 func mallocRobust(th *proc.Thread, size uint64) (uint64, error) {
 	var err error
 	for attempt := 0; attempt < mallocRetries; attempt++ {
@@ -128,7 +129,7 @@ func mallocRobust(th *proc.Thread, size uint64) (uint64, error) {
 		if !errors.As(err, &oom) {
 			return 0, err
 		}
-		th.Process().Allocator().ReleaseFreeMemory()
+		th.Process().ReclaimMemory()
 		time.Sleep(time.Duration(attempt+1) * 50 * time.Microsecond)
 	}
 	return 0, err
