@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|exploits|ablation|chaos|fuzz
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|tiered|exploits|ablation|chaos|fuzz
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
@@ -32,8 +32,13 @@
 // frees, batched invalidation); -quarantine-epoch sets the drain batch
 // width and -quarantine-sync forces drains onto the freeing thread. The
 // freelat experiment measures the free-path latency distribution inline vs
-// quarantined on the apache server analog. -bench-json writes every ran
-// experiment's rows as one machine-readable JSON document.
+// quarantined on the apache server analog. -cold-spill-bytes arms the
+// tiered pointer logs (hash-mode location sets spill to disk segments past
+// the threshold); the tiered experiment sweeps that threshold on a
+// hash-fallback workload, trading resident log bytes for free-path tail
+// latency. -bench-json writes every ran experiment's rows as one
+// machine-readable JSON document; bare BENCH_<n>.json names anchor to the
+// git root and refuse to overwrite an existing artifact.
 //
 // The fuzz experiment runs the differential-fuzzing oracle: -scale sizes
 // the seed sweep (500 at 1.0), each seed's generated program runs through
@@ -61,7 +66,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, exploits, ablation, chaos, fuzz")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, tiered, exploits, ablation, chaos, fuzz")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
@@ -78,6 +83,7 @@ func main() {
 	quarantineBytes := flag.Uint64("quarantine-bytes", 0, "arm DangSan's epoch-based free quarantine with this byte budget (0 = inline frees)")
 	quarantineEpoch := flag.Int("quarantine-epoch", 0, "deferred frees retired per epoch batch (0 = default when quarantine armed)")
 	quarantineSync := flag.Bool("quarantine-sync", false, "drain quarantine epochs on the freeing thread instead of a background worker")
+	coldSpillBytes := flag.Uint64("cold-spill-bytes", 0, "spill hash-mode location sets past this many resident bytes to the cold tier's disk segments (0 = tiering off)")
 	benchJSONFile := flag.String("bench-json", "", "write the machine-readable results of every experiment run to this JSON file (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -111,14 +117,18 @@ func main() {
 		FaultRate: *faultRate, FaultSeed: *faultSeed, FaultBudget: *faultBudget,
 		MaxMetadataBytes: *maxMetadataBytes, HeapBytes: *heapBytes,
 		QuarantineBytes: *quarantineBytes, QuarantineEpoch: *quarantineEpoch,
-		QuarantineSync: *quarantineSync,
+		QuarantineSync: *quarantineSync, ColdSpillBytes: *coldSpillBytes,
 	}
 
 	var benchJSON *bench.BenchJSON
 	if *benchJSONFile != "" {
+		// Committed BENCH_<n>.json artifacts anchor to the git root and
+		// refuse to overwrite; fail now, not after the experiments ran.
+		resolved, err := bench.ResolveBenchJSONPath(*benchJSONFile)
+		check(err)
 		benchJSON = bench.NewBenchJSON()
 		defer func() {
-			check(benchJSON.Write(*benchJSONFile))
+			check(benchJSON.Write(resolved))
 		}()
 	}
 
@@ -218,6 +228,13 @@ func main() {
 		benchJSON.Add("freelat", rows)
 		fmt.Println(bench.FormatFreeLatency(rows))
 	}
+	if want("tiered") {
+		ran = true
+		rows, err := bench.RunTiered(opts, progress)
+		check(err)
+		benchJSON.Add("tiered", rows)
+		fmt.Println(bench.FormatTiered(rows))
+	}
 	if want("exploits") {
 		ran = true
 		runExploits()
@@ -269,6 +286,7 @@ func runChaos(opts bench.Options, benchJSON *bench.BenchJSON) {
 		Budget:           opts.FaultBudget,
 		QuarantineBytes:  opts.QuarantineBytes,
 		QuarantineEpoch:  opts.QuarantineEpoch,
+		ColdSpillBytes:   opts.ColdSpillBytes,
 	}
 	results := chaos.Sweep(cfg, rates, seeds)
 	benchJSON.Add("chaos", results)

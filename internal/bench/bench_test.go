@@ -288,3 +288,31 @@ func TestShadowAblationSmoke(t *testing.T) {
 		t.Fatal("shadow output malformed")
 	}
 }
+
+func TestRunTieredSmoke(t *testing.T) {
+	opts := smoke
+	opts.Audit = true
+	rows, err := RunTiered(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	off, tight := rows[0], rows[3]
+	if off.Spills != 0 || off.SpilledLogBytes != 0 {
+		t.Fatalf("tiering-off row spilled: %+v", off)
+	}
+	// The tightest threshold must actually shed log bytes to disk and end
+	// with a smaller resident footprint than the untiered baseline.
+	if tight.Spills == 0 || tight.SpilledLogBytes == 0 {
+		t.Fatalf("16KiB row never spilled: %+v", tight)
+	}
+	if tight.ResidentLogBytes >= off.ResidentLogBytes {
+		t.Errorf("tiered resident %d not below untiered %d",
+			tight.ResidentLogBytes, off.ResidentLogBytes)
+	}
+	if out := FormatTiered(rows); !strings.Contains(out, "resident") {
+		t.Fatal("tiered output malformed")
+	}
+}

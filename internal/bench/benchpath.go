@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// benchArtifactRE matches the committed per-PR artifact names. Other
+// -bench-json values (BENCH_ci.json, scratch paths, "-") pass through
+// untouched.
+var benchArtifactRE = regexp.MustCompile(`^BENCH_\d+\.json$`)
+
+// ResolveBenchJSONPath fixes where a BENCH_<n>.json artifact lands. The
+// bare name used to resolve against the CWD, so a run started anywhere but
+// the repo root silently dropped the artifact outside the tree — or, run
+// twice, overwrote a committed one. Bare BENCH_<n>.json names now anchor
+// to the enclosing git repository's root, and a name that already exists
+// there is an error: artifact numbers are append-only, so a collision
+// means either a stale re-run (delete the file first, deliberately) or a
+// number already claimed by an earlier PR.
+//
+// Paths with a directory component, absolute paths, "-" (stdout), and
+// names outside the BENCH_<n>.json pattern resolve exactly as before.
+// Outside any git repository the name stays CWD-relative (still with the
+// collision check), so scratch runs keep working.
+func ResolveBenchJSONPath(path string) (string, error) {
+	if path == "-" || path != filepath.Base(path) || !benchArtifactRE.MatchString(path) {
+		return path, nil
+	}
+	if root, ok := gitRoot(); ok {
+		path = filepath.Join(root, path)
+	}
+	if _, err := os.Stat(path); err == nil {
+		return "", fmt.Errorf("bench: %s already exists; artifact numbers are append-only — remove it first to regenerate", path)
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	return path, nil
+}
+
+// gitRoot walks up from the CWD to the nearest directory containing .git
+// (a directory for a checkout, a file for a worktree or submodule).
+func gitRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, ".git")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// chdir moves the test into dir and restores the CWD at cleanup.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// fakeRepo builds <tmp>/repo/.git and <tmp>/repo/sub, returning both.
+func fakeRepo(t *testing.T) (root, sub string) {
+	t.Helper()
+	root = filepath.Join(t.TempDir(), "repo")
+	sub = filepath.Join(root, "internal", "bench")
+	if err := os.MkdirAll(filepath.Join(root, ".git"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return root, sub
+}
+
+// Regression: a bare BENCH_<n>.json from a subdirectory used to land in
+// the CWD (outside version control's sight), so the committed artifact
+// trajectory silently stayed empty. It must anchor to the git root.
+func TestResolveBenchJSONAnchorsToGitRoot(t *testing.T) {
+	root, sub := fakeRepo(t)
+	chdir(t, sub)
+	got, err := ResolveBenchJSONPath("BENCH_9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(root, "BENCH_9.json"); got != want {
+		t.Fatalf("resolved %q, want %q", got, want)
+	}
+}
+
+// An artifact number already present at the root is a hard error, not a
+// silent overwrite: numbers are append-only across PRs.
+func TestResolveBenchJSONCollision(t *testing.T) {
+	root, sub := fakeRepo(t)
+	if err := os.WriteFile(filepath.Join(root, "BENCH_9.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, sub)
+	if _, err := ResolveBenchJSONPath("BENCH_9.json"); err == nil {
+		t.Fatal("existing artifact overwritten without error")
+	}
+}
+
+// Everything outside the bare BENCH_<n>.json pattern keeps its old
+// meaning: stdout, scratch names, explicit directories, absolute paths.
+func TestResolveBenchJSONPassThrough(t *testing.T) {
+	_, sub := fakeRepo(t)
+	chdir(t, sub)
+	for _, p := range []string{
+		"-",
+		"BENCH_ci.json",
+		"out.json",
+		filepath.Join("results", "BENCH_9.json"),
+		filepath.Join(sub, "BENCH_9.json"),
+	} {
+		got, err := ResolveBenchJSONPath(p)
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("%q resolved to %q, want pass-through", p, got)
+		}
+	}
+}
+
+// Outside any repository the name stays CWD-relative but still refuses to
+// clobber an existing artifact.
+func TestResolveBenchJSONNoRepo(t *testing.T) {
+	dir := t.TempDir()
+	chdir(t, dir)
+	got, err := ResolveBenchJSONPath("BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_3.json" {
+		t.Fatalf("resolved %q, want CWD-relative name", got)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveBenchJSONPath("BENCH_3.json"); err == nil {
+		t.Fatal("existing artifact overwritten without error")
+	}
+}

@@ -57,6 +57,10 @@ type Options struct {
 	// QuarantineSync drains epochs on the freeing thread instead of a
 	// background worker (deterministic mode, used with Audit).
 	QuarantineSync bool
+	// ColdSpillBytes arms DangSan's tiered pointer logs: hash-mode
+	// location sets past this many resident bytes spill older entries to
+	// disk segments. 0 keeps every log fully resident.
+	ColdSpillBytes uint64
 }
 
 // NewPlane builds one run's fault-injection plane; nil when injection is
@@ -83,12 +87,13 @@ func (o Options) NewPlane() *faultinject.Plane {
 // DangSan detectors get audit mode, the metadata budget, the fault plane,
 // and the metrics registry wired in. plane may be nil.
 func (o Options) NewDetector(kind Kind, plane *faultinject.Plane) (detectors.Detector, error) {
-	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0 || o.QuarantineBytes > 0) {
+	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0 || o.QuarantineBytes > 0 || o.ColdSpillBytes > 0) {
 		cfg := pointerlog.DefaultConfig()
 		cfg.MaxMetadataBytes = o.MaxMetadataBytes
 		cfg.QuarantineBytes = o.QuarantineBytes
 		cfg.QuarantineEpoch = o.QuarantineEpoch
 		cfg.QuarantineSync = o.QuarantineSync
+		cfg.ColdSpillBytes = o.ColdSpillBytes
 		return dangsan.NewWithOptions(dangsan.Options{
 			Config:  cfg,
 			Audit:   o.Audit,

@@ -285,6 +285,34 @@ func FormatFreeLatency(rows []FreeLatencyRow) string {
 	return "Free-path latency on the apache server analog (log2-bucket quantiles)\n" + t.String()
 }
 
+// FormatTiered renders the tiered-log sweep: resident log bytes against
+// free-path tail latency as the spill threshold tightens.
+func FormatTiered(rows []TieredRow) string {
+	var t tw
+	t.row("spill", "resident", "spilled", "spills", "segs", "disk",
+		"compact", "spill p99", "free p99", "free max", "free mean")
+	var off uint64
+	for _, r := range rows {
+		if r.SpillBytes == 0 {
+			off = r.ResidentLogBytes
+		}
+		resident := mib(r.ResidentLogBytes)
+		if off > 0 && r.SpillBytes != 0 {
+			resident += fmt.Sprintf(" (%.0f%%)", 100*float64(r.ResidentLogBytes)/float64(off))
+		}
+		t.row(r.Config, resident, mib(r.SpilledLogBytes),
+			fmt.Sprintf("%d", r.Spills),
+			fmt.Sprintf("%d", r.ColdSegments),
+			mib(uint64(r.ColdDiskBytes)),
+			fmt.Sprintf("%d", r.Compactions),
+			fmt.Sprintf("%dns", r.SpillP99Ns),
+			fmt.Sprintf("%dns", r.FreeP99Ns),
+			fmt.Sprintf("%dns", r.FreeMaxNs),
+			fmt.Sprintf("%.0fns", r.FreeMeanNs))
+	}
+	return "Tiered pointer logs: RAM ceiling vs free-path latency (hash-fallback workload)\n" + t.String()
+}
+
 // BenchJSON accumulates experiment results for the machine-readable
 // BENCH_<n>.json artifact: each experiment that runs adds its row structs
 // under a stable name, and Write emits one indented JSON document. The

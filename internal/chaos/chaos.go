@@ -56,6 +56,10 @@ type Config struct {
 	// QuarantineEpoch sets the drain batch width for the quarantined
 	// stages (0: 16, small enough that epochs retire many times per run).
 	QuarantineEpoch int
+	// ColdSpillBytes sets the tiered-log spill threshold for the tiered
+	// stages (0: the minimum threshold, so the server workload's hash-mode
+	// objects actually spill and the ColdIO site sees traffic).
+	ColdSpillBytes uint64
 	// Timeout is the per-run watchdog; exceeding it counts as a deadlock
 	// violation (0: 60s).
 	Timeout time.Duration
@@ -135,10 +139,16 @@ const (
 )
 
 // detector builds a DangSan detector wired to the plane, with the audit
-// cross-check and the epoch quarantine on request.
-func (c Config) detector(plane *faultinject.Plane, audit bool, quar quarMode) *dangsan.Detector {
+// cross-check, the epoch quarantine, and the cold tier on request.
+func (c Config) detector(plane *faultinject.Plane, audit, tiered bool, quar quarMode) *dangsan.Detector {
 	cfg := pointerlog.DefaultConfig()
 	cfg.MaxMetadataBytes = c.MaxMetadataBytes
+	if tiered {
+		cfg.ColdSpillBytes = c.ColdSpillBytes
+		if cfg.ColdSpillBytes == 0 {
+			cfg.ColdSpillBytes = pointerlog.MinColdSpillBytes
+		}
+	}
 	if quar != quarOff {
 		cfg.QuarantineBytes = c.QuarantineBytes
 		if cfg.QuarantineBytes == 0 {
@@ -185,8 +195,8 @@ func classify(r *Result, stage string, err error) {
 // runServer executes one watched server run and classifies the outcome.
 // It returns false on watchdog expiry (the goroutine is abandoned; the
 // cell already failed).
-func (c Config) runServer(r *Result, stage string, plane *faultinject.Plane, workers int, audit bool, quar quarMode) (*dangsan.Detector, bool) {
-	det := c.detector(plane, audit, quar)
+func (c Config) runServer(r *Result, stage string, plane *faultinject.Plane, workers int, audit, tiered bool, quar quarMode) (*dangsan.Detector, bool) {
+	det := c.detector(plane, audit, tiered, quar)
 	p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
 	done := make(chan error, 1)
 	start := time.Now()
@@ -229,7 +239,7 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// classification instead.
 	plane := faultinject.New(seed)
 	plane.EnableAll(rate, cfg.Budget)
-	if _, ok := cfg.runServer(&r, "concurrent", plane, cfg.Workers, false, quarOff); ok {
+	if _, ok := cfg.runServer(&r, "concurrent", plane, cfg.Workers, false, false, quarOff); ok {
 		r.Sites = plane.Snapshot()
 	}
 	r.Injected += plane.TotalInjected()
@@ -239,7 +249,7 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// failures.
 	auditPlane := faultinject.New(seed)
 	auditPlane.EnableAll(rate, cfg.Budget)
-	if det, ok := cfg.runServer(&r, "audited", auditPlane, 1, true, quarOff); ok {
+	if det, ok := cfg.runServer(&r, "audited", auditPlane, 1, true, false, quarOff); ok {
 		for _, v := range det.AuditViolations() {
 			r.Violations = append(r.Violations, "audited: "+v)
 		}
@@ -251,7 +261,7 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// synchronous fail-open drain while injection denies allocations.
 	qPlane := faultinject.New(seed)
 	qPlane.EnableAll(rate, cfg.Budget)
-	cfg.runServer(&r, "quarantined", qPlane, cfg.Workers, false, quarBack)
+	cfg.runServer(&r, "quarantined", qPlane, cfg.Workers, false, false, quarBack)
 	r.Injected += qPlane.TotalInjected()
 
 	// Quarantined audited run: one worker, synchronous drains, and the
@@ -259,12 +269,37 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	// hold exactly through every defer/drain cycle.
 	qaPlane := faultinject.New(seed)
 	qaPlane.EnableAll(rate, cfg.Budget)
-	if det, ok := cfg.runServer(&r, "quarantined-audited", qaPlane, 1, true, quarSync); ok {
+	if det, ok := cfg.runServer(&r, "quarantined-audited", qaPlane, 1, true, false, quarSync); ok {
 		for _, v := range det.AuditViolations() {
 			r.Violations = append(r.Violations, "quarantined-audited: "+v)
 		}
 	}
 	r.Injected += qaPlane.TotalInjected()
+
+	// Tiered run: concurrent, cold tier armed at the minimum threshold so
+	// hash-mode objects spill, with the ColdIO site denying segment writes
+	// and reads. Both directions must fail open — a denied write keeps the
+	// table resident, a denied read skips only that segment's coverage.
+	tPlane := faultinject.New(seed)
+	tPlane.EnableAll(rate, cfg.Budget)
+	if det, ok := cfg.runServer(&r, "tiered", tPlane, cfg.Workers, false, true, quarOff); ok {
+		det.Close()
+	}
+	r.Injected += tPlane.TotalInjected()
+
+	// Tiered audited run: one worker, synchronous quarantine drains, audit
+	// on — the cross-tier identity (live + quarantined + released +
+	// spilled) must hold exactly through every spill, epoch drain, and
+	// epoch-boundary compaction, even with ColdIO injecting.
+	taPlane := faultinject.New(seed)
+	taPlane.EnableAll(rate, cfg.Budget)
+	if det, ok := cfg.runServer(&r, "tiered-audited", taPlane, 1, true, true, quarSync); ok {
+		for _, v := range det.AuditViolations() {
+			r.Violations = append(r.Violations, "tiered-audited: "+v)
+		}
+		det.Close()
+	}
+	r.Injected += taPlane.TotalInjected()
 
 	if !cfg.SkipExploits {
 		r.Exploits = cfg.runExploits(&r, rate, seed)
@@ -288,7 +323,7 @@ func (c Config) runExploits(r *Result, rate float64, seed int64) []ExploitResult
 	for i, sc := range scenarios {
 		plane := faultinject.New(seed + int64(i)*7919)
 		plane.EnableAll(rate, c.Budget)
-		det := c.detector(plane, false, quarOff)
+		det := c.detector(plane, false, false, quarOff)
 		p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
 		outcome, err := sc.run(p)
 		res := ExploitResult{Name: sc.name}

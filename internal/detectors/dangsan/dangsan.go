@@ -369,3 +369,11 @@ func (d *Detector) AuditViolations() []string {
 
 // Logger exposes the underlying logger (tests and ablations).
 func (d *Detector) Logger() *pointerlog.Logger { return d.logger }
+
+// Close releases OS resources the detector holds — today the cold-tier
+// spill file, present only when Config.ColdSpillBytes armed tiering. The
+// detector must be quiescent (drain the quarantine first). Safe to call
+// when nothing was ever spilled.
+func (d *Detector) Close() {
+	d.logger.Close()
+}

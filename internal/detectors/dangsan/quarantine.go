@@ -63,7 +63,17 @@ type quarantine struct {
 	// its memory has been handed back through the release callback. It
 	// backs double-free detection (a free of a base whose shadow entry is
 	// already cleared checks here) and the runtime's Quarantined queries.
-	bases    map[uint64]struct{}
+	// The value is the custody phase: 0 while the entry is parked in the
+	// ring, or the retiring batch's id once a drain has taken it. The
+	// phase lets enqueue distinguish a reincarnated base (its previous
+	// incarnation mid-retirement, its memory already re-issued) from a
+	// genuine double free without ever blocking — a freeing thread must
+	// never wait on a batch, because on the synchronous-drain paths it IS
+	// the thread retiring that batch (re-entrant free from the release
+	// callback), and waiting would self-deadlock.
+	bases map[uint64]uint64
+	// batchSeq issues batch ids (starting at 1; 0 means parked).
+	batchSeq uint64
 	inflight int
 	worker   bool
 
@@ -81,7 +91,7 @@ func newQuarantine(d *Detector, cfg pointerlog.Config) *quarantine {
 		maxBytes: cfg.QuarantineBytes,
 		epoch:    cfg.QuarantineEpoch,
 		sync:     cfg.QuarantineSync,
-		bases:    make(map[uint64]struct{}),
+		bases:    make(map[uint64]uint64),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
@@ -123,27 +133,29 @@ func (q *quarantine) contains(base uint64) bool {
 // enqueue takes custody of one freed object. A base already in custody is
 // normally a double free: the entry is rejected and the error surfaced to
 // the program, while the first free's custody stands. The exception is a
-// base whose previous incarnation is mid-release — its memory already went
-// back through the release callback (so the allocator could re-issue it,
-// and the caller's live shadow entry proves it did) but its custody entry
-// is deleted only after the callback returns. That stale entry belongs to
-// an in-flight batch, so wait for the batch to finish rather than
-// misreport the reincarnation's free.
+// base whose previous incarnation is mid-retirement — its memory already
+// went back through the release callback (so the allocator could re-issue
+// it, and the caller's live shadow entry proves it did) but its custody
+// entry is deleted only after the whole batch's callback returns. Such an
+// entry carries its batch id; custody is stolen from the dying batch (the
+// batch's deferred delete skips entries whose phase changed) and the
+// reincarnation is enqueued normally.
+//
+// The steal must not block. The overflow and QuarantineSync paths retire
+// batches on the freeing thread itself, so a release callback that
+// re-enters free (legal under the BindRelease contract) arrives here while
+// its own batch is still in flight — any wait-for-the-batch here would be
+// a self-deadlock.
 func (q *quarantine) enqueue(e quarEntry) error {
 	q.mu.Lock()
-	for {
-		_, dup := q.bases[e.base]
-		if !dup {
-			break
-		}
-		if q.inflight == 0 {
-			// Parked in the ring, not mid-release: a genuine double free.
-			q.mu.Unlock()
-			return &tcmalloc.DoubleFreeError{Addr: e.base}
-		}
-		q.cond.Wait()
+	if phase, dup := q.bases[e.base]; dup && phase == 0 {
+		// Parked in the ring, not mid-retirement: a genuine double free.
+		// (A reincarnation is impossible here — parked memory has not
+		// been handed back, so the allocator cannot have re-issued it.)
+		q.mu.Unlock()
+		return &tcmalloc.DoubleFreeError{Addr: e.base}
 	}
-	q.bases[e.base] = struct{}{}
+	q.bases[e.base] = 0
 	q.pending = append(q.pending, e)
 	q.bytes += e.size
 	overflow := q.bytes > q.maxBytes
@@ -217,8 +229,14 @@ func (q *quarantine) drainOne(max int) bool {
 	batch := make([]quarEntry, n)
 	copy(batch, q.pending[q.head:q.head+n])
 	q.head += n
+	q.batchSeq++
+	id := q.batchSeq
 	for _, e := range batch {
 		q.bytes -= e.size
+		// Move the batch's bases from parked to mid-retirement: from here
+		// a duplicate free of one of them is either caught by the shadow
+		// (still cleared) or is a legal reincarnation that steals custody.
+		q.bases[e.base] = id
 	}
 	if q.head == len(q.pending) {
 		q.pending = q.pending[:0]
@@ -230,7 +248,7 @@ func (q *quarantine) drainOne(max int) bool {
 	q.inflight++
 	q.mu.Unlock()
 
-	q.process(batch)
+	q.process(batch, id)
 
 	q.mu.Lock()
 	q.inflight--
@@ -243,8 +261,10 @@ func (q *quarantine) drainOne(max int) bool {
 // memory return. Bases leave the custody set only after the release
 // callback has run, so a double free during any phase of retirement is
 // still caught — and, crucially, never reaches the allocator while it
-// still considers the span live.
-func (q *quarantine) process(batch []quarEntry) {
+// still considers the span live. The final delete is conditional on the
+// base still being in this batch's phase: a reincarnation that stole
+// custody mid-retirement (see enqueue) keeps its fresh entry.
+func (q *quarantine) process(batch []quarEntry, id uint64) {
 	met := q.met.Load()
 	var start time.Time
 	if met != nil {
@@ -276,9 +296,15 @@ func (q *quarantine) process(batch []quarEntry) {
 		}
 	}
 
+	// Epoch boundary: let the cold tier reclaim segments retired by the
+	// batch's metadata releases, amortized exactly like the merged walk.
+	q.d.logger.CompactCold()
+
 	q.mu.Lock()
 	for _, b := range bases {
-		delete(q.bases, b)
+		if q.bases[b] == id {
+			delete(q.bases, b)
+		}
 	}
 	q.mu.Unlock()
 

@@ -126,8 +126,12 @@ func (s Spec) Name() string {
 	if s.Cfg.QuarantineBytes > 0 {
 		quar = fmt.Sprintf(",quar=%dB/%d", s.Cfg.QuarantineBytes, s.Cfg.QuarantineEpoch)
 	}
-	return fmt.Sprintf("%s/dangsan[lb=%d,comp=%s,hash=%s%s]",
-		s.Mode, s.Cfg.Lookback, comp, hash, quar)
+	spill := ""
+	if s.Cfg.ColdSpillBytes > 0 {
+		spill = fmt.Sprintf(",spill=%dB", s.Cfg.ColdSpillBytes)
+	}
+	return fmt.Sprintf("%s/dangsan[lb=%d,comp=%s,hash=%s%s%s]",
+		s.Mode, s.Cfg.Lookback, comp, hash, quar, spill)
 }
 
 // DangSanConfigs enumerates the pointer-log configurations the sweep
@@ -169,6 +173,26 @@ func DangSanConfigs() []pointerlog.Config {
 			QuarantineSync:  true,
 		})
 	}
+	// Tiered cells: hash fallback forced and the cold tier armed at the
+	// minimum spill threshold, so location sets that outgrow one table
+	// spill to disk segments and free-time invalidation streams them back.
+	// One inline-free cell, and one crossing spills with synchronous epoch
+	// drains so segments retire through the epoch-boundary compaction.
+	out = append(out, pointerlog.Config{
+		Lookback:       0,
+		MaxLogEntries:  12,
+		Compression:    false,
+		ColdSpillBytes: pointerlog.MinColdSpillBytes,
+	})
+	out = append(out, pointerlog.Config{
+		Lookback:        4,
+		MaxLogEntries:   12,
+		Compression:     true,
+		ColdSpillBytes:  pointerlog.MinColdSpillBytes,
+		QuarantineBytes: 1 << 20,
+		QuarantineEpoch: 4,
+		QuarantineSync:  true,
+	})
 	return out
 }
 
@@ -305,6 +329,11 @@ func checkCell(prog *irgen.Program, sp Spec) []string {
 	ex, err := run(prog, sp)
 	if err != nil {
 		return []string{err.Error()}
+	}
+	if ex.ds != nil {
+		// Tiered cells leave a spill file behind; the run is quiescent
+		// (interp.Run drains before returning) and stats stay readable.
+		defer ex.ds.Close()
 	}
 	var msgs []string
 	fail := func(format string, a ...any) {

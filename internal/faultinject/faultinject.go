@@ -47,6 +47,10 @@ const (
 	ShadowPopulate
 	// MetaAlloc fails per-object metadata registry allocation.
 	MetaAlloc
+	// ColdIO fails cold-tier spill-file I/O: segment writes (the spill
+	// falls open, the table stays resident) and segment reads (the
+	// segment is skipped — coverage loss, never a false report).
+	ColdIO
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -61,6 +65,7 @@ var siteNames = [NumSites]string{
 	HashGrowAlloc:     "hash_grow_alloc",
 	ShadowPopulate:    "shadow_populate",
 	MetaAlloc:         "meta_alloc",
+	ColdIO:            "cold_io",
 }
 
 func (s Site) String() string {

@@ -6,12 +6,17 @@ import "fmt"
 // accounting against ground truth: it re-measures every live and
 // quarantined object's log structures by walking them and requires
 //
-//	LogBytes (cumulative charges) == measured live + measured quarantined + LogBytesReleased
+//	LogBytes (cumulative charges) ==
+//	    measured live + measured quarantined + LogBytesReleased + LogBytesSpilled
 //
 // to hold exactly. The quarantined term covers objects whose free has been
 // deferred to an epoch drain: their logs are no longer live (the object is
 // dead to the program) but have not yet been released, so their footprint
-// must still balance the charges.
+// must still balance the charges. The spilled term extends the identity
+// across tiers: bytes that were charged while a hash table was resident
+// and then left RAM at a cold-tier spill are no longer measurable by the
+// walk, so they are carried by a cumulative counter exactly like released
+// bytes.
 //
 // The check runs automatically at every ReleaseMeta and
 // whenever a Snapshot is taken with auditing on; violations accumulate and
@@ -52,13 +57,14 @@ func (lg *Logger) auditLocked(context string) error {
 	quar := lg.measureSetLocked(lg.auditQuar)
 	total := lg.stats.LogBytesTotal()
 	released := lg.stats.ReleasedLogBytesTotal()
-	if total == live+quar+released {
+	spilled := lg.stats.SpilledLogBytesTotal()
+	if total == live+quar+released+spilled {
 		return nil
 	}
 	err := fmt.Errorf(
-		"pointerlog audit (%s): LogBytes=%d but measured live=%d + quarantined=%d + released=%d = %d (drift %+d)",
-		context, total, live, quar, released, live+quar+released,
-		int64(total)-int64(live+quar+released))
+		"pointerlog audit (%s): LogBytes=%d but measured live=%d + quarantined=%d + released=%d + spilled=%d = %d (drift %+d)",
+		context, total, live, quar, released, spilled, live+quar+released+spilled,
+		int64(total)-int64(live+quar+released+spilled))
 	lg.auditErrs = append(lg.auditErrs, err.Error())
 	return err
 }

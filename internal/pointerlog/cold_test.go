@@ -1,0 +1,450 @@
+package pointerlog
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"dangsan/internal/faultinject"
+	"dangsan/internal/vmem"
+)
+
+// tieredConfig arms the cold tier at the minimum threshold with an early
+// hash switch, so a few dozen unique registrations force spills. Lookback
+// and compression are off to keep entry counts exact.
+func tieredConfig(t *testing.T) Config {
+	cfg := DefaultConfig()
+	cfg.Lookback = 0
+	cfg.Compression = false
+	cfg.MaxLogEntries = embedEntries
+	cfg.ColdSpillBytes = MinColdSpillBytes
+	cfg.ColdDir = t.TempDir()
+	cfg.Audit = true
+	return cfg
+}
+
+// fillTiered maps a page of heap, creates one object, and registers nLocs
+// distinct global slots each holding a live pointer into it.
+func fillTiered(t *testing.T, cfg Config, nLocs int) (*Logger, *vmem.AddressSpace, *ObjectMeta, uint64, []uint64) {
+	t.Helper()
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 4)
+	lg := NewLogger(cfg)
+	meta, handle := lg.MustCreateMeta(vmem.HeapBase, 4096)
+	locs := make([]uint64, nLocs)
+	for i := range locs {
+		loc := vmem.GlobalsBase + uint64(i)*8
+		locs[i] = loc
+		as.StoreWord(loc, meta.Base()+uint64(i%512)*8)
+		lg.Register(meta, loc, 0)
+	}
+	return lg, as, meta, handle, locs
+}
+
+func sortedU64(s []uint64) []uint64 {
+	out := append([]uint64(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestSegmentRoundTrip: encode → decode is identity on the location set,
+// and adjacent locations actually compress on disk.
+func TestSegmentRoundTrip(t *testing.T) {
+	var locs []uint64
+	for i := 0; i < 300; i++ {
+		locs = append(locs, vmem.GlobalsBase+uint64(i)*8) // adjacent: compressible
+	}
+	for i := 0; i < 100; i++ {
+		locs = append(locs, vmem.StacksBase+uint64(i)*4096) // spread: raw
+	}
+	buf, entries := encodeSegment(append([]uint64(nil), locs...))
+	if entries >= len(locs) {
+		t.Fatalf("no compression: %d entries for %d locations", entries, len(locs))
+	}
+	got, n, err := decodeSegment(buf, nil)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	want := sortedU64(locs)
+	got = sortedU64(got)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d locations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("location %d: got 0x%x want 0x%x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSegmentTruncatedTail: a crash mid-append leaves a partial final
+// segment; recovery returns every intact segment and drops the tail.
+func TestSegmentTruncatedTail(t *testing.T) {
+	seg1, _ := encodeSegment([]uint64{vmem.GlobalsBase, vmem.GlobalsBase + 16})
+	seg2, _ := encodeSegment([]uint64{vmem.StacksBase, vmem.StacksBase + 4096})
+	seg3, _ := encodeSegment([]uint64{vmem.HeapBase + 8})
+	for _, cut := range []int{
+		1,                    // torn magic
+		segHeaderBytes - 1,   // torn header
+		segHeaderBytes + 3,   // torn payload
+		len(seg3) - 1,        // one byte short
+	} {
+		path := t.TempDir() + "/cold.seg"
+		blob := append(append(append([]byte(nil), seg1...), seg2...), seg3[:cut]...)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		locs, err := ReadSegments(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(locs) != 4 {
+			t.Fatalf("cut=%d: recovered %d locations, want 4 (the two intact segments)", cut, len(locs))
+		}
+	}
+	// A checksum-corrupted tail is indistinguishable from a torn write
+	// and is likewise dropped.
+	path := t.TempDir() + "/cold.seg"
+	blob := append(append([]byte(nil), seg1...), seg3...)
+	blob[len(blob)-1] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := ReadSegments(path)
+	if err != nil || len(locs) != 2 {
+		t.Fatalf("corrupt tail: locs=%d err=%v, want 2 nil", len(locs), err)
+	}
+}
+
+// TestSegmentMidFileCorruption: a bad frame anywhere but the tail is an
+// error (lost coverage a restart cannot scope), not a silent truncation.
+func TestSegmentMidFileCorruption(t *testing.T) {
+	seg1, _ := encodeSegment([]uint64{vmem.GlobalsBase})
+	seg2, _ := encodeSegment([]uint64{vmem.StacksBase})
+	blob := append(append([]byte(nil), seg1...), seg2...)
+	blob[0] ^= 0xff // first segment's magic
+	path := t.TempDir() + "/cold.seg"
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegments(path); err == nil {
+		t.Fatal("mid-file corruption went unreported")
+	}
+}
+
+// TestColdSpillInvalidateExact: spilling moves resident bytes to the cold
+// tier without losing a single location — free-time invalidation streams
+// the segments back and lands exactly the counts the untiered walk would.
+func TestColdSpillInvalidateExact(t *testing.T) {
+	const nLocs = 2000
+	cfg := tieredConfig(t)
+	lg, as, meta, handle, locs := fillTiered(t, cfg, nLocs)
+
+	snap := lg.Stats().Snapshot()
+	if snap.Spills == 0 || snap.LogBytesSpilled == 0 {
+		t.Fatalf("fixture never spilled: %+v", snap)
+	}
+	if cs := lg.ColdLogStats(); cs.Segments == 0 || cs.DiskBytes == 0 || cs.Path == "" {
+		t.Fatalf("no cold segments on disk: %+v", cs)
+	}
+	// The point of the tier: residency is bounded by the spill threshold
+	// (per log) while cumulative charges keep growing.
+	if snap.LogBytesLive >= snap.LogBytes {
+		t.Fatalf("spill did not reduce resident bytes: %+v", snap)
+	}
+	if err := lg.AuditCheck(); err != nil {
+		t.Fatalf("audit after spills: %v", err)
+	}
+
+	// Overwrite a deterministic third so the stale path runs across tiers.
+	overwritten := 0
+	for i := 0; i < len(locs); i += 3 {
+		as.StoreWord(locs[i], 7)
+		overwritten++
+	}
+	lg.Invalidate(meta, as)
+	snap = lg.Stats().Snapshot()
+	if want := uint64(nLocs - overwritten); snap.Invalidated != want {
+		t.Fatalf("Invalidated=%d want %d (stale=%d faulted=%d coldReadErrs=%d)",
+			snap.Invalidated, want, snap.Stale, snap.Faulted, snap.ColdReadErrors)
+	}
+	if snap.Stale != uint64(overwritten) {
+		t.Fatalf("Stale=%d want %d", snap.Stale, overwritten)
+	}
+	for i, loc := range locs {
+		w, _ := as.LoadWord(loc)
+		if i%3 == 0 {
+			if w != 7 {
+				t.Fatalf("overwritten slot %d clobbered: 0x%x", i, w)
+			}
+		} else if w&InvalidBit == 0 {
+			t.Fatalf("slot %d not invalidated: 0x%x", i, w)
+		}
+	}
+
+	lg.ReleaseMeta(handle)
+	if v := lg.AuditViolations(); len(v) != 0 {
+		t.Fatalf("audit violations: %v", v)
+	}
+	lg.Close()
+	if cs := lg.ColdLogStats(); cs.Path != "" {
+		if _, err := os.Stat(cs.Path); !os.IsNotExist(err) {
+			t.Fatalf("spill file survives Close: %v", err)
+		}
+	}
+}
+
+// TestColdSpillParallelMatchesSerial: the fan-out walk over hot units and
+// cold segments produces exactly the serial walk's counters and memory
+// effects.
+func TestColdSpillParallelMatchesSerial(t *testing.T) {
+	const nLocs = 3000
+	run := func(workers int) (Snapshot, []uint64) {
+		cfg := tieredConfig(t)
+		cfg.InvalidateWorkers = workers
+		cfg.ParallelInvalidateMin = 1
+		lg, as, meta, _, locs := fillTiered(t, cfg, nLocs)
+		for i := 0; i < len(locs); i += 5 {
+			as.StoreWord(locs[i], 7)
+		}
+		lg.Invalidate(meta, as)
+		words := make([]uint64, len(locs))
+		for i, loc := range locs {
+			words[i], _ = as.LoadWord(loc)
+		}
+		defer lg.Close()
+		return lg.Stats().Snapshot(), words
+	}
+	serialSnap, serialWords := run(1)
+	parSnap, parWords := run(4)
+	if serialSnap != parSnap {
+		t.Errorf("counters diverge:\nserial   %+v\nparallel %+v", serialSnap, parSnap)
+	}
+	for i := range serialWords {
+		if serialWords[i] != parWords[i] {
+			t.Fatalf("memory diverges at slot %d: serial 0x%x parallel 0x%x",
+				i, serialWords[i], parWords[i])
+		}
+	}
+	if serialSnap.Spills == 0 {
+		t.Fatalf("fixture never spilled: %+v", serialSnap)
+	}
+}
+
+// TestColdRestartRecovery: the spill file alone (ReadSegments — the
+// process-restart path) plus the resident tiers reconstruct the complete
+// location set.
+func TestColdRestartRecovery(t *testing.T) {
+	const nLocs = 1500
+	cfg := tieredConfig(t)
+	lg, _, meta, _, locs := fillTiered(t, cfg, nLocs)
+	defer lg.Close()
+
+	path := lg.ColdLogStats().Path
+	if path == "" {
+		t.Fatal("fixture never spilled")
+	}
+	coldLocs, err := ReadSegments(path)
+	if err != nil {
+		t.Fatalf("ReadSegments: %v", err)
+	}
+	var hot []uint64
+	meta.ForEachLocation(func(loc uint64) { hot = append(hot, loc) })
+	got := sortedU64(append(coldLocs, hot...))
+	want := sortedU64(locs)
+	if len(got) != len(want) {
+		t.Fatalf("cold(%d) + hot(%d) = %d locations, want %d",
+			len(coldLocs), len(hot), len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("location %d: got 0x%x want 0x%x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpillWriteFaultFailOpen: a denied segment write must leave the
+// table resident — full coverage, counted failure, clean audit.
+func TestSpillWriteFaultFailOpen(t *testing.T) {
+	const nLocs = 800
+	plane := faultinject.New(11)
+	plane.Enable(faultinject.ColdIO, 1.0, -1)
+	cfg := tieredConfig(t)
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 4)
+	lg := NewLogger(cfg)
+	lg.InjectFaults(plane)
+	defer lg.Close()
+	meta, _ := lg.MustCreateMeta(vmem.HeapBase, 4096)
+	locs := make([]uint64, nLocs)
+	for i := range locs {
+		locs[i] = vmem.GlobalsBase + uint64(i)*8
+		as.StoreWord(locs[i], meta.Base()+8)
+		lg.Register(meta, locs[i], 0)
+	}
+	snap := lg.Stats().Snapshot()
+	if snap.Spills != 0 || snap.SpillFailures == 0 {
+		t.Fatalf("want only failed spills, got %+v", snap)
+	}
+	if cs := lg.ColdLogStats(); cs.Segments != 0 {
+		t.Fatalf("segments written despite injected write failures: %+v", cs)
+	}
+	lg.Invalidate(meta, as)
+	snap = lg.Stats().Snapshot()
+	if snap.Invalidated != nLocs {
+		t.Fatalf("Invalidated=%d want %d: fail-open spill lost coverage", snap.Invalidated, nLocs)
+	}
+	if err := lg.AuditCheck(); err != nil {
+		t.Fatalf("audit under spill failures: %v", err)
+	}
+}
+
+// TestColdReadFaultFailOpen: unreadable segments cost exactly their own
+// coverage — the hot tiers still invalidate, errors are counted, and no
+// false report can arise (a skipped location is simply never touched).
+func TestColdReadFaultFailOpen(t *testing.T) {
+	const nLocs = 1200
+	cfg := tieredConfig(t)
+	lg, as, meta, _, _ := fillTiered(t, cfg, nLocs)
+	defer lg.Close()
+	segs := lg.ColdLogStats().Segments
+	if segs == 0 {
+		t.Fatal("fixture never spilled")
+	}
+	plane := faultinject.New(13)
+	plane.Enable(faultinject.ColdIO, 1.0, -1)
+	lg.InjectFaults(plane)
+
+	lg.Invalidate(meta, as)
+	snap := lg.Stats().Snapshot()
+	if snap.ColdReadErrors != uint64(segs) {
+		t.Fatalf("ColdReadErrors=%d want %d", snap.ColdReadErrors, segs)
+	}
+	if snap.Invalidated == 0 || snap.Invalidated >= nLocs {
+		t.Fatalf("Invalidated=%d: hot tier should invalidate, cold should be skipped", snap.Invalidated)
+	}
+	if err := lg.AuditCheck(); err != nil {
+		t.Fatalf("audit under cold read failures: %v", err)
+	}
+}
+
+// TestColdCompactionReclaimsGarbage: releasing a spilled object turns its
+// segments into garbage; once garbage dominates, the file is rewritten
+// with only the live segments — which must still decode for the surviving
+// object.
+func TestColdCompactionReclaimsGarbage(t *testing.T) {
+	cfg := tieredConfig(t)
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 8)
+	lg := NewLogger(cfg)
+	defer lg.Close()
+
+	// big spills a lot; keeper spills a little. Distinct tids keep the
+	// logs separate; distinct slot ranges keep the locations disjoint.
+	big, bigHandle := lg.MustCreateMeta(vmem.HeapBase, 4096)
+	keeper, _ := lg.MustCreateMeta(vmem.HeapBase+2*4096, 4096)
+	const nBig, nKeep = 3000, 200
+	keepLocs := make([]uint64, nKeep)
+	for i := 0; i < nBig; i++ {
+		loc := vmem.GlobalsBase + uint64(i)*8
+		as.StoreWord(loc, big.Base()+8)
+		lg.Register(big, loc, 0)
+	}
+	for i := range keepLocs {
+		loc := vmem.GlobalsBase + uint64(nBig+i)*8
+		keepLocs[i] = loc
+		as.StoreWord(loc, keeper.Base()+8)
+		lg.Register(keeper, loc, 1)
+	}
+	before := lg.ColdLogStats()
+	if before.Segments < 2 {
+		t.Fatalf("fixture too small to exercise compaction: %+v", before)
+	}
+
+	lg.Invalidate(big, as)
+	lg.ReleaseMeta(bigHandle)
+	after := lg.ColdLogStats()
+	if after.Compactions == 0 {
+		t.Fatalf("releasing the dominant object did not compact: before=%+v after=%+v", before, after)
+	}
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("compaction did not shrink the file: before=%d after=%d", before.DiskBytes, after.DiskBytes)
+	}
+	if after.GarbageBytes != 0 {
+		t.Fatalf("garbage survives compaction: %+v", after)
+	}
+
+	// The survivor's segments moved; they must still stream back exactly.
+	lg.Invalidate(keeper, as)
+	snap := lg.Stats().Snapshot()
+	if snap.ColdReadErrors != 0 {
+		t.Fatalf("cold read errors after compaction: %+v", snap)
+	}
+	for i, loc := range keepLocs {
+		if w, _ := as.LoadWord(loc); w&InvalidBit == 0 {
+			t.Fatalf("keeper slot %d not invalidated after compaction: 0x%x", i, w)
+		}
+	}
+	if v := lg.AuditViolations(); len(v) != 0 {
+		t.Fatalf("audit violations: %v", v)
+	}
+}
+
+// TestColdTriage: the reservoir probe ranks liveness without disk — all
+// pointers live reads all-live, all overwritten reads none.
+func TestColdTriage(t *testing.T) {
+	const nLocs = 1000
+	cfg := tieredConfig(t)
+	lg, as, meta, _, locs := fillTiered(t, cfg, nLocs)
+	defer lg.Close()
+
+	sampled, live := lg.ColdTriage(meta, as)
+	if sampled == 0 || live != sampled {
+		t.Fatalf("triage on fully live object: sampled=%d live=%d", sampled, live)
+	}
+	for _, loc := range locs {
+		as.StoreWord(loc, 7)
+	}
+	sampled, live = lg.ColdTriage(meta, as)
+	if sampled == 0 || live != 0 {
+		t.Fatalf("triage on fully stale object: sampled=%d live=%d", sampled, live)
+	}
+}
+
+// TestColdSpillManyInvalidate: InvalidateMany streams cold segments of
+// every batch member through the shared dedup and lands exact counts.
+func TestColdSpillManyInvalidate(t *testing.T) {
+	cfg := tieredConfig(t)
+	as := vmem.New()
+	as.Heap().MapPages(vmem.HeapBase, 8)
+	lg := NewLogger(cfg)
+	defer lg.Close()
+	const nObjs, per = 3, 700
+	metas := make([]*ObjectMeta, nObjs)
+	handles := make([]uint64, nObjs)
+	total := 0
+	for o := range metas {
+		m, h := lg.MustCreateMeta(vmem.HeapBase+uint64(o)*2*4096, 4096)
+		metas[o], handles[o] = m, h
+		for i := 0; i < per; i++ {
+			loc := vmem.GlobalsBase + uint64(o*per+i)*8
+			as.StoreWord(loc, m.Base()+8)
+			lg.Register(m, loc, int32(o))
+			total++
+		}
+	}
+	if lg.Stats().Snapshot().Spills == 0 {
+		t.Fatal("fixture never spilled")
+	}
+	lg.InvalidateMany(metas, as)
+	snap := lg.Stats().Snapshot()
+	if snap.Invalidated != uint64(total) {
+		t.Fatalf("Invalidated=%d want %d (stale=%d)", snap.Invalidated, total, snap.Stale)
+	}
+	for _, h := range handles {
+		lg.ReleaseMeta(h)
+	}
+	if v := lg.AuditViolations(); len(v) != 0 {
+		t.Fatalf("audit violations: %v", v)
+	}
+}

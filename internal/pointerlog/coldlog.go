@@ -1,0 +1,451 @@
+package pointerlog
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dangsan/internal/faultinject"
+)
+
+// The cold tier. A hash-mode location set that crosses
+// Config.ColdSpillBytes has its entries flushed to a per-logger spill
+// file as one framed segment (segment.go) and swaps in a fresh — hot —
+// table, so the resident footprint of a long-lived, store-heavy object
+// stays bounded by the spill threshold while the full location history
+// remains reachable for free-time invalidation. The tiering borrows
+// dkdtree's PointLog shape: buffered append-only file log, reservoir
+// sample kept in memory, split (here: compaction) when the dead fraction
+// dominates.
+//
+// Concurrency contract, layer by layer:
+//
+//   - coldState is owned by the ThreadLog's owning thread for writes
+//     (spill, reservoir update); invalidating threads read the segment
+//     list and reservoir through atomics. A spill publishes its segment
+//     node BEFORE swapping in the fresh table, so a concurrent
+//     invalidator sees every location in at least one tier (seeing it in
+//     both is the usual benign double visit — the second CAS classifies
+//     it stale).
+//   - coldLog serializes file access with an RWMutex: segment reads
+//     (invalidation) share, appends and compaction exclude. Segment
+//     offsets move only during compaction, under the write lock, so a
+//     reader's offset is stable for the duration of its ReadAt.
+//   - Failure is open in both directions: a spill that cannot reach disk
+//     leaves the table resident (latency + memory cost, no coverage
+//     loss); a segment read that fails skips that segment (coverage
+//     loss, counted in ColdReadErrors, never a false report).
+
+// coldStateBytes is the accounting charge for one coldState: the
+// reservoir plus header fields. Charged to LogBytes when the state is
+// created and released with the rest of the log footprint.
+const coldStateBytes = coldReservoirK*8 + 64
+
+// coldSeg describes one spilled segment. length/count/entries are
+// immutable after publication; off moves only during compaction (under
+// the coldLog write lock); dead flips once, at retirement.
+type coldSeg struct {
+	off     int64
+	length  int
+	count   int // locations encoded
+	entries int // 8-byte entries on disk
+	dead    atomic.Bool
+}
+
+// coldSegNode is a link in a coldState's lock-free (prepend-published)
+// segment list.
+type coldSegNode struct {
+	seg  *coldSeg
+	next *coldSegNode
+}
+
+// coldState is the per-ThreadLog cold tier: the spilled segments and the
+// in-memory reservoir summary.
+type coldState struct {
+	segs atomic.Pointer[coldSegNode]
+	locs atomic.Uint64 // total locations spilled (invalidation sizing)
+
+	// reservoir is a uniform sample over every location ever spilled
+	// from this log (slot 0 is unused storage for never-filled slots:
+	// locations are nonzero, so 0 means empty). Slots are atomic because
+	// triage reads race owner writes; the sampling state itself is
+	// owner-only.
+	reservoir [coldReservoirK]atomic.Uint64
+	resSeen   uint64
+	rng       uint64
+}
+
+func newColdState(tid int32) *coldState {
+	// Seed the sampler from the tid so reservoirs differ across logs but
+	// every run of a deterministic workload samples identically.
+	return &coldState{rng: uint64(uint32(tid))*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// nextRand is xorshift64*; owner-only.
+func (cs *coldState) nextRand() uint64 {
+	x := cs.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	cs.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// sample offers locs to the reservoir (Vitter's algorithm R). Owner-only.
+func (cs *coldState) sample(locs []uint64) {
+	for _, loc := range locs {
+		cs.resSeen++
+		if cs.resSeen <= coldReservoirK {
+			cs.reservoir[cs.resSeen-1].Store(loc)
+			continue
+		}
+		if j := cs.nextRand() % cs.resSeen; j < coldReservoirK {
+			cs.reservoir[j].Store(loc)
+		}
+	}
+}
+
+// publish prepends seg to the segment list. Owner-only (one writer); the
+// store publishes the node to concurrent invalidators.
+func (cs *coldState) publish(seg *coldSeg) {
+	cs.segs.Store(&coldSegNode{seg: seg, next: cs.segs.Load()})
+	cs.locs.Add(uint64(seg.count))
+}
+
+// coldLog is the per-logger spill file and segment registry.
+type coldLog struct {
+	dir string
+
+	mu   sync.RWMutex
+	f    *os.File
+	path string
+	segs []*coldSeg // every published segment, live and dead
+
+	size     atomic.Int64 // file append offset
+	garbage  atomic.Int64 // bytes held by dead segments
+	liveSegs atomic.Int64
+	compacts atomic.Uint64
+}
+
+// ensureCold returns the logger's cold log, creating it on first use.
+func (lg *Logger) ensureCold() *coldLog {
+	if c := lg.cold.Load(); c != nil {
+		return c
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if c := lg.cold.Load(); c != nil {
+		return c
+	}
+	c := &coldLog{dir: lg.cfg.ColdDir}
+	lg.cold.Store(c)
+	return c
+}
+
+// appendSegment writes one framed segment and registers it. The file is
+// created lazily so a logger that never spills never touches disk.
+func (c *coldLog) appendSegment(buf []byte, faults *faultinject.Plane) (*coldSeg, error) {
+	if faults.Fail(faultinject.ColdIO) {
+		return nil, errSegTruncated
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		f, err := os.CreateTemp(c.dir, "dangsan-coldlog-*.seg")
+		if err != nil {
+			return nil, err
+		}
+		c.f = f
+		c.path = f.Name()
+	}
+	off := c.size.Load()
+	if _, err := c.f.WriteAt(buf, off); err != nil {
+		return nil, err
+	}
+	seg := &coldSeg{off: off, length: len(buf)}
+	c.size.Store(off + int64(len(buf)))
+	c.segs = append(c.segs, seg)
+	c.liveSegs.Add(1)
+	return seg, nil
+}
+
+// readSeg reads seg's framed bytes. Shared-locked so compaction cannot
+// move the segment mid-read.
+func (c *coldLog) readSeg(seg *coldSeg, faults *faultinject.Plane) ([]byte, error) {
+	if faults.Fail(faultinject.ColdIO) {
+		return nil, errSegTruncated
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.f == nil {
+		return nil, os.ErrClosed
+	}
+	buf := make([]byte, seg.length)
+	if _, err := c.f.ReadAt(buf, seg.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// retire marks seg dead and accounts its bytes as garbage. Idempotent.
+func (c *coldLog) retire(seg *coldSeg) {
+	if seg.dead.CompareAndSwap(false, true) {
+		c.garbage.Add(int64(seg.length))
+		c.liveSegs.Add(-1)
+	}
+}
+
+// overGarbage reports whether dead bytes dominate the file — the
+// compaction trigger. Lock-free so release paths can poll it cheaply.
+func (c *coldLog) overGarbage() bool {
+	g := c.garbage.Load()
+	return g > 0 && g*2 >= c.size.Load()
+}
+
+// compact rewrites the spill file with only the live segments, updating
+// their offsets in place. Runs under the write lock, so invalidating
+// readers wait rather than read through the move; callers gate on
+// overGarbage (epoch boundaries and metadata release), so the rewrite
+// amortizes the same way the epoch drain amortizes shadow walks.
+func (c *coldLog) compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	nf, err := os.CreateTemp(c.dir, "dangsan-coldlog-*.seg")
+	if err != nil {
+		return err
+	}
+	live := c.segs[:0]
+	var off int64
+	for _, seg := range c.segs {
+		if seg.dead.Load() {
+			continue
+		}
+		buf := make([]byte, seg.length)
+		if _, err := c.f.ReadAt(buf, seg.off); err != nil {
+			nf.Close()
+			os.Remove(nf.Name())
+			return err
+		}
+		if _, err := nf.WriteAt(buf, off); err != nil {
+			nf.Close()
+			os.Remove(nf.Name())
+			return err
+		}
+		seg.off = off
+		off += int64(seg.length)
+		live = append(live, seg)
+	}
+	old, oldPath := c.f, c.path
+	c.f, c.path = nf, nf.Name()
+	c.segs = live
+	c.size.Store(off)
+	c.garbage.Store(0)
+	c.compacts.Add(1)
+	old.Close()
+	os.Remove(oldPath)
+	return nil
+}
+
+// close releases the spill file. The logger is unusable for cold reads
+// afterwards.
+func (c *coldLog) close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		c.f.Close()
+		os.Remove(c.path)
+		c.f = nil
+	}
+}
+
+// spill flushes tl's current hash table to the cold tier and swaps in a
+// fresh hot table. Owner-thread only (called from the register path).
+// On any failure the table simply stays resident — fail-open.
+func (lg *Logger) spill(tl *ThreadLog, h *locSet, sh *statShard) {
+	var start time.Time
+	met := lg.met
+	if met != nil {
+		start = time.Now()
+	}
+
+	t := h.table.Load()
+	locs := make([]uint64, 0, t.used)
+	for _, e := range t.entries {
+		// Owner-thread plain read: all writers of these slots are this
+		// thread (atomic stores happen-before in program order here).
+		if e != 0 {
+			locs = append(locs, e)
+		}
+	}
+	if len(locs) == 0 {
+		return
+	}
+	buf, nEntries := encodeSegment(locs)
+	seg, err := lg.ensureCold().appendSegment(buf, lg.faults.Load())
+	if err != nil {
+		sh.spillFailures.Add(1)
+		return
+	}
+	seg.count = len(locs)
+	seg.entries = nEntries
+
+	cs := tl.cold.Load()
+	if cs == nil {
+		cs = newColdState(tl.tid)
+		sh.logBytes.Add(coldStateBytes)
+		tl.cold.Store(cs)
+	}
+	// Publish the segment before swapping tables: an invalidator racing
+	// the spill must find every location in at least one tier.
+	cs.publish(seg)
+	cs.sample(locs)
+
+	fresh := newLocSet()
+	sh.logBytes.Add(fresh.bytes())
+	tl.hash.Store(fresh)
+	// The old table's resident bytes leave RAM for the cold tier: the
+	// audit identity tracks them in the spilled term from here on.
+	sh.logBytesSpilled.Add(h.bytes())
+	sh.spills.Add(1)
+	if met != nil {
+		met.spillNs.Since(tl.tid, start)
+	}
+}
+
+// retireCold marks every cold segment reachable from meta's logs dead, so
+// compaction can reclaim their file bytes. Called at metadata release; a
+// racing owner appending a fresh segment to a dying log may leak that
+// segment as permanently live — the same benign-race leak the in-memory
+// accounting documents for late appends.
+func (lg *Logger) retireCold(meta *ObjectMeta) {
+	c := lg.cold.Load()
+	if c == nil {
+		return
+	}
+	retired := false
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		cs := tl.cold.Load()
+		if cs == nil {
+			continue
+		}
+		for n := cs.segs.Load(); n != nil; n = n.next {
+			c.retire(n.seg)
+			retired = true
+		}
+	}
+	if retired && c.overGarbage() {
+		c.compact()
+	}
+}
+
+// CompactCold rewrites the spill file without its dead segments if
+// garbage dominates it. The quarantine engine calls this at epoch
+// boundaries so disk reclamation rides the same amortization as the
+// batched shadow walk; it is also safe (and cheap when below threshold)
+// to call at any quiescent point.
+func (lg *Logger) CompactCold() {
+	if c := lg.cold.Load(); c != nil && c.overGarbage() {
+		c.compact()
+	}
+}
+
+// forEachColdLocation streams every location spilled for meta through fn.
+// Unreadable segments are skipped and counted (coverage loss, fail-open).
+func (lg *Logger) forEachColdLocation(meta *ObjectMeta, sh *statShard, fn func(loc uint64)) {
+	c := lg.cold.Load()
+	if c == nil {
+		return
+	}
+	faults := lg.faults.Load()
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		cs := tl.cold.Load()
+		if cs == nil {
+			continue
+		}
+		for n := cs.segs.Load(); n != nil; n = n.next {
+			buf, err := c.readSeg(n.seg, faults)
+			if err != nil {
+				sh.coldReadErrs.Add(1)
+				continue
+			}
+			if err := forEachSegmentLocation(buf, fn); err != nil {
+				sh.coldReadErrs.Add(1)
+			}
+		}
+	}
+}
+
+// ColdTriage samples meta's cold-tier reservoirs against memory: of the
+// sampled spilled locations, how many still hold a pointer into the
+// object? This is the fast "probably-stale" probe — O(reservoir) word
+// loads, no disk — that lets a caller rank objects by how much live
+// invalidation work their cold tier probably holds. The full segment
+// walk at free time is unaffected; triage is advisory only.
+func (lg *Logger) ColdTriage(meta *ObjectMeta, mem Memory) (sampled, live int) {
+	base := meta.Base()
+	end := base + meta.Size()
+	for tl := meta.logs.Load(); tl != nil; tl = tl.next.Load() {
+		cs := tl.cold.Load()
+		if cs == nil {
+			continue
+		}
+		for i := range cs.reservoir {
+			loc := cs.reservoir[i].Load()
+			if loc == 0 {
+				continue
+			}
+			sampled++
+			w, fault := mem.LoadWord(loc)
+			if fault == nil && w >= base && w < end {
+				live++
+			}
+		}
+	}
+	return sampled, live
+}
+
+// ColdStats is a point-in-time summary of the cold tier.
+type ColdStats struct {
+	// Segments is the number of live (unretired) segments on disk.
+	Segments int64
+	// DiskBytes is the spill file's append offset (live + garbage).
+	DiskBytes int64
+	// GarbageBytes is the portion held by retired segments, reclaimed at
+	// the next compaction.
+	GarbageBytes int64
+	// Compactions is the number of file rewrites so far.
+	Compactions uint64
+	// Path is the spill file's location ("" before the first spill).
+	Path string
+}
+
+// ColdLogStats reports the cold tier's file-level state.
+func (lg *Logger) ColdLogStats() ColdStats {
+	c := lg.cold.Load()
+	if c == nil {
+		return ColdStats{}
+	}
+	c.mu.RLock()
+	path := c.path
+	c.mu.RUnlock()
+	return ColdStats{
+		Segments:     c.liveSegs.Load(),
+		DiskBytes:    c.size.Load(),
+		GarbageBytes: c.garbage.Load(),
+		Compactions:  c.compacts.Load(),
+		Path:         path,
+	}
+}
+
+// Close releases the logger's cold-tier file, if any. The logger must be
+// quiescent (no in-flight registers or invalidations).
+func (lg *Logger) Close() {
+	lg.cold.Load().close()
+}

@@ -62,6 +62,23 @@ const DefaultQuarantineEpoch = 64
 // drain's stop-the-free-path cost (on overflow) keeps growing.
 const MaxQuarantineEpoch = 4096
 
+// DefaultColdSpillBytes is the recommended hash-table residency (bytes of
+// table slots) at which a location set's entries are spilled to the cold
+// tier. Spilling is opt-in (Config.ColdSpillBytes == 0 disables it); there
+// is no implicit default. 64 KiB keeps the hot tier within L2 while each
+// spill segment still amortizes a file write over thousands of locations.
+const DefaultColdSpillBytes = 64 << 10
+
+// MinColdSpillBytes floors the configurable spill threshold: below one
+// initial table (locSetInitial slots) the hot tier could never hold even a
+// freshly swapped-in table, and every grow would spill.
+const MinColdSpillBytes = locSetInitial * 8 * 2
+
+// coldReservoirK is the per-thread-log reservoir size backing the
+// "probably-stale" triage: a uniform sample of every location ever spilled,
+// kept in memory so ColdTriage can estimate liveness without touching disk.
+const coldReservoirK = 64
+
 // Config carries the tunables that the paper's design discussion and our
 // ablation benchmarks vary. The zero value is not valid; use
 // DefaultConfig().
@@ -111,6 +128,20 @@ type Config struct {
 	// and the audited chaos stage use it so the accounting identity and
 	// invalidation counts are reproducible run to run.
 	QuarantineSync bool
+	// ColdSpillBytes, when nonzero, arms the tiered log: once a hash-mode
+	// location set's table crosses this many resident bytes, its entries
+	// are flushed as a compressed append-only segment to a per-logger
+	// spill file and a fresh (hot) table takes over. Free-time
+	// invalidation streams the segments back through the entry decoder;
+	// a spill that cannot reach disk fails open (the table stays
+	// resident). Values below MinColdSpillBytes are raised to it.
+	// 0 keeps every location set fully resident (the pre-tiering
+	// behaviour).
+	ColdSpillBytes uint64
+	// ColdDir is the directory for the spill file (os.CreateTemp
+	// semantics: "" means the system temp dir). The file is unlinked on
+	// Logger.Close.
+	ColdDir string
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -151,6 +182,9 @@ func (c Config) validated() Config {
 		if c.QuarantineEpoch > MaxQuarantineEpoch {
 			c.QuarantineEpoch = MaxQuarantineEpoch
 		}
+	}
+	if c.ColdSpillBytes > 0 && c.ColdSpillBytes < MinColdSpillBytes {
+		c.ColdSpillBytes = MinColdSpillBytes
 	}
 	return c
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dangsan/internal/faultinject"
+	"dangsan/internal/obs"
 )
 
 // TestCreateMetaMaxMetadataBytes: once the metadata footprint reaches the
@@ -124,6 +125,46 @@ func TestRegisterDropsOnHashSwitchFault(t *testing.T) {
 	}
 	if err := lg.AuditCheck(); err != nil {
 		t.Fatalf("accounting drifted across the denied switch: %v", err)
+	}
+}
+
+// TestRegisteredCountsDrops: regression for the degraded-mode accounting
+// bug where the derived Registered total omitted dropped registrations —
+// every Register call ends in exactly one of logged, duplicate, or dropped,
+// so Registered must equal their sum even when the log is shedding load.
+// Checked both on the Snapshot and end-to-end through the obs gauge.
+func TestRegisteredCountsDrops(t *testing.T) {
+	plane := faultinject.New(9)
+	plane.Enable(faultinject.LogBlockAlloc, 1.0, -1)
+	cfg := DefaultConfig()
+	cfg.Lookback = 1
+	cfg.Compression = false
+	lg := NewLogger(cfg)
+	lg.InjectFaults(plane)
+	reg := obs.NewRegistry()
+	lg.AttachMetrics(reg)
+
+	meta, _ := lg.MustCreateMeta(0x10000, 4096)
+	lg.Register(meta, 0x200000, 0)
+	lg.Register(meta, 0x200000, 0) // lookback duplicate, while room remains
+	for i := 1; i < embedEntries+5; i++ {
+		lg.Register(meta, uint64(0x200000+i*4096), 0)
+	}
+	const calls = embedEntries + 6
+
+	snap := lg.Stats().Snapshot()
+	if snap.DroppedRegistrations != 5 || snap.Duplicates != 1 {
+		t.Fatalf("fixture drifted: %+v", snap)
+	}
+	if want := snap.Logged + snap.Duplicates + snap.DroppedRegistrations; snap.Registered != want {
+		t.Fatalf("Registered=%d want %d (logged=%d dup=%d dropped=%d)",
+			snap.Registered, want, snap.Logged, snap.Duplicates, snap.DroppedRegistrations)
+	}
+	if snap.Registered != calls {
+		t.Fatalf("Registered=%d want %d (one per Register call)", snap.Registered, calls)
+	}
+	if g := reg.Snapshot().Gauges["pointerlog.registered"]; g != int64(calls) {
+		t.Fatalf("gauge pointerlog.registered=%d want %d", g, calls)
 	}
 }
 

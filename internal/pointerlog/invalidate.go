@@ -39,7 +39,7 @@ type Memory interface {
 // invalCounts accumulates per-walk counters locally so the walk touches
 // shared (sharded) counters O(1) times per free, not once per location.
 type invalCounts struct {
-	invalidated, stale, faulted uint64
+	invalidated, stale, faulted, coldReadErrs uint64
 }
 
 func (c *invalCounts) flush(sh *statShard) {
@@ -52,16 +52,20 @@ func (c *invalCounts) flush(sh *statShard) {
 	if c.faulted != 0 {
 		sh.faulted.Add(c.faulted)
 	}
+	if c.coldReadErrs != 0 {
+		sh.coldReadErrs.Add(c.coldReadErrs)
+	}
 }
 
 // invalUnit is one independently walkable chunk of an object's logs:
-// either a whole thread log's inline storage (embed array plus indirect
-// blocks — bounded by MaxLogEntries) or a slot range of a hash-table
-// fallback.
+// a whole thread log's inline storage (embed array plus indirect
+// blocks — bounded by MaxLogEntries), a slot range of a hash-table
+// fallback, or one cold segment streamed back from the spill file.
 type invalUnit struct {
 	tl     *ThreadLog
 	table  *locTable
 	lo, hi int
+	seg    *coldSeg
 }
 
 // hashSlotsPerUnit is the hash-table slot range covered by one parallel
@@ -109,14 +113,19 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 		if h := tl.hash.Load(); h != nil {
 			est += len(h.table.Load().entries)
 		}
+		if cs := tl.cold.Load(); cs != nil {
+			est += int(cs.locs.Load())
+		}
 	}
 
 	workers := lg.cfg.InvalidateWorkers
 	if workers <= 1 || est < lg.cfg.ParallelInvalidateMin {
 		var c invalCounts
-		meta.ForEachLocation(func(loc uint64) {
+		visit := func(loc uint64) {
 			lg.invalidateLocation(loc, base, end, mem, &c)
-		})
+		}
+		meta.ForEachLocation(visit)
+		lg.forEachColdLocation(meta, sh, visit)
 		c.flush(sh)
 		if met != nil {
 			met.invalidateSerial.Inc(tid)
@@ -138,6 +147,11 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 					hi = len(t.entries)
 				}
 				units = append(units, invalUnit{table: t, lo: lo, hi: hi})
+			}
+		}
+		if cs := tl.cold.Load(); cs != nil {
+			for n := cs.segs.Load(); n != nil; n = n.next {
+				units = append(units, invalUnit{seg: n.seg})
 			}
 		}
 	}
@@ -174,13 +188,32 @@ func (lg *Logger) Invalidate(meta *ObjectMeta, mem Memory) {
 
 // invalidateUnit walks one unit. The hash-range walk reads the table
 // published at unit-build time; entries a racing owner adds afterwards
-// may be missed, the same benign race the serial walk tolerates.
+// may be missed, the same benign race the serial walk tolerates. A
+// segment unit streams its locations back from the spill file; a read
+// failure skips the segment (counted, fail-open).
 func (lg *Logger) invalidateUnit(u *invalUnit, base, end uint64, mem Memory, c *invalCounts) {
 	var scratch [3]uint64
 	visit := func(e uint64) {
 		for _, loc := range decodeEntry(e, scratch[:0]) {
 			lg.invalidateLocation(loc, base, end, mem, c)
 		}
+	}
+	if u.seg != nil {
+		cold := lg.cold.Load()
+		if cold == nil {
+			return
+		}
+		buf, err := cold.readSeg(u.seg, lg.faults.Load())
+		if err != nil {
+			c.coldReadErrs++
+			return
+		}
+		if err := forEachSegmentLocation(buf, func(loc uint64) {
+			lg.invalidateLocation(loc, base, end, mem, c)
+		}); err != nil {
+			c.coldReadErrs++
+		}
+		return
 	}
 	if u.tl != nil {
 		for i := 0; i < embedEntries; i++ {

@@ -89,6 +89,9 @@ func (lg *Logger) InvalidateMany(metas []*ObjectMeta, mem Memory) {
 			if h := tl.hash.Load(); h != nil {
 				est += len(h.table.Load().entries)
 			}
+			if cs := tl.cold.Load(); cs != nil {
+				est += int(cs.locs.Load())
+			}
 		}
 	}
 	ranges = mergeDeadRanges(ranges)
@@ -102,14 +105,19 @@ func (lg *Logger) InvalidateMany(metas []*ObjectMeta, mem Memory) {
 		// slot is loaded once no matter how many dying objects logged it.
 		var c invalCounts
 		seen := make(map[uint64]struct{}, est)
+		visit := func(loc uint64) {
+			if _, dup := seen[loc]; dup {
+				return
+			}
+			seen[loc] = struct{}{}
+			lg.invalidateRanges(loc, ranges, mem, &c)
+		}
 		for _, meta := range metas {
-			meta.ForEachLocation(func(loc uint64) {
-				if _, dup := seen[loc]; dup {
-					return
-				}
-				seen[loc] = struct{}{}
-				lg.invalidateRanges(loc, ranges, mem, &c)
-			})
+			meta.ForEachLocation(visit)
+			// Cold locations join the same dedup set: a location present
+			// in both tiers (re-logged after its spill) is still loaded
+			// once per batch.
+			lg.forEachColdLocation(meta, sh, visit)
 		}
 		c.flush(sh)
 		if met != nil {
@@ -139,6 +147,11 @@ func (lg *Logger) InvalidateMany(metas []*ObjectMeta, mem Memory) {
 					units = append(units, invalUnit{table: t, lo: lo, hi: hi})
 				}
 			}
+			if cs := tl.cold.Load(); cs != nil {
+				for n := cs.segs.Load(); n != nil; n = n.next {
+					units = append(units, invalUnit{seg: n.seg})
+				}
+			}
 		}
 	}
 	if workers > len(units) {
@@ -162,6 +175,23 @@ func (lg *Logger) InvalidateMany(metas []*ObjectMeta, mem Memory) {
 					for _, loc := range decodeEntry(e, scratch[:0]) {
 						lg.invalidateRanges(loc, ranges, mem, &c)
 					}
+				}
+				if u.seg != nil {
+					cold := lg.cold.Load()
+					if cold == nil {
+						continue
+					}
+					buf, err := cold.readSeg(u.seg, lg.faults.Load())
+					if err != nil {
+						c.coldReadErrs++
+						continue
+					}
+					if err := forEachSegmentLocation(buf, func(loc uint64) {
+						lg.invalidateRanges(loc, ranges, mem, &c)
+					}); err != nil {
+						c.coldReadErrs++
+					}
+					continue
 				}
 				if u.tl != nil {
 					for i := 0; i < embedEntries; i++ {

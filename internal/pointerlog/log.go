@@ -46,6 +46,10 @@ type ThreadLog struct {
 	embed  [embedEntries]uint64 // atomic access
 	blocks atomic.Pointer[logBlock]
 	hash   atomic.Pointer[locSet]
+	// cold is the spilled tier for this log: segments already flushed to
+	// the logger's spill file plus the reservoir summary. Nil until the
+	// first spill (Config.ColdSpillBytes).
+	cold atomic.Pointer[coldState]
 
 	// Owner-only state.
 	count    int       // entries appended (embed + blocks)
@@ -117,6 +121,10 @@ type Logger struct {
 	// so the metrics-off hot path pays one predicted branch.
 	met *loggerMetrics
 
+	// cold is the spill file shared by every thread log that tiers out;
+	// created lazily at the first spill.
+	cold atomic.Pointer[coldLog]
+
 	// Audit-mode state (cfg.Audit; guarded by mu): the sets of live and
 	// quarantined meta indices, so the auditor can re-measure every log
 	// structure still charged to the accounting, and the violations it
@@ -135,6 +143,7 @@ type loggerMetrics struct {
 	invalidateBatch    *obs.Histogram
 	invalidateSerial   *obs.Counter
 	invalidateParallel *obs.Counter
+	spillNs            *obs.Histogram
 }
 
 const metaSlabSize = 1 << 12
@@ -173,6 +182,10 @@ func (lg *Logger) AttachMetrics(reg *obs.Registry) {
 		invalidateBatch:    reg.Histogram("pointerlog.invalidate_batch_objects"),
 		invalidateSerial:   reg.Counter("pointerlog.invalidate_serial"),
 		invalidateParallel: reg.Counter("pointerlog.invalidate_parallel"),
+		// The spill histogram lives in the dangsan namespace: tiering is
+		// part of the detector's store/free plane, and the dashboards
+		// group it with dangsan.free_ns rather than the logger internals.
+		spillNs: reg.Histogram("dangsan.spill_ns"),
 	}
 	reg.RegisterFunc("pointerlog.log_bytes", func() int64 {
 		return int64(lg.stats.LogBytesTotal())
@@ -200,6 +213,30 @@ func (lg *Logger) AttachMetrics(reg *obs.Registry) {
 	})
 	reg.RegisterFunc("pointerlog.metadata_bytes", func() int64 {
 		return int64(lg.MetadataBytes())
+	})
+	reg.RegisterFunc("pointerlog.log_bytes_spilled", func() int64 {
+		return int64(lg.stats.SpilledLogBytesTotal())
+	})
+	reg.RegisterFunc("pointerlog.spills", func() int64 {
+		return int64(lg.stats.Snapshot().Spills)
+	})
+	reg.RegisterFunc("pointerlog.spill_failures", func() int64 {
+		return int64(lg.stats.Snapshot().SpillFailures)
+	})
+	reg.RegisterFunc("pointerlog.cold_read_errors", func() int64 {
+		return int64(lg.stats.Snapshot().ColdReadErrors)
+	})
+	reg.RegisterFunc("pointerlog.cold_segments", func() int64 {
+		return lg.ColdLogStats().Segments
+	})
+	reg.RegisterFunc("pointerlog.cold_bytes_disk", func() int64 {
+		return lg.ColdLogStats().DiskBytes
+	})
+	reg.RegisterFunc("pointerlog.cold_bytes_garbage", func() int64 {
+		return lg.ColdLogStats().GarbageBytes
+	})
+	reg.RegisterFunc("pointerlog.cold_compactions", func() int64 {
+		return int64(lg.ColdLogStats().Compactions)
 	})
 }
 
@@ -242,8 +279,11 @@ func (lg *Logger) InjectFaults(p *faultinject.Plane) {
 func (lg *Logger) MetadataBytes() uint64 {
 	n := lg.slabCount.Load() * metaSlabBytes
 	total := lg.stats.LogBytesTotal()
-	if released := lg.stats.ReleasedLogBytesTotal(); released < total {
-		n += total - released
+	// Spilled bytes left RAM for the cold tier; like released bytes they
+	// no longer count against the resident-metadata budget.
+	gone := lg.stats.ReleasedLogBytesTotal() + lg.stats.SpilledLogBytesTotal()
+	if gone < total {
+		n += total - gone
 	}
 	return n
 }
@@ -340,6 +380,9 @@ func (lg *Logger) ReleaseMeta(handle uint64) {
 		return
 	}
 	if meta := lg.MetaAt(handle); meta != nil {
+		// Cold segments die with the object: mark them garbage so the
+		// next compaction reclaims their file bytes.
+		lg.retireCold(meta)
 		if fp := meta.logFootprint(); fp != 0 {
 			lg.stats.shard(int32(handle-1)).logBytesReleased.Add(fp)
 		}
@@ -389,6 +432,11 @@ func (meta *ObjectMeta) logFootprint() uint64 {
 		}
 		if h := tl.hash.Load(); h != nil {
 			n += h.bytes()
+		}
+		// The cold state (reservoir + headers) is resident; the segments
+		// themselves are on disk and tracked by the spilled term instead.
+		if tl.cold.Load() != nil {
+			n += coldStateBytes
 		}
 	}
 	return n
@@ -480,6 +528,11 @@ func (lg *Logger) registerIn(tl *ThreadLog, loc uint64, sh *statShard) {
 		// duplicate return or those bytes vanish from the accounting.
 		if grown > 0 {
 			sh.logBytes.Add(grown)
+			// Tiering check only on the (rare) grow: the common insert
+			// path stays branch-identical to the untiered logger.
+			if max := lg.cfg.ColdSpillBytes; max > 0 && h.bytes() >= max {
+				lg.spill(tl, h, sh)
+			}
 		}
 		if dropped {
 			// Denied grow on a full table: the location goes unlogged.

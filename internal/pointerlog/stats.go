@@ -15,7 +15,7 @@ const statShardCount = 64
 // our own bookkeeping).
 //
 // Registered is not stored: every Register call ends in exactly one of
-// logged or duplicates, so Snapshot derives it as their sum.
+// logged, duplicates, or droppedRegs, so Snapshot derives it as their sum.
 type statShard struct {
 	objectsTracked   atomic.Uint64
 	logged           atomic.Uint64
@@ -27,9 +27,13 @@ type statShard struct {
 	faulted          atomic.Uint64
 	logBytes         atomic.Uint64
 	logBytesReleased atomic.Uint64
+	logBytesSpilled  atomic.Uint64
+	spills           atomic.Uint64
+	spillFailures    atomic.Uint64
+	coldReadErrs     atomic.Uint64
 	degradedObjects  atomic.Uint64
 	droppedRegs      atomic.Uint64
-	_                [128 - 12*8]byte // pad to two cache lines (adjacent-line prefetch)
+	_                [128 - 16*8]byte // pad to two cache lines (adjacent-line prefetch)
 }
 
 // Stats mirrors the per-benchmark statistics of the paper's Table 1 plus
@@ -51,8 +55,8 @@ func (s *Stats) shard(tid int32) *statShard {
 // LogBytes is cumulative — every byte ever charged to log structures —
 // matching the paper's Table 1 memory-overhead accounting. LogBytesReleased
 // is the measured footprint of log structures whose object has been
-// released, and LogBytesLive is their difference: what log memory is
-// actually held right now.
+// released, LogBytesSpilled the footprint flushed to the cold tier, and
+// LogBytesLive what remains: the log memory actually resident right now.
 type Snapshot struct {
 	ObjectsTracked   uint64
 	Registered       uint64
@@ -66,6 +70,19 @@ type Snapshot struct {
 	LogBytes         uint64
 	LogBytesReleased uint64
 	LogBytesLive     uint64
+	// LogBytesSpilled is the cumulative resident footprint of hash tables
+	// flushed to the cold tier: bytes that were charged to LogBytes, left
+	// RAM at a spill, and now live on disk in compressed segment form. The
+	// cross-tier identity is LogBytes == live + quarantined + released +
+	// spilled.
+	LogBytesSpilled uint64
+	// Spills counts cold-tier flushes; SpillFailures counts flushes that
+	// could not reach disk and fell open (table stayed resident);
+	// ColdReadErrors counts segments invalidation could not read back
+	// (coverage loss only).
+	Spills         uint64
+	SpillFailures  uint64
+	ColdReadErrors uint64
 	// DegradedObjects counts allocations the detector could not track
 	// (metadata exhausted, budget hit, or injected failure); their frees
 	// skip invalidation, losing coverage but never correctness.
@@ -79,7 +96,9 @@ type Snapshot struct {
 // counters. Totals are exactly the values the unsharded implementation
 // would report: addition is commutative, and the derived Registered
 // equals the number of Register calls because each call bumps exactly
-// one of Logged or Duplicates.
+// one of Logged, Duplicates, or DroppedRegistrations. (Dropped appends
+// used to be left out of the sum, so degraded runs under-reported
+// Registered by exactly the drop count.)
 func (s *Stats) Snapshot() Snapshot {
 	var out Snapshot
 	for i := range s.shards {
@@ -94,12 +113,16 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Faulted += sh.faulted.Load()
 		out.LogBytes += sh.logBytes.Load()
 		out.LogBytesReleased += sh.logBytesReleased.Load()
+		out.LogBytesSpilled += sh.logBytesSpilled.Load()
+		out.Spills += sh.spills.Load()
+		out.SpillFailures += sh.spillFailures.Load()
+		out.ColdReadErrors += sh.coldReadErrs.Load()
 		out.DegradedObjects += sh.degradedObjects.Load()
 		out.DroppedRegistrations += sh.droppedRegs.Load()
 	}
-	out.Registered = out.Logged + out.Duplicates
-	if out.LogBytes >= out.LogBytesReleased {
-		out.LogBytesLive = out.LogBytes - out.LogBytesReleased
+	out.Registered = out.Logged + out.Duplicates + out.DroppedRegistrations
+	if out.LogBytes >= out.LogBytesReleased+out.LogBytesSpilled {
+		out.LogBytesLive = out.LogBytes - out.LogBytesReleased - out.LogBytesSpilled
 	}
 	return out
 }
@@ -115,11 +138,22 @@ func (s *Stats) LogBytesTotal() uint64 {
 }
 
 // ReleasedLogBytesTotal aggregates the released-log-memory counter alone,
-// for the audit identity LogBytesTotal == live + released.
+// for the audit identity LogBytesTotal == live + quarantined + released +
+// spilled.
 func (s *Stats) ReleasedLogBytesTotal() uint64 {
 	var n uint64
 	for i := range s.shards {
 		n += s.shards[i].logBytesReleased.Load()
+	}
+	return n
+}
+
+// SpilledLogBytesTotal aggregates the cold-tier counter alone: the
+// spilled term of the cross-tier audit identity.
+func (s *Stats) SpilledLogBytesTotal() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].logBytesSpilled.Load()
 	}
 	return n
 }
