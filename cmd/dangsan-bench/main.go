@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|tiered|exploits|ablation|chaos|fuzz
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|tiered|fiveway|exploits|ablation|chaos|fuzz
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
@@ -36,7 +36,11 @@
 // tiered pointer logs (hash-mode location sets spill to disk segments past
 // the threshold); the tiered experiment sweeps that threshold on a
 // hash-fallback workload, trading resident log bytes for free-path tail
-// latency. -bench-json writes every ran experiment's rows as one
+// latency. The fiveway experiment runs the SPEC analogs under the full
+// five-way detector matrix — baseline, the three pointer-invalidation
+// backends, and the checked-dereference xtag and camp backends — and
+// quantifies camp's static dereference-check elision on a sweep of
+// generated programs. -bench-json writes every ran experiment's rows as one
 // machine-readable JSON document; bare BENCH_<n>.json names anchor to the
 // git root and refuse to overwrite an existing artifact.
 //
@@ -66,7 +70,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, tiered, exploits, ablation, chaos, fuzz")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, tiered, fiveway, exploits, ablation, chaos, fuzz")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
@@ -234,6 +238,13 @@ func main() {
 		check(err)
 		benchJSON.Add("tiered", rows)
 		fmt.Println(bench.FormatTiered(rows))
+	}
+	if want("fiveway") {
+		ran = true
+		rep, err := bench.RunFiveWay(opts, progress)
+		check(err)
+		benchJSON.Add("fiveway", rep)
+		fmt.Println(bench.FormatFiveWay(rep))
 	}
 	if want("exploits") {
 		ran = true

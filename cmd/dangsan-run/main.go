@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dangsan-run [-detector dangsan|baseline|dangnull|freesentry]
+//	dangsan-run [-detector dangsan|baseline|dangnull|freesentry|xtag|camp]
 //	            [-no-instrument] [-no-opt] [-dump]
 //	            [-faultrate 0] [-faultseed 1] [-faultbudget -1]
 //	            [-max-metadata-bytes 0] [-heap-bytes 0] program.ir
@@ -24,19 +24,16 @@ import (
 	"os"
 
 	"dangsan/internal/bench"
-	"dangsan/internal/detectors"
-	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/faultinject"
 	"dangsan/internal/instrument"
 	"dangsan/internal/interp"
 	"dangsan/internal/ir/opt"
 	"dangsan/internal/irparse"
-	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
 )
 
 func main() {
-	detector := flag.String("detector", "dangsan", "detector: dangsan, baseline, dangnull, freesentry")
+	detector := flag.String("detector", "dangsan", "detector: dangsan, baseline, dangnull, freesentry, xtag, camp")
 	noInstrument := flag.Bool("no-instrument", false, "skip the pointer-tracker pass")
 	noOpt := flag.Bool("no-opt", false, "run the pass without the static optimizations")
 	optimize := flag.Bool("O", false, "run the optimizer (constant folding, DCE, CFG simplification) before instrumenting")
@@ -71,8 +68,9 @@ func main() {
 		}
 		res, err := instrument.Pass(mod, opts)
 		check(err)
-		fmt.Fprintf(os.Stderr, "instrumented: %d pointer stores, %d hooks inserted, %d hoisted, %d elided\n",
-			res.PtrStores, res.Inserted, res.Hoisted, res.ElidedArithmetic)
+		fmt.Fprintf(os.Stderr, "instrumented: %d pointer stores, %d hooks inserted, %d hoisted, %d elided, %d/%d deref checks elided\n",
+			res.PtrStores, res.Inserted, res.Hoisted, res.ElidedArithmetic,
+			res.ElidedChecks, res.ElidedChecks+res.DerefChecks)
 	}
 	if *dump {
 		fmt.Print(mod.String())
@@ -83,15 +81,11 @@ func main() {
 		plane = faultinject.New(*faultSeed)
 		plane.EnableAll(*faultRate, *faultBudget)
 	}
-	var det detectors.Detector
-	if bench.Kind(*detector) == bench.DangSan && (plane != nil || *maxMetadataBytes > 0) {
-		cfg := pointerlog.DefaultConfig()
-		cfg.MaxMetadataBytes = *maxMetadataBytes
-		det = dangsan.NewWithOptions(dangsan.Options{Config: cfg, Faults: plane})
-	} else {
-		det, err = bench.NewDetector(bench.Kind(*detector))
-		check(err)
-	}
+	// bench.Options wires the budget and plane into whichever backend
+	// supports them (dangsan, xtag, camp).
+	det, err := bench.Options{MaxMetadataBytes: *maxMetadataBytes}.
+		NewDetector(bench.Kind(*detector), plane)
+	check(err)
 	rt := interp.New(mod, det, interp.Options{
 		Entry:  *entry,
 		Output: os.Stdout,

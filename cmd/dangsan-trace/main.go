@@ -80,7 +80,7 @@ func record(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	detName := fs.String("detector", "dangsan", "detector: dangsan, baseline, dangnull, freesentry")
+	detName := fs.String("detector", "dangsan", "detector: dangsan, baseline, dangnull, freesentry, xtag, camp")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()

@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/camp"
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/detectors/xtag"
 	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
@@ -26,16 +28,28 @@ import (
 // Kind names a detector configuration.
 type Kind string
 
-// The four systems the paper compares.
+// The four systems the paper compares, plus the two checked-dereference
+// backends of the five-way ablation.
 const (
 	Baseline   Kind = "baseline"
 	DangSan    Kind = "dangsan"
 	DangNULL   Kind = "dangnull"
 	FreeSentry Kind = "freesentry"
+	XTag       Kind = "xtag"
+	CAMP       Kind = "camp"
 )
 
-// AllKinds returns the four systems in presentation order.
+// AllKinds returns the paper's four systems in presentation order. The
+// figure experiments keep comparing exactly these so their numbers stay
+// stable; the checked-dereference backends join in FiveWayKinds.
 func AllKinds() []Kind { return []Kind{Baseline, DangSan, DangNULL, FreeSentry} }
+
+// FiveWayKinds returns the full detector matrix of the five-way ablation:
+// the baseline, the three pointer-invalidation backends, and the two
+// checked-dereference backends (xtag pointer tagging, camp range checks).
+func FiveWayKinds() []Kind {
+	return []Kind{Baseline, DangSan, DangNULL, FreeSentry, XTag, CAMP}
+}
 
 // NewDetector builds a fresh detector of the given kind.
 func NewDetector(kind Kind) (detectors.Detector, error) {
@@ -48,6 +62,10 @@ func NewDetector(kind Kind) (detectors.Detector, error) {
 		return dangnull.New(), nil
 	case FreeSentry:
 		return freesentry.New(), nil
+	case XTag:
+		return xtag.New(), nil
+	case CAMP:
+		return camp.New(), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown detector %q", kind)
 	}

@@ -14,7 +14,7 @@ import (
 var smoke = Options{Scale: 0.02, Seed: 1}
 
 func TestNewDetectorKinds(t *testing.T) {
-	for _, k := range AllKinds() {
+	for _, k := range FiveWayKinds() {
 		d, err := NewDetector(k)
 		if err != nil || d == nil {
 			t.Fatalf("%s: %v", k, err)
@@ -25,6 +25,13 @@ func TestNewDetectorKinds(t *testing.T) {
 	}
 	if _, err := NewDetector("bogus"); err == nil {
 		t.Fatal("bogus kind accepted")
+	}
+	// The figure experiments stay pinned to the paper's four systems; the
+	// five-way list extends, never reorders, that set.
+	for i, k := range AllKinds() {
+		if FiveWayKinds()[i] != k {
+			t.Fatalf("FiveWayKinds()[%d] = %s, want %s", i, FiveWayKinds()[i], k)
+		}
 	}
 }
 
@@ -314,5 +321,53 @@ func TestRunTieredSmoke(t *testing.T) {
 	}
 	if out := FormatTiered(rows); !strings.Contains(out, "resident") {
 		t.Fatal("tiered output malformed")
+	}
+}
+
+func TestRunFiveWaySmoke(t *testing.T) {
+	rep, err := RunFiveWay(smoke, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 19 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		for _, k := range FiveWayKinds() {
+			if r.Seconds[k] <= 0 {
+				t.Fatalf("%s/%s: no measurement", r.Benchmark, k)
+			}
+			if r.Footprint[k] == 0 {
+				t.Fatalf("%s/%s: zero footprint", r.Benchmark, k)
+			}
+		}
+		// Benign workloads: the check paths must have run and stayed silent.
+		if r.XTag.Objects == 0 || r.XTag.Checks == 0 {
+			t.Fatalf("%s: xtag check path idle: %+v", r.Benchmark, r.XTag)
+		}
+		if r.CAMP.Objects == 0 || r.CAMP.Checks == 0 {
+			t.Fatalf("%s: camp check path idle: %+v", r.Benchmark, r.CAMP)
+		}
+		if r.XTag.Faults != 0 || r.CAMP.Faults != 0 {
+			t.Fatalf("%s: faults on benign run: xtag=%d camp=%d",
+				r.Benchmark, r.XTag.Faults, r.CAMP.Faults)
+		}
+	}
+	e := rep.Elision
+	if e.Seeds < 10 {
+		t.Fatalf("elision seeds = %d", e.Seeds)
+	}
+	if e.DerefChecks == 0 {
+		t.Fatal("elision sweep emitted no checks")
+	}
+	if e.DynamicChecksOpt > e.DynamicChecks {
+		t.Fatalf("elision increased dynamic checks: %d -> %d",
+			e.DynamicChecks, e.DynamicChecksOpt)
+	}
+	out := FormatFiveWay(rep)
+	for _, want := range []string{"Five-way ablation", "geomean xtag", "geomean camp", "CAMP check elision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fiveway output missing %q:\n%s", want, out)
+		}
 	}
 }

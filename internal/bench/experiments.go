@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/camp"
 	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/detectors/xtag"
 	"dangsan/internal/faultinject"
 	"dangsan/internal/obs"
 	"dangsan/internal/pointerlog"
@@ -40,9 +42,10 @@ type Options struct {
 	// FaultBudget bounds injections per site per run so pressure stays
 	// transient (0: the default 256; negative: unlimited).
 	FaultBudget int64
-	// MaxMetadataBytes caps DangSan's pointer-log metadata footprint;
-	// objects allocated past the cap go untracked (degraded mode) instead
-	// of growing metadata without bound. 0 means unlimited.
+	// MaxMetadataBytes caps the detector's metadata footprint (DangSan's
+	// pointer log; xtag/camp object tracking); objects allocated past the
+	// cap go untracked (degraded mode) instead of growing metadata without
+	// bound. 0 means unlimited.
 	MaxMetadataBytes uint64
 	// HeapBytes shrinks each measured process's simulated heap (0: the
 	// full 64 GiB layout) so allocator pressure is reachable.
@@ -85,8 +88,15 @@ func (o Options) NewPlane() *faultinject.Plane {
 
 // NewDetector builds a detector of the given kind honoring the options:
 // DangSan detectors get audit mode, the metadata budget, the fault plane,
-// and the metrics registry wired in. plane may be nil.
+// and the metrics registry wired in; the checked-dereference backends get
+// the metadata budget and the fault plane. plane may be nil.
 func (o Options) NewDetector(kind Kind, plane *faultinject.Plane) (detectors.Detector, error) {
+	if kind == XTag && (plane != nil || o.MaxMetadataBytes > 0) {
+		return xtag.NewWithOptions(xtag.Options{MaxMetadataBytes: o.MaxMetadataBytes, Faults: plane}), nil
+	}
+	if kind == CAMP && (plane != nil || o.MaxMetadataBytes > 0) {
+		return camp.NewWithOptions(camp.Options{MaxMetadataBytes: o.MaxMetadataBytes, Faults: plane}), nil
+	}
 	if kind == DangSan && (o.Audit || o.Metrics != nil || plane != nil || o.MaxMetadataBytes > 0 || o.QuarantineBytes > 0 || o.ColdSpillBytes > 0) {
 		cfg := pointerlog.DefaultConfig()
 		cfg.MaxMetadataBytes = o.MaxMetadataBytes

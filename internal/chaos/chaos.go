@@ -22,7 +22,10 @@ import (
 	"strings"
 	"time"
 
+	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/camp"
 	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/detectors/xtag"
 	"dangsan/internal/faultinject"
 	"dangsan/internal/pointerlog"
 	"dangsan/internal/proc"
@@ -226,6 +229,42 @@ func (c Config) runServer(r *Result, stage string, plane *faultinject.Plane, wor
 	return det, true
 }
 
+// coverageLoser is the Degraded() counter pair every non-dangsan backend
+// exposes; chaos uses it to aggregate fail-open coverage loss.
+type coverageLoser interface {
+	Degraded() (objects, dropped uint64)
+}
+
+// runCheckedServer executes one watched server run under a
+// checked-dereference backend (xtag, camp) and classifies the outcome. The
+// invariant is the same fail-open promise the dangsan stages check: correct
+// code must never observe a tag-mismatch or freed-range fault, no matter
+// which metadata allocations were denied — a denied charge leaves the
+// object untagged/untracked, and untracked passes every check.
+func (c Config) runCheckedServer(r *Result, stage string, plane *faultinject.Plane, workers int, det detectors.Detector) bool {
+	p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
+	done := make(chan error, 1)
+	go func() {
+		err := workloads.RunServer(p, c.Profile, workers, c.Requests, r.Seed)
+		p.Quiesce()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		classify(r, stage, err)
+	case <-time.After(c.Timeout):
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("%s: server run exceeded %v watchdog (deadlock?)", stage, c.Timeout))
+		return false
+	}
+	if cl, ok := det.(coverageLoser); ok {
+		objs, drops := cl.Degraded()
+		r.Degraded += objs
+		r.Dropped += drops
+	}
+	return true
+}
+
 // Run executes one chaos cell: a concurrent server run, a single-worker
 // audited run, and the exploit suite, all against a plane armed at the
 // given rate with the cell's seed.
@@ -301,10 +340,86 @@ func Run(cfg Config, rate float64, seed int64) Result {
 	}
 	r.Injected += taPlane.TotalInjected()
 
+	// Checked-dereference stages: the same concurrent server run under the
+	// xtag and camp backends with their metadata paths injected. Their
+	// fail-open contract is check-side: a denied metadata charge leaves the
+	// object untagged (xtag) or untracked (camp), and every dereference of
+	// it passes — so a correct run must still never fault.
+	for _, cb := range []struct {
+		name string
+		mk   func(*faultinject.Plane) detectors.Detector
+	}{
+		{"xtag", func(pl *faultinject.Plane) detectors.Detector {
+			return xtag.NewWithOptions(xtag.Options{Faults: pl})
+		}},
+		{"camp", func(pl *faultinject.Plane) detectors.Detector {
+			return camp.NewWithOptions(camp.Options{Faults: pl})
+		}},
+	} {
+		pl := faultinject.New(seed)
+		pl.EnableAll(rate, cfg.Budget)
+		cfg.runCheckedServer(&r, cb.name, pl, cfg.Workers, cb.mk(pl))
+		r.Injected += pl.TotalInjected()
+	}
+
 	if !cfg.SkipExploits {
 		r.Exploits = cfg.runExploits(&r, rate, seed)
+		r.Exploits = append(r.Exploits, cfg.runXTagExploits(&r, rate, seed)...)
 	}
 	return r
+}
+
+// runXTagExploits drives the UAF scenarios under xtag with injection: tag
+// checks catch all three (the reuse that arms each exploit gives the
+// recycled memory a fresh generation, so the stale tagged pointer
+// mismatches). Detection is required exactly when no object degraded. camp
+// is deliberately absent: its freed-range registry is cleared by reuse, and
+// all three scenarios reuse the victim's memory before the stale access —
+// the documented false-negative window of pure range checking.
+func (c Config) runXTagExploits(r *Result, rate float64, seed int64) []ExploitResult {
+	scenarios := []struct {
+		name string
+		run  func(*proc.Process) (workloads.ExploitOutcome, error)
+	}{
+		{"double-free-openssl", workloads.DoubleFreeOpenSSL},
+		{"uaf-wireshark", workloads.UAFWireshark},
+		{"uaf-litespeed", workloads.UAFLitespeed},
+	}
+	out := make([]ExploitResult, 0, len(scenarios))
+	for i, sc := range scenarios {
+		plane := faultinject.New(seed + int64(i)*7919)
+		plane.EnableAll(rate, c.Budget)
+		det := xtag.NewWithOptions(xtag.Options{Faults: plane})
+		p := proc.NewWithOptions(det, proc.Options{HeapBytes: c.HeapBytes, Faults: plane})
+		outcome, err := sc.run(p)
+		res := ExploitResult{Name: "xtag:" + sc.name}
+		degraded, _ := det.Degraded()
+		switch {
+		case err != nil:
+			var oom *tcmalloc.OutOfMemoryError
+			if errors.As(err, &oom) {
+				res.Skipped = true
+				res.Detail = "oom-aborted: " + err.Error()
+			} else {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("exploit xtag:%s: unexpected error: %v", sc.name, err))
+				res.Detail = err.Error()
+			}
+		case degraded > 0:
+			res.Skipped = true
+			res.Prevented = outcome.Prevented
+			res.Detail = fmt.Sprintf("degraded=%d: %s", degraded, outcome.Detail)
+		default:
+			res.Prevented = outcome.Prevented
+			res.Detail = outcome.Detail
+			if !outcome.Prevented {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("exploit xtag:%s: not prevented with full coverage: %s", sc.name, outcome.Detail))
+			}
+		}
+		out = append(out, res)
+	}
+	return out
 }
 
 // runExploits drives the three UAF scenarios under injection. Detection is

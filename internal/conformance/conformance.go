@@ -116,7 +116,7 @@ func (pr *Program) Run(p *proc.Process, check CheckFn) Result {
 			if err != nil {
 				return fail(err)
 			}
-			usable, _ := p.Allocator().UsableSize(base)
+			usable, _ := p.UsableSize(base)
 			live = append(live, &object{base: base, size: usable})
 		case opFree:
 			if len(live) == 0 {
@@ -160,7 +160,7 @@ func (pr *Program) Run(p *proc.Process, check CheckFn) Result {
 			if err != nil {
 				return fail(err)
 			}
-			usable, _ := p.Allocator().UsableSize(newBase)
+			usable, _ := p.UsableSize(newBase)
 			if newBase == obj.base {
 				// In place: existing pointers stay valid; only the extent
 				// changed.

@@ -117,6 +117,40 @@ type DeferredFree interface {
 	DrainQuarantine()
 }
 
+// DerefChecker is implemented by detectors that validate addresses at
+// dereference time instead of (or in addition to) invalidating pointers at
+// free time: camp's allocator-cooperating range check, and — through the
+// TagChecker extension — xtag's generation-tag check. The runtime calls
+// CheckDeref with the address an operation is about to access, before the
+// access happens; the instrumentation pass may elide the check for
+// dereferences it proves safe (internal/instrument's ElideDerefChecks).
+type DerefChecker interface {
+	// CheckDeref validates addr and returns the address the runtime should
+	// actually access (for taggers, addr with the tag stripped). A non-nil
+	// fault means the access targets freed memory — a detected
+	// use-after-free, reported with the original pointer preserved in
+	// Fault.Addr — and the access must not be performed. Addresses the
+	// detector does not track (stack, globals, untagged or degraded heap
+	// objects) pass through unchanged: fail-open, never a false positive.
+	CheckDeref(addr uint64) (uint64, *vmem.Fault)
+}
+
+// TagChecker is the capability interface of pointer-tagging detectors
+// (xtag): beyond checking dereferences, the runtime asks them to brand every
+// freshly allocated object's address with its generation tag. Consumed by
+// internal/proc (malloc returns the tagged pointer; every address-consuming
+// operation strips and checks) and internal/interp (elided checks still
+// strip).
+type TagChecker interface {
+	DerefChecker
+
+	// TagPointer returns base with the current tag of the object at base
+	// embedded in the unused high bits (vmem.WithTag). For untracked
+	// (degraded) objects it returns base unchanged — tag 0 is "untagged"
+	// and always passes CheckDeref.
+	TagPointer(base uint64) uint64
+}
+
 // MemcpyHooker is implemented by detectors that support the paper's §7
 // extension for type-unsafe pointer copies: after a memcpy (including the
 // copy inside a moving realloc), OnMemcpy scans the destination for values

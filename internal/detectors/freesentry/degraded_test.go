@@ -116,6 +116,57 @@ func TestShadowPopulateFailureReleasesHandle(t *testing.T) {
 	}
 }
 
+// TestReallocGrowFailureConverges covers the previously unhandled
+// CreateObject error in OnReallocInPlace: when extending the shadow mapping
+// for an in-place grow fails, the rollback wipes (part of) the old mapping,
+// and the old code leaked the handle — object record never released,
+// metadata never refunded, registered locations never invalidated — with a
+// stale end already written. The object must instead degrade fail-open:
+// whole extent cleared, record released for reuse, registrations forgotten.
+func TestReallocGrowFailureConverges(t *testing.T) {
+	plane := faultinject.New(29)
+	d := NewWithOptions(Options{Faults: plane})
+	m := mem{}
+	d.Bind(m)
+
+	base := uint64(vmem.HeapBase)
+	d.OnAlloc(base, 2*vmem.PageSize, vmem.PageSize)
+	m[locX] = base + 8
+	d.OnPtrStore(locX, base+8, 0)
+	before := d.MetadataBytes()
+
+	// Fail the shadow population extending the mapping to 4 pages.
+	plane.Enable(faultinject.ShadowPopulate, 1.0, 1)
+	d.OnReallocInPlace(base, 2*vmem.PageSize, 4*vmem.PageSize, vmem.PageSize)
+	plane.Enable(faultinject.ShadowPopulate, 0, 0)
+
+	if h := d.table.Lookup(base); h != 0 {
+		t.Fatalf("failed grow left a mapping: handle=%d", h)
+	}
+	if len(d.free) != 1 || d.objs[d.free[0]-1] != nil {
+		t.Fatalf("handle not released: free=%v", d.free)
+	}
+	if got := d.MetadataBytes(); got >= before {
+		t.Fatalf("registration bytes not refunded: %d -> %d", before, got)
+	}
+	if deg, dropped := d.Degraded(); deg != 1 || dropped != 1 {
+		t.Fatalf("Degraded()=(%d,%d), want (1,1)", deg, dropped)
+	}
+
+	// The free of the degraded object is a no-op: its registration was
+	// forgotten, so the location keeps its raw value (coverage loss, no
+	// crash) and the released handle is reusable.
+	d.OnFree(base, 4*vmem.PageSize, vmem.PageSize)
+	if m[locX] != base+8 {
+		t.Fatalf("degraded object still invalidated: loc=0x%x", m[locX])
+	}
+	d.OnAlloc(objB, 64, 8)
+	h := d.table.Lookup(objB)
+	if h == 0 || d.objs[h-1] == nil || d.objs[h-1].base != objB {
+		t.Fatalf("handle reuse broken after realloc degradation: handle=%d", h)
+	}
+}
+
 // TestDroppedRegistrationFailOpen: a registration over budget is dropped —
 // the location is missed at free time, but structures stay consistent.
 func TestDroppedRegistrationFailOpen(t *testing.T) {

@@ -139,15 +139,35 @@ func (d *Detector) OnAlloc(base, size, align uint64) {
 	}
 }
 
-// OnReallocInPlace implements detectors.Detector.
+// OnReallocInPlace implements detectors.Detector. Growth remaps the larger
+// extent; shrinking drops the dead tail's mapping so stores into recycled
+// tail pages cannot register against this object.
 func (d *Detector) OnReallocInPlace(base, oldSize, newSize, align uint64) {
 	handle := d.table.Lookup(base)
 	if handle == 0 {
 		return
 	}
 	obj := d.objs[handle-1]
+	if err := d.table.CreateObject(base, newSize, align, handle); err != nil {
+		// Extending the mapping failed and CreateObject rolled back what it
+		// wrote, which may include part of the old mapping. Converge by
+		// dropping the object entirely: clear the whole extent, forget its
+		// registrations and release the record — otherwise the handle leaks
+		// with a half-cleared mapping and its locations are never
+		// invalidated nor refunded. Coverage loss, never a false positive.
+		old := oldSize
+		if newSize > old {
+			old = newSize
+		}
+		d.table.ClearObject(base, old, align)
+		d.metadataBytes.Add(^(uint64(len(obj.locs))*8 - 1))
+		d.statDropped.Add(uint64(len(obj.locs)))
+		d.objs[handle-1] = nil
+		d.free = append(d.free, handle)
+		d.statDegraded.Add(1)
+		return
+	}
 	obj.end = base + newSize
-	d.table.CreateObject(base, newSize, align, handle)
 	if newSize < oldSize {
 		d.table.ClearObject(base+newSize, oldSize-newSize, align)
 	}

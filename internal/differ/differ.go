@@ -10,12 +10,18 @@
 //     instrumentation, and optimize-then-instrument with the static
 //     hoisting/elision optimizations on. Divergence here means the
 //     instrumentation or optimizer changed program-visible behaviour.
-//   - detector: dangsan, dangnull, freesentry, plus the no-op baseline.
-//     Divergence means a detector perturbed the program or missed/over-did
-//     an invalidation relative to its published contract (dangsan and
-//     freesentry invalidate pointers anywhere; dangnull only heap-resident
-//     ones). FreeSentry is thread-unsafe by design and is skipped for
-//     multi-threaded programs, as in the paper.
+//   - detector: dangsan, dangnull, freesentry, xtag and camp, plus the
+//     no-op baseline. Divergence means a detector perturbed the program or
+//     missed/over-did an invalidation relative to its published contract
+//     (dangsan and freesentry invalidate pointers anywhere; dangnull only
+//     heap-resident ones; the checked-dereference pair — xtag's generation
+//     tags and camp's freed-range registry — never rewrite memory at all,
+//     so their dangling cells keep baseline-like values and the oracle
+//     instead probes that a use of the stale pointer would trap). FreeSentry
+//     is thread-unsafe by design and is skipped for multi-threaded
+//     programs, as in the paper. Under xtag every pointer in memory carries
+//     its object's tag, so the cell checks also verify tagged pointers
+//     round-trip through stores, loads and gep arithmetic bit-for-bit.
 //   - dangsan pointer-log config: lookback {0,4,8} × compression {on,off} ×
 //     hash fallback {forced, effectively off}, plus two epoch-quarantine
 //     cells (deferred free, one sized to overflow its byte budget). The
@@ -42,9 +48,11 @@ import (
 	"strings"
 
 	"dangsan/internal/detectors"
+	"dangsan/internal/detectors/camp"
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/detectors/freesentry"
+	"dangsan/internal/detectors/xtag"
 	"dangsan/internal/instrument"
 	"dangsan/internal/interp"
 	"dangsan/internal/ir/opt"
@@ -87,6 +95,8 @@ const (
 	DetDangSan
 	DetDangNull
 	DetFreeSentry
+	DetXTag
+	DetCAMP
 )
 
 func (d DetKind) String() string {
@@ -97,6 +107,10 @@ func (d DetKind) String() string {
 		return "dangsan"
 	case DetDangNull:
 		return "dangnull"
+	case DetXTag:
+		return "xtag"
+	case DetCAMP:
+		return "camp"
 	default:
 		return "freesentry"
 	}
@@ -213,6 +227,15 @@ func Specs(multithreaded bool) []Spec {
 	specs = append(specs,
 		Spec{Mode: ModeInstr, Det: DetDangNull},
 		Spec{Mode: ModeInstrOpt, Det: DetDangNull})
+	// The checked-dereference pair is lock-free on the check path and safe
+	// for multi-threaded programs. The optimized cells additionally elide
+	// statically-safe checks (ElideDerefChecks), so instr vs instr+opt
+	// differentially tests the elision proof.
+	specs = append(specs,
+		Spec{Mode: ModeInstr, Det: DetXTag},
+		Spec{Mode: ModeInstrOpt, Det: DetXTag},
+		Spec{Mode: ModeInstr, Det: DetCAMP},
+		Spec{Mode: ModeInstrOpt, Det: DetCAMP})
 	if !multithreaded {
 		specs = append(specs,
 			Spec{Mode: ModeInstr, Det: DetFreeSentry},
@@ -241,6 +264,8 @@ type execution struct {
 	ds   *dangsan.Detector
 	dn   *dangnull.Detector
 	fs   *freesentry.Detector
+	xt   *xtag.Detector
+	cp   *camp.Detector
 }
 
 // run parses the program source fresh (instrumentation mutates the module,
@@ -272,6 +297,12 @@ func run(prog *irgen.Program, sp Spec) (*execution, error) {
 	case DetFreeSentry:
 		ex.fs = freesentry.New()
 		det = ex.fs
+	case DetXTag:
+		ex.xt = xtag.New()
+		det = ex.xt
+	case DetCAMP:
+		ex.cp = camp.New()
+		det = ex.cp
 	}
 	if sp.Mode != ModeRef {
 		if _, err := instrument.Pass(m, iopts); err != nil {
@@ -357,8 +388,11 @@ func checkCell(prog *irgen.Program, sp Spec) []string {
 		fail("live objects %d, want %d", live, o.LiveAtExit)
 	}
 
-	msgs = append(msgs, checkCells(prog, sp, ex)...)
+	// Counters first: checkCells' latent-detection probes (xtag's CheckDeref
+	// on dangling cells) bump the detector's check/mismatch stats, so the
+	// benign-run accounting must be read before probing.
 	msgs = append(msgs, checkCounters(o, sp, ex)...)
+	msgs = append(msgs, checkCells(prog, sp, ex)...)
 	return msgs
 }
 
@@ -374,6 +408,10 @@ func checkCells(prog *irgen.Program, sp Spec, ex *execution) []string {
 	as := ex.rt.Process().AddressSpace()
 	o := &prog.Oracle
 
+	// Under xtag, pointers in memory carry the object's tag in their high
+	// bits: range checks and address arithmetic use the stripped form, while
+	// the base map keeps the tagged value so CellLivePtr comparisons verify
+	// tagged pointers round-trip through memory bit-for-bit.
 	base := make(map[int]uint64, len(o.Live))
 	for _, lo := range o.Live {
 		v, f := as.LoadWord(irgen.SlotAddr(lo.AnchorSlot))
@@ -381,8 +419,12 @@ func checkCells(prog *irgen.Program, sp Spec, ex *execution) []string {
 			fail("anchor slot %d: %v", lo.AnchorSlot, f)
 			continue
 		}
-		if v < vmem.HeapBase || v >= vmem.HeapBase+vmem.HeapMax {
+		if raw := vmem.StripTag(v); raw < vmem.HeapBase || raw >= vmem.HeapBase+vmem.HeapMax {
 			fail("anchor slot %d of object %d: 0x%x not a heap address", lo.AnchorSlot, lo.ID, v)
+			continue
+		}
+		if sp.Det == DetXTag && vmem.PointerTag(v) == 0 {
+			fail("anchor slot %d of object %d: 0x%x untagged under xtag", lo.AnchorSlot, lo.ID, v)
 			continue
 		}
 		base[lo.ID] = v
@@ -406,7 +448,7 @@ func checkCells(prog *irgen.Program, sp Spec, ex *execution) []string {
 			if !ok {
 				continue // anchor already reported
 			}
-			addr = b + cell.Off
+			addr = vmem.StripTag(b) + cell.Off
 			where = fmt.Sprintf("obj %d+%d", cell.Obj, cell.Off)
 		}
 		v, f := as.LoadWord(addr)
@@ -429,7 +471,7 @@ func checkCells(prog *irgen.Program, sp Spec, ex *execution) []string {
 					i, where, v, b+cell.TargetOff, cell.TargetObj, cell.TargetOff)
 			}
 		case irgen.CellDangling:
-			orig, ok := checkDangling(sp, cell, v, fail, i, where)
+			orig, ok := checkDangling(sp, ex, cell, v, fail, i, where)
 			if ok {
 				danglingBase[cell.TargetObj] = append(danglingBase[cell.TargetObj], orig-cell.TargetOff)
 			}
@@ -450,9 +492,43 @@ func checkCells(prog *irgen.Program, sp Spec, ex *execution) []string {
 // checkDangling verifies one dangling cell per the run's detector contract
 // and returns the recovered original pointer value when it is comparable
 // across cells.
-func checkDangling(sp Spec, cell irgen.Cell, v uint64, fail func(string, ...any), i int, where string) (orig uint64, comparable bool) {
+func checkDangling(sp Spec, ex *execution, cell irgen.Cell, v uint64, fail func(string, ...any), i int, where string) (orig uint64, comparable bool) {
 	heapPtr := heapRange
 	switch {
+	case sp.Det == DetXTag:
+		// xTag never rewrites memory: the cell keeps the tagged pointer it
+		// always held. Detection is latent — probe that dereferencing the
+		// stale pointer now would trap on a tag mismatch. Tags cannot wrap at
+		// differ scales (far fewer than 2^15 allocations), so the only
+		// legitimate pass is the fail-open slot-0 read: a freed span recycled
+		// for a different alignment gets a fresh zeroed shadow array, wiping
+		// the freed marker. Distinguish that from a revived tag by probing
+		// with a second, different tag — slot 0 passes any tag, a live tag
+		// only its own.
+		addr, tag, tagged := vmem.DecodeTag(v)
+		if !tagged || !heapPtr(addr) {
+			fail("cell %d (%s): dangling cell 0x%x not a tagged heap pointer under xtag", i, where, v)
+			return 0, false
+		}
+		if _, f := ex.xt.CheckDeref(v); f == nil {
+			alt := tag%vmem.MaxTag + 1
+			if _, f2 := ex.xt.CheckDeref(vmem.WithTag(addr, alt)); f2 != nil {
+				fail("cell %d (%s): stale tagged pointer 0x%x passes the deref check against a live mapping", i, where, v)
+				return 0, false
+			}
+		}
+		return addr, true
+	case sp.Det == DetCAMP:
+		// CAMP keeps memory untouched too, so the cell holds the raw dangling
+		// address, exactly like the baseline. A CheckDeref probe here would be
+		// unsound — the freed range may have been reused by a later live
+		// allocation, legitimately clearing the tombstone — so camp's
+		// detection is asserted only in mutation mode, at the access itself.
+		if !heapPtr(v) {
+			fail("cell %d (%s): dangling raw value 0x%x not a heap address under camp", i, where, v)
+			return 0, false
+		}
+		return v, true
 	case sp.Det == DetNone:
 		// Baseline: raw dangling address, untouched.
 		if !heapPtr(v) {
@@ -537,6 +613,30 @@ func checkCounters(o *irgen.Oracle, sp Spec, ex *execution) []string {
 		_, inv := ex.fs.Stats()
 		if inv != o.InvalidatedAll {
 			fail("freesentry invalidated %d, want %d", inv, o.InvalidatedAll)
+		}
+	case DetXTag:
+		tagged, _, mismatches := ex.xt.Stats()
+		if mismatches != 0 {
+			fail("xtag saw %d tag mismatches in a benign program", mismatches)
+		}
+		lo, hi := uint64(o.Mallocs), uint64(o.Mallocs+o.Reallocs)
+		if tagged < lo || tagged > hi {
+			fail("xtag tagged %d objects, want %d..%d", tagged, lo, hi)
+		}
+		if objs, regs := ex.xt.Degraded(); objs != 0 || regs != 0 {
+			fail("xtag degraded=%d/%d without fault injection", objs, regs)
+		}
+	case DetCAMP:
+		tracked, _, faults, _ := ex.cp.Stats()
+		if faults != 0 {
+			fail("camp saw %d freed-range faults in a benign program", faults)
+		}
+		lo, hi := uint64(o.Mallocs), uint64(o.Mallocs+o.Reallocs)
+		if tracked < lo || tracked > hi {
+			fail("camp tracked %d objects, want %d..%d", tracked, lo, hi)
+		}
+		if objs, regs := ex.cp.Degraded(); objs != 0 || regs != 0 {
+			fail("camp degraded=%d/%d without fault injection", objs, regs)
 		}
 	}
 	return msgs

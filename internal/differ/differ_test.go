@@ -49,17 +49,17 @@ func TestDifferMatrix(t *testing.T) {
 // TestMatrixShape pins the matrix dimensions so a silently shrunken sweep
 // cannot pass as a full one: 16 dangsan configs (incl. 2 quarantine cells
 // and 2 tiered cells) × 2 instrumented modes, 3 baseline cells, 2 dangnull
-// cells, and 2 freesentry cells that must disappear exactly when the
-// program is multi-threaded.
+// cells, 2 xtag cells, 2 camp cells, and 2 freesentry cells that must
+// disappear exactly when the program is multi-threaded.
 func TestMatrixShape(t *testing.T) {
 	if n := len(DangSanConfigs()); n != 16 {
 		t.Fatalf("dangsan configs = %d, want 16", n)
 	}
-	if n := len(Specs(false)); n != 3+32+2+2 {
-		t.Fatalf("single-threaded specs = %d, want 39", n)
+	if n := len(Specs(false)); n != 3+32+2+2+2+2 {
+		t.Fatalf("single-threaded specs = %d, want 43", n)
 	}
-	if n := len(Specs(true)); n != 3+32+2 {
-		t.Fatalf("multi-threaded specs = %d, want 37", n)
+	if n := len(Specs(true)); n != 3+32+2+2+2 {
+		t.Fatalf("multi-threaded specs = %d, want 41", n)
 	}
 	for _, sp := range Specs(true) {
 		if sp.Det == DetFreeSentry {
@@ -131,6 +131,18 @@ func TestCheckerCatchesTampering(t *testing.T) {
 		}, sp},
 		{"invalidated-heap", func(o *irgen.Oracle) { o.InvalidatedHeap++ },
 			Spec{Mode: ModeInstr, Det: DetDangNull}},
+		{"xtag-tagged-objects", func(o *irgen.Oracle) { o.Mallocs += 5 },
+			Spec{Mode: ModeInstr, Det: DetXTag}},
+		{"camp-tracked-objects", func(o *irgen.Oracle) { o.Mallocs += 5 },
+			Spec{Mode: ModeInstr, Det: DetCAMP}},
+		{"xtag-cell-kind", func(o *irgen.Oracle) {
+			for i := range o.Cells {
+				if o.Cells[i].Kind == irgen.CellDangling {
+					o.Cells[i].Kind = irgen.CellInt
+					return
+				}
+			}
+		}, Spec{Mode: ModeInstr, Det: DetXTag}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"dangsan/internal/detectors/dangnull"
 	"dangsan/internal/irgen"
 	"dangsan/internal/pointerlog"
+	"dangsan/internal/vmem"
 )
 
 // MutationResult summarizes one seed's mutation sweep: how many detector
@@ -103,6 +104,33 @@ func checkMutationCell(prog *irgen.Program, sp Spec) (trapped bool, msgs []strin
 		if addr != dangnull.InvalidValue {
 			fail("dangnull fault at 0x%x, want the nullification value 0x%x",
 				addr, uint64(dangnull.InvalidValue))
+		}
+		return trapped, msgs
+	}
+	if sp.Det == DetXTag {
+		// xtag must detect via a tag mismatch: the fault preserves the full
+		// tagged pointer, whose stripped address is the freed object.
+		if ex.trap.Fault.Kind != vmem.FaultTagMismatch {
+			fail("xtag trapped with %v, want a tag-mismatch fault", ex.trap.Fault)
+			return trapped, msgs
+		}
+		orig, _, tagged := vmem.DecodeTag(addr)
+		if !tagged {
+			fail("xtag tag-mismatch fault at 0x%x carries no tag", addr)
+		} else if !heapRange(orig) {
+			fail("xtag fault preserves 0x%x, not a heap address", orig)
+		}
+		return trapped, msgs
+	}
+	if sp.Det == DetCAMP {
+		// camp must detect via its freed-range registry: the fault reports
+		// the raw accessed address inside the freed extent.
+		if ex.trap.Fault.Kind != vmem.FaultFreedRange {
+			fail("camp trapped with %v, want a freed-range fault", ex.trap.Fault)
+			return trapped, msgs
+		}
+		if !heapRange(addr) {
+			fail("camp freed-range fault at 0x%x outside the heap", addr)
 		}
 		return trapped, msgs
 	}

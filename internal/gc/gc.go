@@ -60,7 +60,7 @@ func (c *Collector) Alloc(th *proc.Thread, size uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	usable, _ := c.p.Allocator().UsableSize(base)
+	usable, _ := c.p.UsableSize(base)
 	c.mu.Lock()
 	c.objects.Insert(base, base+usable, &managed{base: base, size: usable})
 	c.mu.Unlock()

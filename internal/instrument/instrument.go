@@ -31,6 +31,13 @@ type Result struct {
 	// ElidedArithmetic is the number of registrations removed by the
 	// pointer-arithmetic rule.
 	ElidedArithmetic int
+	// DerefChecks is the number of loads and stores left carrying a
+	// dereference check for the checked-dereference detectors (camp, xtag).
+	// Counted only when ElideDerefChecks runs.
+	DerefChecks int
+	// ElidedChecks is the number of dereference checks removed because the
+	// accessed address was proved to target a live object.
+	ElidedChecks int
 }
 
 // Options control which optimizations run (for ablation).
@@ -39,11 +46,17 @@ type Options struct {
 	HoistLoopInvariant bool
 	// ElideArithmetic enables the pointer-arithmetic optimization.
 	ElideArithmetic bool
+	// ElideDerefChecks enables the checked-dereference elision used by the
+	// camp configuration: loads and stores whose address provably targets a
+	// live object are marked ir.Instr.NoCheck, so the runtime skips the
+	// detector's range/tag check (the CAMP paper's "remove checks the
+	// allocator can prove safe" optimization).
+	ElideDerefChecks bool
 }
 
 // DefaultOptions enables every optimization, as DangSan does.
 func DefaultOptions() Options {
-	return Options{HoistLoopInvariant: true, ElideArithmetic: true}
+	return Options{HoistLoopInvariant: true, ElideArithmetic: true, ElideDerefChecks: true}
 }
 
 // Pass instruments the module in place and returns statistics. The module
@@ -53,6 +66,9 @@ func Pass(m *ir.Module, opts Options) (Result, error) {
 	mayFree := analysis.MayFree(m)
 	for _, f := range m.Funcs {
 		instrumentFunc(m, f, mayFree, opts, &res)
+		if opts.ElideDerefChecks {
+			elideDerefChecks(f, &res)
+		}
 	}
 	if err := m.Finalize(); err != nil {
 		return res, fmt.Errorf("instrument: %w", err)
@@ -218,6 +234,72 @@ func isArithmeticUpdate(b *ir.Block, si int) bool {
 
 func sameValue(a, b ir.Value) bool {
 	return a.IsReg == b.IsReg && a.Reg == b.Reg && a.Imm == b.Imm
+}
+
+// elideDerefChecks marks every load and store whose address provably
+// targets a live object with ir.Instr.NoCheck, so the runtime skips the
+// checked-dereference detectors' validation. Runs after instrumentation
+// (the inserted OpRegPtr hooks are transparent to the proof).
+func elideDerefChecks(f *ir.Func, res *Result) {
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			if addrProvablyLive(b, ii) {
+				in.NoCheck = true
+				res.ElidedChecks++
+			} else {
+				res.DerefChecks++
+			}
+		}
+	}
+}
+
+// addrProvablyLive reports whether the address operand of the load/store at
+// index si provably targets a live object, within its block:
+//
+//	rX = alloca <n> | global <g> | malloc <n>
+//	rY = gep/mov chain over rX
+//	load/store ... [rY]          <- the access at index si
+//
+// with no intervening instruction that could free an object or publish the
+// pointer to code that might (store, call, spawn, free, realloc). Stack and
+// global storage is never freed; a heap object fresh from malloc cannot be
+// freed before its address escapes, even by another thread. A register
+// whose value came out of memory (OpLoad) is never proved — that is exactly
+// the shape of a use-after-free read, and its check must stay.
+func addrProvablyLive(b *ir.Block, si int) bool {
+	a := b.Instrs[si].A
+	if !a.IsReg {
+		return false
+	}
+	reg := a.Reg
+	for i := si - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		// Hazards: anything that may free an object, run code that frees,
+		// or let the pointer escape to a freeing thread.
+		switch in.Op {
+		case ir.OpStore, ir.OpCall, ir.OpSpawn, ir.OpFree, ir.OpRealloc:
+			return false
+		}
+		if in.Dst != reg {
+			continue
+		}
+		switch in.Op {
+		case ir.OpMov, ir.OpGep:
+			if !in.A.IsReg {
+				return false
+			}
+			reg = in.A.Reg
+		case ir.OpAlloca, ir.OpGlobal, ir.OpMalloc:
+			return true
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 // ensurePreheader returns a block that executes exactly once before the

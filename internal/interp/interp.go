@@ -152,6 +152,17 @@ func (ex *executor) trapf(f *ir.Func, in *ir.Instr, fault *vmem.Fault, err error
 	return &Trap{Fault: fault, Err: err, Func: f.Name, Instr: instr}
 }
 
+// traperr wraps an error from an allocator-facing operation, recognizing
+// detected use-after-frees: checked-dereference detectors report a stale
+// free/realloc as a *vmem.Fault, which must surface in Trap.Fault like any
+// other simulated memory fault.
+func (ex *executor) traperr(f *ir.Func, in *ir.Instr, err error) *Trap {
+	if fault, ok := err.(*vmem.Fault); ok {
+		return ex.trapf(f, in, fault, nil)
+	}
+	return ex.trapf(f, in, nil, err)
+}
+
 // callFunc executes f with the given arguments, returning its value.
 func (ex *executor) callFunc(f *ir.Func, args []uint64) (uint64, *Trap) {
 	regs := make([]uint64, f.NumRegs)
@@ -211,14 +222,26 @@ func (ex *executor) callFunc(f *ir.Func, args []uint64) (uint64, *Trap) {
 			case ir.OpGep:
 				regs[in.Dst] = val(in.A) + val(in.B)
 			case ir.OpLoad:
-				v, fault := ex.th.Load(val(in.A))
+				var v uint64
+				var fault *vmem.Fault
+				if in.NoCheck {
+					v, fault = ex.th.LoadNoCheck(val(in.A))
+				} else {
+					v, fault = ex.th.Load(val(in.A))
+				}
 				if fault != nil {
 					return 0, ex.trapf(f, in, fault, nil)
 				}
 				regs[in.Dst] = v
 			case ir.OpStore:
 				// Raw store: instrumentation is explicit via OpRegPtr.
-				if fault := ex.th.StoreInt(val(in.A), val(in.B)); fault != nil {
+				var fault *vmem.Fault
+				if in.NoCheck {
+					fault = ex.th.StoreIntNoCheck(val(in.A), val(in.B))
+				} else {
+					fault = ex.th.StoreInt(val(in.A), val(in.B))
+				}
+				if fault != nil {
 					return 0, ex.trapf(f, in, fault, nil)
 				}
 			case ir.OpRegPtr:
@@ -235,12 +258,12 @@ func (ex *executor) callFunc(f *ir.Func, args []uint64) (uint64, *Trap) {
 				regs[in.Dst] = addr
 			case ir.OpFree:
 				if err := ex.th.Free(val(in.A)); err != nil {
-					return 0, ex.trapf(f, in, nil, err)
+					return 0, ex.traperr(f, in, err)
 				}
 			case ir.OpRealloc:
 				addr, err := ex.th.Realloc(val(in.A), val(in.B))
 				if err != nil {
-					return 0, ex.trapf(f, in, nil, err)
+					return 0, ex.traperr(f, in, err)
 				}
 				regs[in.Dst] = addr
 			case ir.OpCall:

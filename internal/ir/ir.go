@@ -176,6 +176,13 @@ type Instr struct {
 	Name string
 	// Args are the call/spawn arguments.
 	Args []Value
+	// NoCheck marks an OpLoad/OpStore whose dereference check the
+	// instrumentation pass elided (internal/instrument, ElideDerefChecks):
+	// the address was proved to target a live object, so a
+	// checked-dereference detector may skip validating it. Metadata only —
+	// it does not appear in the textual form, and dropping it is always
+	// safe (the access is merely checked again).
+	NoCheck bool
 }
 
 func (in *Instr) String() string {

@@ -57,6 +57,16 @@ type Process struct {
 	// pointer stores are routed through it with the storing thread's
 	// context instead of the plain OnPtrStore hook.
 	threadAware detectors.ThreadAware
+	// derefChk, when non-nil, is det's checked-dereference interface: every
+	// address-consuming operation (load, store, free, realloc, memcpy)
+	// validates its address first and the operation traps instead of
+	// touching freed memory. Nil for the invalidation-based backends, which
+	// keep their zero-cost access path.
+	derefChk detectors.DerefChecker
+	// tagger, when non-nil, is det's pointer-tagging interface (implies
+	// derefChk): malloc returns tagged pointers and checked operations
+	// strip the tag before touching simulated memory.
+	tagger detectors.TagChecker
 	// zeroOnFree wipes object contents before release (secure
 	// deallocation, the mitigation the paper cites for partial
 	// type-unsafe reuse).
@@ -165,6 +175,8 @@ func NewWithOptions(det detectors.Detector, opts Options) *Process {
 		b.Bind(as)
 	}
 	ta, _ := det.(detectors.ThreadAware)
+	dc, _ := det.(detectors.DerefChecker)
+	tg, _ := det.(detectors.TagChecker)
 	alloc := tcmalloc.New(as.Heap())
 	if opts.Faults != nil {
 		alloc.InjectFaults(opts.Faults)
@@ -174,6 +186,8 @@ func NewWithOptions(det detectors.Detector, opts Options) *Process {
 		alloc:       alloc,
 		det:         det,
 		threadAware: ta,
+		derefChk:    dc,
+		tagger:      tg,
 		globalsBump: vmem.GlobalsBase,
 	}
 	if df, ok := det.(detectors.DeferredFree); ok {
@@ -298,6 +312,36 @@ func (p *Process) Allocator() *tcmalloc.Allocator { return p.alloc }
 
 // Detector returns the detector protecting this process.
 func (p *Process) Detector() detectors.Detector { return p.det }
+
+// UsableSize reports the allocator's usable size for the object at addr,
+// accepting program-visible pointers: under a tagging detector the tag is
+// stripped first, the way a tagging runtime interposes malloc_usable_size.
+// Callers holding program pointers should use this, not the raw allocator.
+func (p *Process) UsableSize(addr uint64) (uint64, bool) {
+	return p.alloc.UsableSize(p.stripAddr(addr))
+}
+
+// checkAddr validates an address the program is about to use through the
+// detector's checked-dereference interface, returning the address to
+// actually access (tag stripped, for taggers). A non-nil fault is a
+// detected use-after-free: the caller must not perform the access. For
+// detectors without the capability this is a single nil check.
+func (p *Process) checkAddr(addr uint64) (uint64, *vmem.Fault) {
+	if p.derefChk == nil {
+		return addr, nil
+	}
+	return p.derefChk.CheckDeref(addr)
+}
+
+// stripAddr removes a pointer tag without checking it, for accesses whose
+// safety was proved statically (the instrumentation pass's elided checks)
+// or operations nested inside an already-checked one.
+func (p *Process) stripAddr(addr uint64) uint64 {
+	if p.tagger != nil {
+		return vmem.StripTag(addr)
+	}
+	return addr
+}
 
 // AllocGlobal carves n bytes (8-byte aligned) out of the globals segment,
 // modelling a global variable. It panics with *ExhaustedError when the
@@ -457,7 +501,9 @@ func (th *Thread) FreeStack(mark uint64) {
 }
 
 // Malloc allocates size bytes (plus the detector's pad) and notifies the
-// detector. The returned address is the object base.
+// detector. The returned address is the object base; under a
+// pointer-tagging detector it carries the object's generation tag in its
+// high bits, to be stripped and checked on every use.
 func (th *Thread) Malloc(size uint64) (uint64, error) {
 	p := th.proc
 	base, err := th.tc.Malloc(size + p.det.AllocPad())
@@ -471,6 +517,9 @@ func (th *Thread) Malloc(size uint64) (uint64, error) {
 		p.met.mallocs.Inc(th.id)
 	}
 	th.emit(TraceMalloc, size, base, 0)
+	if p.tagger != nil {
+		base = p.tagger.TagPointer(base)
+	}
 	return base, nil
 }
 
@@ -482,6 +531,12 @@ func (th *Thread) Malloc(size uint64) (uint64, error) {
 // detector.
 func (th *Thread) Free(ptr uint64) error {
 	p := th.proc
+	// Checked-dereference detectors validate the pointer being freed: a
+	// stale tag or a tombstoned range here is a detected free-after-free.
+	ptr, fault := p.checkAddr(ptr)
+	if fault != nil {
+		return fault
+	}
 	usable, ok := p.alloc.UsableSize(ptr)
 	if !ok {
 		// Let the allocator classify the failure (invalid vs double free).
@@ -553,7 +608,7 @@ func (th *Thread) Calloc(count, size uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f := th.proc.as.Memset(base, 0, total); f != nil {
+	if f := th.proc.as.Memset(th.proc.stripAddr(base), 0, total); f != nil {
 		panic(f)
 	}
 	return base, nil
@@ -564,6 +619,14 @@ func (th *Thread) Calloc(count, size uint64) (uint64, error) {
 // pointers lose their tracking; with EnableMemcpyHook the detector rescans
 // the destination and re-registers them.
 func (th *Thread) Memcpy(dst, src, n uint64) *vmem.Fault {
+	dst, f := th.proc.checkAddr(dst)
+	if f != nil {
+		return f
+	}
+	src, f = th.proc.checkAddr(src)
+	if f != nil {
+		return f
+	}
 	if f := th.proc.as.Memmove(dst, src, n); f != nil {
 		return f
 	}
@@ -586,6 +649,12 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 	p := th.proc
 	if ptr == 0 {
 		return th.Malloc(size)
+	}
+	// Checked-dereference detectors validate the pointer being resized: a
+	// stale tag or a tombstoned range is a detected use-after-free.
+	ptr, fault := p.checkAddr(ptr)
+	if fault != nil {
+		return 0, fault
 	}
 	oldUsable, ok := p.alloc.UsableSize(ptr)
 	if !ok {
@@ -612,6 +681,11 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 			p.met.reallocs.Inc(th.id)
 		}
 		th.emit(TraceRealloc, ptr, size, ptr)
+		if p.tagger != nil {
+			// The object kept its identity and tag; hand back a tagged
+			// pointer just like Malloc does.
+			return p.tagger.TagPointer(ptr), nil
+		}
 		return ptr, nil
 	}
 	// Move: malloc + copy + free, each visible to the detector. The copy
@@ -625,19 +699,20 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rawNew := p.stripAddr(newPtr)
 	n := oldUsable
 	if padded < n {
 		n = padded
 	}
-	newUsable, _ := p.alloc.UsableSize(newPtr)
+	newUsable, _ := p.alloc.UsableSize(rawNew)
 	if newUsable < n {
 		n = newUsable
 	}
-	if f := p.as.Memmove(newPtr, ptr, n); f != nil {
+	if f := p.as.Memmove(rawNew, ptr, n); f != nil {
 		panic(f) // both objects are live and mapped; cannot happen
 	}
 	if p.memcpyHook != nil {
-		p.memcpyHook.OnMemcpy(newPtr, ptr, n, th.id)
+		p.memcpyHook.OnMemcpy(rawNew, ptr, n, th.id)
 	}
 	if err := th.Free(ptr); err != nil {
 		return 0, err
@@ -654,7 +729,14 @@ func (th *Thread) Realloc(ptr, size uint64) (uint64, error) {
 // instrumented store. The detector hook runs after the store so that a
 // concurrent free observes either an unlogged old value or the logged new
 // one, both reconciled at invalidation time.
+// The stored value is data, not an address being used: under a tagging
+// detector a tagged value round-trips through memory intact and is only
+// checked when something dereferences it.
 func (th *Thread) StorePtr(loc, val uint64) *vmem.Fault {
+	loc, f := th.proc.checkAddr(loc)
+	if f != nil {
+		return f
+	}
 	if f := th.proc.as.StoreWord(loc, val); f != nil {
 		return f
 	}
@@ -672,6 +754,7 @@ func (th *Thread) StorePtr(loc, val uint64) *vmem.Fault {
 // interpreter's regptr opcode). Thread-aware detectors receive it
 // through this thread's fast-path context.
 func (th *Thread) RegisterPtr(loc, val uint64) {
+	loc = th.proc.stripAddr(loc)
 	if th.detCtx != nil {
 		th.proc.threadAware.OnPtrStoreCtx(th.detCtx, loc, val)
 	} else {
@@ -682,6 +765,10 @@ func (th *Thread) RegisterPtr(loc, val uint64) {
 // StoreInt stores a non-pointer word; no instrumentation (the compiler pass
 // only instruments pointer-typed stores).
 func (th *Thread) StoreInt(loc, val uint64) *vmem.Fault {
+	loc, f := th.proc.checkAddr(loc)
+	if f != nil {
+		return f
+	}
 	if f := th.proc.as.StoreWord(loc, val); f != nil {
 		return f
 	}
@@ -694,18 +781,54 @@ func (th *Thread) StoreInt(loc, val uint64) *vmem.Fault {
 
 // Load reads a word.
 func (th *Thread) Load(loc uint64) (uint64, *vmem.Fault) {
+	loc, f := th.proc.checkAddr(loc)
+	if f != nil {
+		return 0, f
+	}
 	if th.proc.met != nil {
 		th.proc.met.loads.Inc(th.id)
 	}
 	return th.proc.as.LoadWord(loc)
 }
 
+// LoadNoCheck is Load without the detector's dereference check — the
+// runtime half of an elided check (internal/instrument, ElideDerefChecks):
+// the pass proved the address live, so only the tag strip remains.
+func (th *Thread) LoadNoCheck(loc uint64) (uint64, *vmem.Fault) {
+	if th.proc.met != nil {
+		th.proc.met.loads.Inc(th.id)
+	}
+	return th.proc.as.LoadWord(th.proc.stripAddr(loc))
+}
+
+// StoreIntNoCheck is StoreInt without the detector's dereference check,
+// for stores whose safety the instrumentation pass proved statically.
+func (th *Thread) StoreIntNoCheck(loc, val uint64) *vmem.Fault {
+	if f := th.proc.as.StoreWord(th.proc.stripAddr(loc), val); f != nil {
+		return f
+	}
+	if th.proc.met != nil {
+		th.proc.met.intStores.Inc(th.id)
+	}
+	th.emit(TraceStoreInt, loc, val, 0)
+	return nil
+}
+
 // Deref loads the pointer stored at loc and then reads the word it points
 // to — the canonical use-after-free instruction. If the pointer was
 // invalidated, the second access faults with a non-canonical address that
-// still reveals the original pointer bits.
+// still reveals the original pointer bits; under a checked-dereference
+// detector the second check traps first with the detector's own fault kind.
 func (th *Thread) Deref(loc uint64) (uint64, *vmem.Fault) {
+	loc, f := th.proc.checkAddr(loc)
+	if f != nil {
+		return 0, f
+	}
 	ptr, f := th.proc.as.LoadWord(loc)
+	if f != nil {
+		return 0, f
+	}
+	ptr, f = th.proc.checkAddr(ptr)
 	if f != nil {
 		return 0, f
 	}

@@ -22,9 +22,13 @@ type FaultKind int
 
 const (
 	// FaultNonCanonical marks an access through an address that is not in
-	// canonical x86-64 form (bits 48..63 must replicate bit 47; user-space
-	// addresses additionally have bit 63 clear). Dereferencing a pointer
-	// invalidated by DangSan lands here.
+	// canonical user-space form. The simulation models a user-space x86-64
+	// process, so the single rule — the one Canonical enforces — is that
+	// bits 47..63 are all zero. Dereferencing a pointer invalidated by
+	// DangSan (bit 63 set) or a pointer still carrying an xTag generation
+	// tag (bits TagShift..TagShift+TagBits-1) lands here: such pointers are
+	// non-canonical by construction, but recognized — DecodeTag and
+	// pointerlog.DecodeFault recover the original address bits.
 	FaultNonCanonical FaultKind = iota
 	// FaultNoSegment marks an access outside every mapped segment.
 	FaultNoSegment
@@ -33,6 +37,15 @@ const (
 	FaultUnmapped
 	// FaultUnaligned marks a word access that is not 8-byte aligned.
 	FaultUnaligned
+	// FaultTagMismatch marks a dereference whose pointer carried an xTag
+	// generation tag that no longer matches the tag of the object at the
+	// stripped address — the xtag detector's use-after-free signal. The
+	// fault address preserves the full tagged pointer.
+	FaultTagMismatch
+	// FaultFreedRange marks a dereference into an address range whose
+	// object has been freed and not reallocated — the camp detector's
+	// range-check use-after-free signal.
+	FaultFreedRange
 )
 
 func (k FaultKind) String() string {
@@ -45,6 +58,10 @@ func (k FaultKind) String() string {
 		return "unmapped page"
 	case FaultUnaligned:
 		return "unaligned word access"
+	case FaultTagMismatch:
+		return "pointer tag mismatch"
+	case FaultFreedRange:
+		return "access to freed range"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}

@@ -1,0 +1,56 @@
+// Software pointer tagging in the unused high bits of user-space addresses
+// (the xTag scheme). The simulated address space enforces one canonical-form
+// rule — Canonical: bits 47..63 all zero — so any pointer carrying a tag is
+// non-canonical and faults if dereferenced raw. That is deliberate: the
+// runtime (internal/proc) strips and checks tags at every address-consuming
+// operation, so a tagged pointer that escapes the checked paths behaves like
+// an invalidated one instead of silently aliasing memory.
+//
+// Bit layout of a tagged pointer:
+//
+//	bit  63        : reserved for DangSan's invalid bit (never part of a tag)
+//	bits 48..62    : 15-bit generation tag (TagBits), zero means "untagged"
+//	bits 0..47     : the address, canonical on its own after StripTag
+package vmem
+
+const (
+	// TagShift is the lowest bit of the tag field.
+	TagShift = 48
+	// TagBits is the width of the tag field; tags live in
+	// bits TagShift..TagShift+TagBits-1, leaving bit 63 untouched.
+	TagBits = 15
+	// TagMask selects the tag field of a pointer.
+	TagMask = uint64(1<<TagBits-1) << TagShift
+	// MaxTag is the largest valid tag value. Tag 0 means "untagged": a
+	// generation counter that wraps must skip it, and after 1<<TagBits-1
+	// generations a stale pointer may alias a live tag again — the xTag
+	// false-negative window the differ pins down.
+	MaxTag = 1<<TagBits - 1
+)
+
+// PointerTag extracts the tag field of addr (0 for untagged pointers).
+func PointerTag(addr uint64) uint64 {
+	return (addr & TagMask) >> TagShift
+}
+
+// StripTag clears the tag field, recovering the canonical address (assuming
+// bit 63 is clear, which the tagger never sets).
+func StripTag(addr uint64) uint64 {
+	return addr &^ TagMask
+}
+
+// WithTag embeds tag into addr's tag field, replacing any existing tag.
+// tag must be <= MaxTag.
+func WithTag(addr, tag uint64) uint64 {
+	return addr&^TagMask | tag<<TagShift
+}
+
+// DecodeTag splits a possibly-tagged pointer into its canonical address and
+// tag, reporting whether a tag was present. Like pointerlog.DecodeFault for
+// the invalid bit, it recognizes the non-canonical-but-recoverable form: the
+// stripped address must itself be canonical and bit 63 clear.
+func DecodeTag(addr uint64) (orig, tag uint64, tagged bool) {
+	orig = StripTag(addr)
+	tag = PointerTag(addr)
+	return orig, tag, tag != 0 && Canonical(orig)
+}

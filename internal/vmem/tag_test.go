@@ -1,0 +1,96 @@
+package vmem
+
+import "testing"
+
+// TestCanonicalRule pins the single canonical-form rule the simulation
+// enforces: a user-space address is canonical iff bits 47..63 are all zero.
+// Pointers carrying an xTag generation tag or DangSan's invalid bit are
+// explicitly non-canonical (they fault if dereferenced raw) but recognized:
+// DecodeTag and the invalid-bit decoding recover the original address.
+func TestCanonicalRule(t *testing.T) {
+	cases := []struct {
+		name string
+		addr uint64
+		want bool
+	}{
+		{"zero", 0, true},
+		{"heap base", HeapBase, true},
+		{"globals base", GlobalsBase, true},
+		{"stacks base", StacksBase, true},
+		{"last canonical", 1<<47 - 1, true},
+		{"bit 47 set", 1 << 47, false},
+		{"tagged heap pointer", WithTag(HeapBase, 1), false},
+		{"max tag", WithTag(HeapBase, MaxTag), false},
+		{"invalid bit", HeapBase | 1<<63, false},
+		{"kernel half", 0xFFFF_8000_0000_0000, false},
+		{"all ones", ^uint64(0), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Canonical(c.addr); got != c.want {
+				t.Errorf("Canonical(0x%x) = %v, want %v", c.addr, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTagHelpers pins the tag field layout: bits 48..62, bit 63 untouched.
+func TestTagHelpers(t *testing.T) {
+	cases := []struct {
+		name       string
+		addr       uint64
+		tag        uint64
+		orig       uint64
+		recognized bool
+	}{
+		{"untagged", HeapBase + 0x40, 0, HeapBase + 0x40, false},
+		{"tag 1", WithTag(HeapBase+0x40, 1), 1, HeapBase + 0x40, true},
+		{"max tag", WithTag(HeapBase, MaxTag), MaxTag, HeapBase, true},
+		// Bit 63 is outside the tag field: an invalidated pointer has no
+		// tag, and stripping must not clear the invalid bit.
+		{"invalid bit only", HeapBase | 1<<63, 0, HeapBase | 1<<63, false},
+		// A tagged pointer whose stripped form is itself non-canonical is
+		// not a recognizable tagged pointer (garbage, not a stale tag).
+		{"tag over junk", WithTag(1<<47|0x8, 3), 3, 1<<47 | 0x8, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := PointerTag(c.addr); got != c.tag {
+				t.Errorf("PointerTag(0x%x) = %d, want %d", c.addr, got, c.tag)
+			}
+			orig, tag, tagged := DecodeTag(c.addr)
+			if orig != c.orig || tag != c.tag || tagged != c.recognized {
+				t.Errorf("DecodeTag(0x%x) = (0x%x, %d, %v), want (0x%x, %d, %v)",
+					c.addr, orig, tag, tagged, c.orig, c.tag, c.recognized)
+			}
+		})
+	}
+
+	// Round trip: WithTag then StripTag is the identity on the address
+	// bits for every tag value boundary.
+	for _, tag := range []uint64{1, 2, 1 << 7, MaxTag} {
+		p := WithTag(HeapBase+0x1238, tag)
+		if StripTag(p) != HeapBase+0x1238 {
+			t.Errorf("StripTag(WithTag(.., %d)) lost address bits: 0x%x", tag, StripTag(p))
+		}
+		if p&(1<<63) != 0 {
+			t.Errorf("WithTag(.., %d) touched bit 63", tag)
+		}
+	}
+}
+
+// TestTaggedAccessFaults pins that a tagged pointer dereferenced raw — i.e.
+// without the runtime's strip-and-check — faults as non-canonical, exactly
+// like an invalidated pointer. This is the property that makes tag escapes
+// fail loudly instead of corrupting memory.
+func TestTaggedAccessFaults(t *testing.T) {
+	as := New()
+	as.Heap().MapPages(HeapBase, 1)
+	if _, f := as.LoadWord(HeapBase); f != nil {
+		t.Fatalf("untagged load: %v", f)
+	}
+	tagged := WithTag(HeapBase, 7)
+	if _, f := as.LoadWord(tagged); f == nil || f.Kind != FaultNonCanonical {
+		t.Fatalf("tagged raw load: fault %v, want non-canonical", f)
+	}
+}

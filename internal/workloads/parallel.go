@@ -105,7 +105,7 @@ func RunParallel(p *proc.Process, prof ParallelProfile, threads int, seed int64)
 			return fmt.Errorf("%s: %w", prof.Name, err)
 		}
 		shared[i] = base
-		usable, _ := p.Allocator().UsableSize(base)
+		usable, _ := p.UsableSize(base)
 		sharedSizes[i] = usable
 	}
 	sharedSlotsPer := 256
@@ -202,7 +202,7 @@ func runParallelWorker(p *proc.Process, prof ParallelProfile, t, threads, object
 		if err != nil {
 			return fmt.Errorf("%s[t%d]: %w", prof.Name, t, err)
 		}
-		usable, _ := p.Allocator().UsableSize(base)
+		usable, _ := p.UsableSize(base)
 		obj := liveObj{base, usable}
 
 		for s := 0; s < storesPerObj; s++ {

@@ -3,6 +3,7 @@ package workloads
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dangsan/internal/detectors/dangsan"
@@ -65,14 +66,16 @@ func TestServerSurvivesTransientPressure(t *testing.T) {
 
 // panicDetector panics inside OnAlloc once a threshold of allocations is
 // reached — a stand-in for an unexpected detector bug inside a worker.
+// OnAlloc is called concurrently from every server worker, so the counter
+// must be atomic.
 type panicDetector struct {
 	dangsan.Detector
-	n, panicAt int
+	n       atomic.Int64
+	panicAt int64
 }
 
 func (d *panicDetector) OnAlloc(base, size, align uint64) {
-	d.n++
-	if d.n == d.panicAt {
+	if d.n.Add(1) == d.panicAt {
 		panic("injected detector panic")
 	}
 	d.Detector.OnAlloc(base, size, align)

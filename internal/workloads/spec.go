@@ -201,7 +201,7 @@ func RunSPEC(p *proc.Process, prof SPECProfile, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", prof.Name, err)
 		}
-		usable, _ := p.Allocator().UsableSize(base)
+		usable, _ := p.UsableSize(base)
 		obj := liveObj{base, usable}
 
 		if hotEvery > 0 && i%hotEvery == 0 {
