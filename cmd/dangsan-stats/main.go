@@ -6,10 +6,15 @@
 //	dangsan-stats [-scale 1.0] [-seed 1] [-compare] [-quarantine-bytes N]
 //	              [-cold-spill-bytes N] <benchmark>
 //	dangsan-stats metrics <snapshot.json|->
+//	dangsan-stats service <snapshot.json|->
 //
 // where <benchmark> is a SPEC name like 403.gcc or gcc, or "all". The
 // "metrics" form pretty-prints a JSON snapshot written by
-// `dangsan-bench -metrics` ("-" reads stdin). With -quarantine-bytes the
+// `dangsan-bench -metrics` ("-" reads stdin); the "service" form renders
+// the supervision gauges of a `dangsan-serve -metrics` snapshot — request
+// and degraded counters, failover and replay totals, and a per-shard
+// table of heartbeat age, breaker state, and failovers.
+// With -quarantine-bytes the
 // run uses deferred (epoch-quarantine) frees and additionally reports the
 // epoch depth and drain batch width. With -cold-spill-bytes the run uses
 // tiered pointer logs and additionally reports the spill traffic and the
@@ -42,8 +47,12 @@ func main() {
 		printMetrics(flag.Arg(1))
 		return
 	}
+	if flag.NArg() == 2 && flag.Arg(0) == "service" {
+		printService(flag.Arg(1))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dangsan-stats [flags] <benchmark|all> | dangsan-stats metrics <file|->")
+		fmt.Fprintln(os.Stderr, "usage: dangsan-stats [flags] <benchmark|all> | dangsan-stats metrics|service <file|->")
 		os.Exit(1)
 	}
 
@@ -128,6 +137,51 @@ func printMetrics(path string) {
 	snap, err := obs.ParseSnapshot(data)
 	check(err)
 	fmt.Print(snap.Format())
+}
+
+// printService renders the supervision view of a dangsan-serve -metrics
+// snapshot: the service.* gauges registered by the sharded service.
+func printService(path string) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	check(err)
+	snap, err := obs.ParseSnapshot(data)
+	check(err)
+	g := snap.Gauges
+	if _, ok := g["service.requests"]; !ok {
+		check(fmt.Errorf("%s has no service.* gauges (not a dangsan-serve snapshot?)", path))
+	}
+	fmt.Printf("service\n")
+	fmt.Printf("  requests:        %d\n", g["service.requests"])
+	fmt.Printf("  degraded:        %d\n", g["service.degraded_requests"])
+	fmt.Printf("  retries:         %d\n", g["service.retries"])
+	fmt.Printf("  timeouts:        %d\n", g["service.timeouts"])
+	fmt.Printf("  failovers:       %d\n", g["service.failovers"])
+	fmt.Printf("  replayed objs:   %d\n", g["service.replayed_objects"])
+	fmt.Printf("  recovered locs:  %d\n", g["service.recovered_spilled_locs"])
+	fmt.Printf("  heartbeat miss:  %d\n", g["service.heartbeat_misses"])
+	fmt.Printf("  worker panics:   %d\n", g["service.worker_panics"])
+	fmt.Printf("  breaker trips:   %d\n", g["service.breaker_trips"])
+	fmt.Printf("  %-6s %-10s %-12s %-10s\n", "shard", "breaker", "hb age", "failovers")
+	breakerNames := []string{"closed", "open", "half-open"}
+	for i := 0; ; i++ {
+		state, ok := g[fmt.Sprintf("service.shard%d.breaker_state", i)]
+		if !ok {
+			break
+		}
+		name := "?"
+		if state >= 0 && int(state) < len(breakerNames) {
+			name = breakerNames[state]
+		}
+		fmt.Printf("  %-6d %-10s %-12s %-10d\n", i, name,
+			fmt.Sprintf("%dms", g[fmt.Sprintf("service.shard%d.heartbeat_age_ms", i)]),
+			g[fmt.Sprintf("service.shard%d.failovers", i)])
+	}
 }
 
 func scaleInt(v int, s float64) int {

@@ -313,6 +313,36 @@ func FormatTiered(rows []TieredRow) string {
 	return "Tiered pointer logs: RAM ceiling vs free-path latency (hash-fallback workload)\n" + t.String()
 }
 
+// FormatService renders the supervised-service experiments: throughput as
+// the shard count grows, then failover recovery time and the degraded
+// fraction under worker kills.
+func FormatService(rep *ServiceReport) string {
+	var t tw
+	t.row("shards", "clients", "requests", "seconds", "ops/s", "degraded", "detected")
+	for _, r := range rep.Scaling {
+		t.row(fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.2f", r.Seconds),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%d", r.Degraded),
+			fmt.Sprintf("%d", r.Detected))
+	}
+	var f tw
+	f.row("kills", "failovers", "recovery mean", "recovery max", "degraded", "replayed", "recovered locs")
+	for _, r := range rep.Failover {
+		f.row(fmt.Sprintf("%d", r.Kills),
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%.2fms", r.RecoveryMeanMs),
+			fmt.Sprintf("%.2fms", r.RecoveryMaxMs),
+			fmt.Sprintf("%.2f%%", 100*r.DegradedFrac),
+			fmt.Sprintf("%d", r.Replayed),
+			fmt.Sprintf("%d", r.RecoveredLocs))
+	}
+	return "Supervised sharded service: throughput vs shard count\n" + t.String() +
+		"\nShard failover under live load (4 shards, audit armed, cold tier on)\n" + f.String()
+}
+
 // BenchJSON accumulates experiment results for the machine-readable
 // BENCH_<n>.json artifact: each experiment that runs adds its row structs
 // under a stable name, and Write emits one indented JSON document. The

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/service"
+)
+
+// ServiceScaleRow is one shard-count point of the service scaling
+// experiment: fixed client population, throughput as the address space is
+// split across more supervised workers.
+type ServiceScaleRow struct {
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Requests   uint64  `json:"requests"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"ops_per_sec"`
+	Degraded   uint64  `json:"degraded"`
+	Detected   uint64  `json:"detected"`
+}
+
+// ServiceFailoverRow is one kill-count point of the failover experiment:
+// workers killed under live load, the supervisor's measured recovery time
+// (drain + cold-segment read + journal replay + audit), and the fraction
+// of client requests that rode through as fail-open degraded verdicts.
+type ServiceFailoverRow struct {
+	Kills          int     `json:"kills"`
+	Failovers      uint64  `json:"failovers"`
+	RecoveryMeanMs float64 `json:"recovery_mean_ms"`
+	RecoveryMaxMs  float64 `json:"recovery_max_ms"`
+	Issued         uint64  `json:"issued"`
+	Degraded       uint64  `json:"degraded"`
+	DegradedFrac   float64 `json:"degraded_frac"`
+	Replayed       uint64  `json:"replayed_objects"`
+	RecoveredLocs  uint64  `json:"recovered_spilled_locs"`
+}
+
+// ServiceReport bundles both service experiments for BENCH_9.json.
+type ServiceReport struct {
+	Scaling  []ServiceScaleRow    `json:"scaling"`
+	Failover []ServiceFailoverRow `json:"failover"`
+}
+
+// serviceShardCounts is the scaling axis.
+func serviceShardCounts() []int { return []int{1, 2, 4, 8} }
+
+// RunService runs the supervised-service experiments: a throughput-vs-
+// shard-count sweep with no disruption, then a failover sweep on a fixed
+// 4-shard service (audit armed, cold tier at the minimum spill threshold)
+// where workers are killed under live load and recovery time and the
+// degraded-request fraction are measured. Any invariant violation —
+// false UAF, untyped error, audit drift across a rebuild — is an error.
+func RunService(opts Options, progress func(string)) (*ServiceReport, error) {
+	opts = opts.normalized()
+	rep := &ServiceReport{}
+	clients := 8
+	perClient := maxi(int(1500*opts.Scale), 150)
+
+	for _, shards := range serviceShardCounts() {
+		if progress != nil {
+			progress(fmt.Sprintf("service scaling shards=%d", shards))
+		}
+		svc, err := service.New(service.Config{
+			Shards:    shards,
+			HeapBytes: opts.HeapBytes,
+			Audit:     opts.Audit,
+			Seed:      uint64(opts.Seed),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service shards=%d: %w", shards, err)
+		}
+		start := time.Now()
+		load := service.RunLoad(svc, service.LoadConfig{
+			Clients:  clients,
+			Requests: perClient,
+			Seed:     uint64(opts.Seed)*0x9e3779b9 + uint64(shards),
+		})
+		elapsed := time.Since(start)
+		violations := append(load.Violations(), svc.Violations()...)
+		svc.Close()
+		if len(violations) > 0 {
+			return nil, fmt.Errorf("service shards=%d: %s", shards, violations[0])
+		}
+		row := ServiceScaleRow{
+			Shards:   shards,
+			Clients:  clients,
+			Requests: load.Issued,
+			Seconds:  elapsed.Seconds(),
+			Degraded: load.Degraded,
+			Detected: load.Detected,
+		}
+		if elapsed > 0 {
+			row.Throughput = float64(load.Issued) / elapsed.Seconds()
+		}
+		rep.Scaling = append(rep.Scaling, row)
+	}
+
+	for _, kills := range []int{1, 2, 4} {
+		if progress != nil {
+			progress(fmt.Sprintf("service failover kills=%d", kills))
+		}
+		row, err := runServiceFailover(opts, clients, kills)
+		if err != nil {
+			return nil, err
+		}
+		rep.Failover = append(rep.Failover, row)
+	}
+	return rep, nil
+}
+
+// runServiceFailover is one kill-count cell: a 4-shard audited service
+// with the cold tier armed, continuous load, kills spread round-robin
+// across the shards, each waited to a completed failover.
+func runServiceFailover(opts Options, clients, kills int) (ServiceFailoverRow, error) {
+	row := ServiceFailoverRow{Kills: kills}
+	dir, err := os.MkdirTemp("", "dangsan-bench-service")
+	if err != nil {
+		return row, fmt.Errorf("service failover: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	const shards = 4
+	svc, err := service.New(service.Config{
+		Shards:         shards,
+		HeapBytes:      opts.HeapBytes,
+		Audit:          true,
+		ColdSpillBytes: pointerlog.MinColdSpillBytes,
+		ColdDir:        dir,
+		Seed:           uint64(opts.Seed),
+	})
+	if err != nil {
+		return row, fmt.Errorf("service failover kills=%d: %w", kills, err)
+	}
+	defer svc.Close()
+
+	stop := make(chan struct{})
+	loadCh := make(chan service.LoadResult, 1)
+	go func() {
+		loadCh <- service.RunLoad(svc, service.LoadConfig{
+			Clients:     clients,
+			Seed:        uint64(opts.Seed)*0x2545f491 + uint64(kills),
+			HeavyFrac:   0.05,
+			HeavyStores: 300,
+			Stop:        stop,
+		})
+	}()
+	// Let the load build worker state worth rebuilding before the first
+	// kill, then kill round-robin, each to a completed failover.
+	time.Sleep(20 * time.Millisecond)
+	for k := 0; k < kills; k++ {
+		shard := k % shards
+		before := svc.Counters().Failovers
+		if err := svc.Disrupt(shard, "kill"); err != nil {
+			close(stop)
+			<-loadCh
+			return row, fmt.Errorf("service failover kills=%d: %w", kills, err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for svc.Counters().Failovers <= before {
+			if time.Now().After(deadline) {
+				close(stop)
+				<-loadCh
+				return row, fmt.Errorf("service failover kills=%d: shard %d never recovered", kills, shard)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	load := <-loadCh
+	if v := append(load.Violations(), svc.Violations()...); len(v) > 0 {
+		return row, fmt.Errorf("service failover kills=%d: %s", kills, v[0])
+	}
+	c := svc.Counters()
+	row.Failovers = c.Failovers
+	row.Issued = load.Issued
+	row.Degraded = load.Degraded
+	if load.Issued > 0 {
+		row.DegradedFrac = float64(load.Degraded) / float64(load.Issued)
+	}
+	row.Replayed = c.ReplayedObjects
+	row.RecoveredLocs = c.RecoveredLocs
+	var sum, max time.Duration
+	times := svc.RecoveryTimes()
+	for _, d := range times {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(times) > 0 {
+		row.RecoveryMeanMs = float64(sum.Microseconds()) / float64(len(times)) / 1000
+		row.RecoveryMaxMs = float64(max.Microseconds()) / 1000
+	}
+	return row, nil
+}

@@ -1,0 +1,244 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/service"
+)
+
+// ShardConfig shapes the sharded-service chaos cells: a supervised
+// service (audit armed, epoch quarantine, cold tier at the minimum spill
+// threshold) under continuous client load while a deterministic disruption
+// script kills, hangs, and slows shards. The invariants extend the
+// in-process fail-open contract across the shard boundary:
+//
+//   - no false UAF verdicts: a live key never faults, disrupted or not;
+//   - no hangs: the watchdog bounds the whole cell; every request is
+//     bounded by deadline × retry wall-cap;
+//   - typed errors only: anything else a client observes is a violation;
+//   - audit identity holds across every worker failover: the rebuilt
+//     worker's LogBytes == live + quarantined + released + spilled.
+type ShardConfig struct {
+	// Shards is the service's worker count (0: 4).
+	Shards int
+	// Clients is the concurrent load-generator population (0: 4).
+	Clients int
+	// HeapBytes sizes each worker's heap (0: 32 MiB).
+	HeapBytes uint64
+	// Timeout is the per-cell watchdog (0: 120s).
+	Timeout time.Duration
+}
+
+func (c ShardConfig) normalized() ShardConfig {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 32 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return c
+}
+
+// ShardResult is one sharded-service chaos cell's outcome.
+type ShardResult struct {
+	Rate    float64 `json:"rate"`
+	Seed    int64   `json:"seed"`
+	Seconds float64 `json:"seconds"`
+	// Kills/Hangs/Slows count the injected disruptions per kind.
+	Kills int `json:"kills"`
+	Hangs int `json:"hangs"`
+	Slows int `json:"slows"`
+	// Failovers is the completed worker rebuild count; RecoveredLocs the
+	// cold-segment locations recovered through ReadSegments across them;
+	// Replayed the journal objects re-established.
+	Failovers     uint64 `json:"failovers"`
+	RecoveredLocs uint64 `json:"recovered_locs"`
+	Replayed      uint64 `json:"replayed"`
+	// Issued/Degraded/Detected/Missed summarize the client population's
+	// view. Degraded and Missed are expected under disruption (fail-open
+	// and not-yet-drained quarantine); FalseUAF is folded into
+	// Violations.
+	Issued   uint64 `json:"issued"`
+	Degraded uint64 `json:"degraded"`
+	Detected uint64 `json:"detected"`
+	Missed   uint64 `json:"missed"`
+	// Violations must be empty for the cell to pass.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// shardRNG is a tiny deterministic splitmix64 stream for the disruption
+// script's shard choices.
+type shardRNG struct{ state uint64 }
+
+func (r *shardRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunShard executes one sharded-service chaos cell under the watchdog.
+// rate scales the disruption count (1 + rate×10 per kind); seed drives
+// the load streams and the script's shard choices. Like the other chaos
+// stages, a watchdog expiry abandons the cell's goroutine — the cell has
+// already failed.
+func RunShard(cfg ShardConfig, rate float64, seed int64) ShardResult {
+	cfg = cfg.normalized()
+	resCh := make(chan ShardResult, 1)
+	go func() { resCh <- runShardCell(cfg, rate, seed) }()
+	select {
+	case r := <-resCh:
+		return r
+	case <-time.After(cfg.Timeout):
+		return ShardResult{Rate: rate, Seed: seed, Violations: []string{
+			fmt.Sprintf("shard cell exceeded %v watchdog (deadlock?)", cfg.Timeout)}}
+	}
+}
+
+func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
+	r := ShardResult{Rate: rate, Seed: seed}
+	start := time.Now()
+	dir, err := os.MkdirTemp("", "dangsan-shard-chaos")
+	if err != nil {
+		r.Violations = append(r.Violations, fmt.Sprintf("cold dir: %v", err))
+		return r
+	}
+	defer os.RemoveAll(dir)
+	svc, err := service.New(service.Config{
+		Shards:            cfg.Shards,
+		HeapBytes:         cfg.HeapBytes,
+		Audit:             true,
+		QuarantineBytes:   256 << 10,
+		QuarantineEpoch:   8,
+		ColdSpillBytes:    pointerlog.MinColdSpillBytes,
+		ColdDir:           dir,
+		Seed:              uint64(seed),
+		RequestTimeout:    25 * time.Millisecond,
+		Retry:             service.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, MaxElapsed: 100 * time.Millisecond},
+		HeartbeatInterval: 2 * time.Millisecond,
+		HeartbeatTimeout:  10 * time.Millisecond,
+		HeartbeatMisses:   2,
+		BreakerThreshold:  3,
+		BreakerCooldown:   10 * time.Millisecond,
+		SlowDelay:         60 * time.Millisecond,
+		FreedWindow:       256,
+	})
+	if err != nil {
+		r.Violations = append(r.Violations, fmt.Sprintf("service start: %v", err))
+		return r
+	}
+	defer svc.Close()
+
+	// Continuous client load for the whole disruption script.
+	stop := make(chan struct{})
+	loadCh := make(chan service.LoadResult, 1)
+	go func() {
+		loadCh <- service.RunLoad(svc, service.LoadConfig{
+			Clients:     cfg.Clients,
+			Seed:        uint64(seed)*2654435761 + 1,
+			HeavyFrac:   0.03,
+			HeavyStores: 200,
+			Stop:        stop,
+		})
+	}()
+
+	// Deterministic disruption script: every kind runs 1 + rate×10 times
+	// (at least one kill per cell, so failover + audit-across-restart is
+	// always exercised), each against a seeded shard choice, each waiting
+	// for the supervisor to complete the failover before the next hit.
+	rng := shardRNG{state: uint64(seed) ^ 0xc4a5}
+	reps := 1 + int(rate*10)
+	for _, kind := range []string{"kill", "hang", "slow"} {
+		for i := 0; i < reps; i++ {
+			shard := int(rng.next() % uint64(cfg.Shards))
+			before := svc.Counters().Failovers
+			if derr := svc.Disrupt(shard, kind); derr != nil {
+				r.Violations = append(r.Violations, fmt.Sprintf("disrupt %s shard %d: %v", kind, shard, derr))
+				continue
+			}
+			switch kind {
+			case "kill":
+				r.Kills++
+			case "hang":
+				r.Hangs++
+			case "slow":
+				r.Slows++
+			}
+			if !waitCondition(10*time.Second, func() bool { return svc.Counters().Failovers > before }) {
+				r.Violations = append(r.Violations,
+					fmt.Sprintf("%s shard %d (rep %d): failover never completed", kind, shard, i))
+			}
+		}
+	}
+
+	close(stop)
+	load := <-loadCh
+	r.Issued, r.Degraded, r.Detected, r.Missed = load.Issued, load.Degraded, load.Detected, load.MissedUAF
+	r.Violations = append(r.Violations, load.Violations()...)
+
+	// End-of-cell cross-check: drain every quarantine, then require the
+	// audit identity on every (rebuilt) worker and fold in any violations
+	// the service recorded during failovers.
+	if qerr := svc.Quiesce(); qerr != nil {
+		r.Violations = append(r.Violations, fmt.Sprintf("quiesce: %v", qerr))
+	}
+	for i := 0; i < svc.Shards(); i++ {
+		_, _, audit, serr := svc.DetectorStats(i)
+		if serr != nil {
+			r.Violations = append(r.Violations, fmt.Sprintf("shard %d stats: %v", i, serr))
+			continue
+		}
+		for _, v := range audit {
+			r.Violations = append(r.Violations, fmt.Sprintf("shard %d audit: %s", i, v))
+		}
+	}
+	r.Violations = append(r.Violations, svc.Violations()...)
+	c := svc.Counters()
+	r.Failovers, r.RecoveredLocs, r.Replayed = c.Failovers, c.RecoveredLocs, c.ReplayedObjects
+	r.Seconds = time.Since(start).Seconds()
+	return r
+}
+
+// waitCondition polls cond every millisecond up to d.
+func waitCondition(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// SweepShards runs the rate × seed grid of sharded-service cells.
+func SweepShards(cfg ShardConfig, rates []float64, seeds []int64) []ShardResult {
+	var out []ShardResult
+	for _, rate := range rates {
+		for _, seed := range seeds {
+			out = append(out, RunShard(cfg, rate, seed))
+		}
+	}
+	return out
+}
+
+// FailedShards summarizes the violating cells (empty: the sweep passed).
+func FailedShards(results []ShardResult) []string {
+	var out []string
+	for _, r := range results {
+		for _, v := range r.Violations {
+			out = append(out, fmt.Sprintf("rate=%g seed=%d: %s", r.Rate, r.Seed, v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func shardTestConfig() ShardConfig {
+	return ShardConfig{
+		Shards:  4,
+		Clients: 4,
+		Timeout: 120 * time.Second,
+	}
+}
+
+// TestShardSweepInvariants is the sharded-service acceptance gate: a
+// rate × seed grid of cells, each driving a supervised 4-shard service
+// with concurrent clients while the disruption script kills, hangs, and
+// slows shards — with zero invariant violations: no false UAF verdicts,
+// no untyped client errors, no hangs past the watchdog, and the audit
+// identity holding on every rebuilt worker.
+func TestShardSweepInvariants(t *testing.T) {
+	rates := []float64{0.0, 0.1, 0.3}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		rates = rates[:2]
+		seeds = seeds[:2]
+	}
+	results := SweepShards(shardTestConfig(), rates, seeds)
+	if len(results) != len(rates)*len(seeds) {
+		t.Fatalf("grid has %d cells, want %d", len(results), len(rates)*len(seeds))
+	}
+	for _, v := range FailedShards(results) {
+		t.Error(v)
+	}
+	for _, r := range results {
+		t.Logf("rate=%g seed=%d: %.2fs kills=%d hangs=%d slows=%d failovers=%d replayed=%d recovered=%d issued=%d degraded=%d detected=%d missed=%d",
+			r.Rate, r.Seed, r.Seconds, r.Kills, r.Hangs, r.Slows,
+			r.Failovers, r.Replayed, r.RecoveredLocs, r.Issued, r.Degraded, r.Detected, r.Missed)
+		// Every cell injects at least one disruption of each kind, and the
+		// supervisor must have rebuilt a worker for every one of them.
+		if r.Kills == 0 {
+			t.Errorf("rate=%g seed=%d: no kill injected; failover was not exercised", r.Rate, r.Seed)
+		}
+		if r.Failovers < uint64(r.Kills+r.Hangs+r.Slows) {
+			t.Errorf("rate=%g seed=%d: %d disruptions but only %d failovers",
+				r.Rate, r.Seed, r.Kills+r.Hangs+r.Slows, r.Failovers)
+		}
+		if r.Issued == 0 {
+			t.Errorf("rate=%g seed=%d: load generator issued nothing", r.Rate, r.Seed)
+		}
+	}
+}
+
+// TestShardCellRebuildCoversColdTier: the heavy-key fraction of the load
+// pushes location sets across the cold spill threshold, so at least one
+// failover in a multi-kill cell must have recovered spilled locations via
+// ReadSegments and replayed journal objects into the replacement worker.
+func TestShardCellRebuildCoversColdTier(t *testing.T) {
+	r := RunShard(shardTestConfig(), 0.3, 42)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.Replayed == 0 {
+		t.Fatal("no journal objects replayed across any failover")
+	}
+	if r.RecoveredLocs == 0 {
+		t.Fatal("no cold-spill locations recovered across any failover")
+	}
+}

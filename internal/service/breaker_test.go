@@ -1,0 +1,211 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests step time explicitly.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerClosedTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Record(false)
+	}
+	// A success resets the consecutive counter: two more failures must not
+	// trip a threshold-3 breaker.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", got)
+	}
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("three consecutive failures did not trip: %v", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerOpenRejectsUntilCooldownThenProbes(t *testing.T) {
+	b, clk := newTestBreaker(1, 100*time.Millisecond)
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	clk.advance(99 * time.Millisecond)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request 1ms before cooldown")
+	}
+	clk.advance(2 * time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || probe == 0 {
+		t.Fatalf("cooldown elapsed: want a probe admission, got ok=%v probe=%d", ok, probe)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// Exactly one probe: a second caller is rejected while it is in flight.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second request during the probe")
+	}
+	b.RecordProbe(probe, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful probe did not close the breaker: %v", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, 50*time.Millisecond)
+	b.Record(false)
+	clk.advance(51 * time.Millisecond)
+	_, probe := b.Allow()
+	b.RecordProbe(probe, false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failed probe did not reopen the breaker: %v", got)
+	}
+	// The new Open period restarts the cooldown from the probe failure.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted a request immediately after a failed probe")
+	}
+	clk.advance(51 * time.Millisecond)
+	if ok, probe2 := b.Allow(); !ok || probe2 == 0 {
+		t.Fatal("second cooldown did not admit a new probe")
+	}
+}
+
+// TestBreakerProbeRacesConcurrentTrip is the satellite's regression case:
+// while the half-open probe is in flight, a concurrent failure (a
+// heartbeat, a queued request from before the trip) re-opens the breaker.
+// The probe's later SUCCESS must not close it — the trip is newer
+// information than the probe's admission.
+func TestBreakerProbeRacesConcurrentTrip(t *testing.T) {
+	b, clk := newTestBreaker(1, 50*time.Millisecond)
+	b.Record(false)
+	clk.advance(51 * time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || probe == 0 {
+		t.Fatal("expected a probe admission")
+	}
+	// Concurrent trip while the probe is in flight.
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("concurrent failure did not re-open: %v", got)
+	}
+	trips := b.Trips()
+	// The stale probe comes back successful — and must be ignored.
+	b.RecordProbe(probe, true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("stale probe success closed a tripped breaker: %v", got)
+	}
+	if b.Trips() != trips {
+		t.Fatalf("stale probe changed trip count: %d -> %d", trips, b.Trips())
+	}
+	// Same for ForceOpen (the failover path).
+	clk.advance(51 * time.Millisecond)
+	_, probe2 := b.Allow()
+	b.ForceOpen()
+	b.RecordProbe(probe2, true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("stale probe success closed a force-opened breaker: %v", got)
+	}
+	// And a fresh probe after the next cooldown still works.
+	clk.advance(51 * time.Millisecond)
+	ok, probe3 := b.Allow()
+	if !ok || probe3 == 0 {
+		t.Fatal("breaker did not recover a probe slot after stale-probe races")
+	}
+	b.RecordProbe(probe3, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("fresh probe could not close the breaker: %v", got)
+	}
+}
+
+func TestBreakerResetInvalidatesOutstandingProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Millisecond)
+	b.Record(false)
+	clk.advance(11 * time.Millisecond)
+	_, probe := b.Allow()
+	b.Reset()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("reset did not close: %v", got)
+	}
+	// The stale probe failing must not trip the freshly reset breaker.
+	b.RecordProbe(probe, false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("stale probe failure tripped a reset breaker: %v", got)
+	}
+}
+
+// TestBreakerConcurrentHammer drives Allow/Record/RecordProbe/ForceOpen
+// from many goroutines under -race. The assertion is structural: no data
+// race, no panic, at most one probe token outstanding at any instant, and
+// the breaker still functions afterwards.
+func TestBreakerConcurrentHammer(t *testing.T) {
+	b := NewBreaker(3, time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var rng jitterRNG
+			rng.seed(uint64(g) + 1)
+			for i := 0; i < 5000; i++ {
+				ok, probe := b.Allow()
+				switch {
+				case probe != 0:
+					b.RecordProbe(probe, rng.next()%2 == 0)
+				case ok:
+					b.Record(rng.next()%3 != 0)
+				}
+				if g == 0 && i%1000 == 999 {
+					b.ForceOpen()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiesce: force open, cool down, probe back to closed.
+	b.ForceOpen()
+	time.Sleep(time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || probe == 0 {
+		t.Fatalf("post-hammer breaker did not admit a probe (ok=%v probe=%d state=%v)", ok, probe, b.State())
+	}
+	b.RecordProbe(probe, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("post-hammer breaker stuck in %v", got)
+	}
+}

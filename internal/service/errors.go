@@ -1,0 +1,53 @@
+// Package service implements a supervised, sharded detection service over
+// the in-process DangSan stack — the coordinator/worker/client split the
+// ROADMAP's "millions of users" north star calls for. A coordinator shards
+// the simulated address space across N workers, each owning an isolated
+// vmem/tcmalloc/shadow/pointerlog instance plus a detector, and routes
+// register/free/deref-check streams by shard. Robustness is the first-class
+// design axis: every worker runs under a supervisor (heartbeat health
+// checks with miss thresholds), every request carries a deadline, transient
+// worker errors are retried with exponential backoff + jitter under a
+// wall-time cap, a per-shard circuit breaker trips to fail-open degraded
+// mode (requests counted, never a false UAF verdict or a hang), and shard
+// failover restarts a dead worker and rebuilds its state — replaying the
+// coordinator's journal and recovering cold spill segments through
+// pointerlog.ReadSegments so the audit identity
+// (LogBytes == live + quarantined + released + spilled) holds across the
+// restart.
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardDownError reports a request that could not reach its shard because
+// the worker had exited (crash, kill injection, or mid-failover). It is
+// transient: the coordinator retries, and exhausted retries fall open into
+// a degraded verdict, never an untyped error.
+type ShardDownError struct {
+	Shard  int
+	Reason string
+}
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("service: shard %d down (%s)", e.Shard, e.Reason)
+}
+
+// DeadlineError reports a request that missed its per-request deadline —
+// the worker was too slow (or hung) to enqueue or answer in time. It is
+// transient in the same sense as ShardDownError.
+type DeadlineError struct {
+	Shard   int
+	Op      string
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("service: shard %d %s deadline exceeded (%v)", e.Shard, e.Op, e.Timeout)
+}
+
+// ClosedError reports a request issued after Service.Close.
+type ClosedError struct{}
+
+func (e *ClosedError) Error() string { return "service: closed" }

@@ -1,0 +1,600 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dangsan/internal/obs"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/tcmalloc"
+	"dangsan/internal/vmem"
+)
+
+// Config sizes the service and its supervision envelope. The zero value is
+// usable: normalized() fills production-ish defaults; tests shrink the
+// timings so failures surface in milliseconds.
+type Config struct {
+	// Shards is the worker count; keys are routed by hash. 0 defaults
+	// to 4.
+	Shards int
+
+	// Per-worker detector stack — see the same-named pointerlog/proc
+	// options. Audit arms the exact cross-tier accounting identity
+	// (workers are single-threaded, so it holds to the byte).
+	HeapBytes        uint64
+	Audit            bool
+	MaxMetadataBytes uint64
+	QuarantineBytes  uint64
+	QuarantineEpoch  int
+	ColdSpillBytes   uint64
+	ColdDir          string
+
+	// FaultRate/FaultSeed/FaultBudget arm a per-worker fault-injection
+	// plane (distinct deterministic stream per shard and incarnation).
+	FaultRate   float64
+	FaultSeed   int64
+	FaultBudget int64
+
+	// Seed drives retry jitter and any other coordinator-side randomness.
+	Seed uint64
+
+	// RequestTimeout is the per-request deadline covering enqueue + reply.
+	// 0 defaults to 20ms.
+	RequestTimeout time.Duration
+	// Retry bounds the transient-error retry loop (attempts AND wall-time).
+	Retry RetryPolicy
+	// HeartbeatInterval is the supervisor's probe period (0: 5ms);
+	// HeartbeatTimeout the per-probe deadline (0: 10ms); HeartbeatMisses
+	// the consecutive-miss threshold that triggers failover (0: 3).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	HeartbeatMisses   int
+	// BreakerThreshold / BreakerCooldown configure each shard's circuit
+	// breaker (0: 5 failures / 25ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// FailoverDrain bounds how long failover waits for the old worker
+	// goroutine to exit before abandoning it (0: 500ms). Workers unblock
+	// on stop even when hung, so abandonment is the exception.
+	FailoverDrain time.Duration
+	// SlowDelay is the injected per-request latency in shard-slow
+	// disruption mode (0: 25ms — comfortably past RequestTimeout).
+	SlowDelay time.Duration
+	// FreedWindow is how many recently-freed keys each shard (and the
+	// journal) remembers for UAF probes and failover replay (0: 512).
+	FreedWindow int
+	// ScratchSlots sizes each worker's scattered-pointer-store arena
+	// (0: 2048 slots).
+	ScratchSlots int
+	// QueueDepth is each worker's request queue capacity (0: 64).
+	QueueDepth int
+
+	// Metrics, when non-nil, receives the service gauges
+	// (service.* / service.shard<i>.*).
+	Metrics *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 20 * time.Millisecond
+	}
+	c.Retry = c.Retry.normalized()
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 5 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 25 * time.Millisecond
+	}
+	if c.FailoverDrain <= 0 {
+		c.FailoverDrain = 500 * time.Millisecond
+	}
+	if c.SlowDelay <= 0 {
+		c.SlowDelay = 25 * time.Millisecond
+	}
+	if c.FreedWindow <= 0 {
+		c.FreedWindow = 512
+	}
+	if c.ScratchSlots <= 0 {
+		c.ScratchSlots = 2048
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QuarantineBytes > 0 && c.QuarantineEpoch <= 0 {
+		c.QuarantineEpoch = 16
+	}
+	return c
+}
+
+// shardState is the coordinator's per-shard bundle: the current worker
+// (swapped atomically at failover), its breaker, the replay journal, and
+// supervision bookkeeping.
+type shardState struct {
+	idx        int
+	worker     atomic.Pointer[worker]
+	breaker    *Breaker
+	journal    *journal
+	rebuilding atomic.Bool
+	failMu     sync.Mutex // serializes failovers for this shard
+	lastBeat   atomic.Int64
+	failovers  atomic.Uint64
+	incarn     atomic.Int64
+}
+
+// Service is the coordinator: it owns the shards, their supervisors, and
+// the fail-open request path.
+type Service struct {
+	cfg    Config
+	shards []*shardState
+	rng    jitterRNG
+
+	requests        atomic.Uint64
+	degraded        atomic.Uint64
+	retries         atomic.Uint64
+	timeouts        atomic.Uint64
+	failovers       atomic.Uint64
+	heartbeatMisses atomic.Uint64
+	workerPanics    atomic.Uint64
+	abandoned       atomic.Uint64
+	recoveredLocs   atomic.Uint64
+	replayedObjects atomic.Uint64
+	replayErrors    atomic.Uint64
+
+	recoveryMu sync.Mutex
+	recoveries []time.Duration
+
+	violationMu sync.Mutex
+	violations  []string
+
+	supStop chan struct{}
+	supWG   sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New builds the service, starts every shard worker and its supervisor,
+// and wires the service gauges into cfg.Metrics.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.normalized()
+	s := &Service{cfg: cfg, supStop: make(chan struct{})}
+	s.rng.seed(cfg.Seed ^ 0x5eed5eed5eed5eed)
+	now := time.Now().UnixNano()
+	for i := 0; i < cfg.Shards; i++ {
+		w, err := newWorker(i, 0, cfg)
+		if err != nil {
+			for _, sh := range s.shards {
+				old := sh.worker.Load()
+				old.shutdown()
+				<-old.done
+				old.close()
+			}
+			return nil, fmt.Errorf("service: shard %d: %w", i, err)
+		}
+		sh := &shardState{
+			idx:     i,
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			journal: newJournal(cfg.FreedWindow),
+		}
+		sh.lastBeat.Store(now)
+		sh.worker.Store(w)
+		w.start()
+		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		s.supWG.Add(1)
+		go s.supervise(sh)
+	}
+	s.registerMetrics()
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// keyFor folds (tenant, key) into the routing key: FNV-1a over the tenant
+// mixed with the caller key. Routing and worker-side state both use it.
+func keyFor(tenant string, key uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tenant))
+	g := h.Sum64()
+	g ^= key + 0x9e3779b97f4a7c15 + (g << 6) + (g >> 2)
+	return g
+}
+
+// ShardOf exposes the routing decision (the load generator uses it to
+// build shard-targeted traffic).
+func (s *Service) ShardOf(tenant string, key uint64) int {
+	return int(keyFor(tenant, key) % uint64(len(s.shards)))
+}
+
+// Alloc registers an object of `size` bytes under (tenant, key) with
+// `stores` scattered pointer stores. Idempotent for live keys.
+func (s *Service) Alloc(tenant string, key, size uint64, stores int) (Verdict, error) {
+	return s.do(request{kind: opAlloc, key: keyFor(tenant, key), size: size, stores: stores})
+}
+
+// Free frees the object under (tenant, key). Idempotent for absent/freed
+// keys.
+func (s *Service) Free(tenant string, key uint64) (Verdict, error) {
+	return s.do(request{kind: opFree, key: keyFor(tenant, key)})
+}
+
+// Check dereferences through the key's anchor pointer. For freed keys,
+// Verdict.UAF reports whether the detector caught the access; for live
+// keys a fault is returned as the error (a false UAF — the invariant the
+// chaos harness watches).
+func (s *Service) Check(tenant string, key uint64) (Verdict, error) {
+	return s.do(request{kind: opCheck, key: keyFor(tenant, key)})
+}
+
+// do is the supervised request path: breaker gate, per-request deadline,
+// bounded retry with jittered backoff under a wall-time cap, and a
+// degraded (fail-open) verdict when the shard cannot be reached — never a
+// hang, never a made-up answer.
+func (s *Service) do(req request) (Verdict, error) {
+	if s.closed.Load() {
+		return Verdict{Degraded: true}, &ClosedError{}
+	}
+	s.requests.Add(1)
+	sh := s.shards[req.key%uint64(len(s.shards))]
+	pol := s.cfg.Retry
+	deadline := time.Now().Add(pol.MaxElapsed)
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if s.closed.Load() {
+			break
+		}
+		ok, probe := sh.breaker.Allow()
+		if !ok || sh.rebuilding.Load() {
+			if probe != 0 {
+				// Raced a rebuild between Allow and the load: count the
+				// probe as failed so the breaker stays open.
+				sh.breaker.RecordProbe(probe, false)
+			}
+			break
+		}
+		w := sh.worker.Load()
+		req.resp = make(chan response, 1)
+		resp := w.send(req, s.cfg.RequestTimeout)
+		if resp.err == nil {
+			if probe != 0 {
+				sh.breaker.RecordProbe(probe, true)
+			} else {
+				sh.breaker.Record(true)
+			}
+			s.journalConfirmed(sh, req)
+			return resp.verdict, nil
+		}
+		if probe != 0 {
+			sh.breaker.RecordProbe(probe, false)
+		} else {
+			sh.breaker.Record(false)
+		}
+		var dl *DeadlineError
+		if errors.As(resp.err, &dl) {
+			s.timeouts.Add(1)
+		}
+		if !transient(resp.err) {
+			// Non-transient: a live-key fault (false UAF — surfaced for
+			// the harness) or resource exhaustion retries cannot fix.
+			// Exhaustion falls open into degraded; faults surface.
+			var fault *vmem.Fault
+			if errors.As(resp.err, &fault) {
+				return resp.verdict, resp.err
+			}
+			break
+		}
+		s.retries.Add(1)
+		d := pol.delay(attempt, &s.rng)
+		// The wall-time cap: stop retrying when the next sleep would
+		// cross the deadline, not merely when attempts run out.
+		if time.Now().Add(d).After(deadline) {
+			break
+		}
+		time.Sleep(d)
+	}
+	s.degraded.Add(1)
+	return Verdict{Degraded: true}, nil
+}
+
+// transient reports whether the coordinator should retry the error:
+// transport failures (down/deadline) and memory pressure are worth another
+// attempt; everything else is not.
+func transient(err error) bool {
+	var down *ShardDownError
+	var dl *DeadlineError
+	var oom *tcmalloc.OutOfMemoryError
+	return errors.As(err, &down) || errors.As(err, &dl) || errors.As(err, &oom)
+}
+
+// journalConfirmed records a CONFIRMED mutation — the worker replied ok —
+// so failover replay reconstructs exactly the state clients could observe.
+func (s *Service) journalConfirmed(sh *shardState, req request) {
+	switch req.kind {
+	case opAlloc:
+		sh.journal.recordAlloc(req.key, req.size, req.stores)
+	case opFree:
+		sh.journal.recordFree(req.key)
+	}
+}
+
+// Quiesce drains every shard's quarantine (epoch invalidation runs), so
+// freed-key probes observe invalidated anchors deterministically. Uses a
+// generous deadline: a drain walks every pending log.
+func (s *Service) Quiesce() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		w := sh.worker.Load()
+		resp := w.send(request{kind: opQuiesce, resp: make(chan response, 1)}, 10*s.cfg.RequestTimeout)
+		if resp.err != nil && firstErr == nil {
+			firstErr = resp.err
+		}
+	}
+	return firstErr
+}
+
+// ShardStatus is one shard's supervision snapshot.
+type ShardStatus struct {
+	Shard        int
+	Breaker      BreakerState
+	BreakerTrips uint64
+	Rebuilding   bool
+	HeartbeatAge time.Duration
+	Failovers    uint64
+	Incarnation  int64
+	LiveKeys     int
+	FreedKeys    int
+}
+
+// ShardStats returns the supervision view of every shard.
+func (s *Service) ShardStats() []ShardStatus {
+	out := make([]ShardStatus, 0, len(s.shards))
+	now := time.Now().UnixNano()
+	for _, sh := range s.shards {
+		live, freed := sh.journal.counts()
+		out = append(out, ShardStatus{
+			Shard:        sh.idx,
+			Breaker:      sh.breaker.State(),
+			BreakerTrips: sh.breaker.Trips(),
+			Rebuilding:   sh.rebuilding.Load(),
+			HeartbeatAge: time.Duration(now - sh.lastBeat.Load()),
+			Failovers:    sh.failovers.Load(),
+			Incarnation:  sh.incarn.Load(),
+			LiveKeys:     live,
+			FreedKeys:    freed,
+		})
+	}
+	return out
+}
+
+// DetectorStats fetches shard i's pointer-log snapshot, cold-tier stats,
+// and audit verdicts through the worker (so the read is single-threaded
+// with the worker's own traffic).
+func (s *Service) DetectorStats(shard int) (pointerlog.Snapshot, pointerlog.ColdStats, []string, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return pointerlog.Snapshot{}, pointerlog.ColdStats{}, nil, fmt.Errorf("service: no shard %d", shard)
+	}
+	w := s.shards[shard].worker.Load()
+	resp := w.send(request{kind: opStats, resp: make(chan response, 1)}, 10*s.cfg.RequestTimeout)
+	if resp.err != nil {
+		return pointerlog.Snapshot{}, pointerlog.ColdStats{}, nil, resp.err
+	}
+	return resp.stats, resp.cold, resp.audit, nil
+}
+
+// AggregateStats sums the pointer-log snapshots across shards (transient
+// per-shard failures are skipped; the error reports the first one).
+func (s *Service) AggregateStats() (pointerlog.Snapshot, error) {
+	var out pointerlog.Snapshot
+	var firstErr error
+	for i := range s.shards {
+		snap, _, _, err := s.DetectorStats(i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out.ObjectsTracked += snap.ObjectsTracked
+		out.Registered += snap.Registered
+		out.Logged += snap.Logged
+		out.Duplicates += snap.Duplicates
+		out.Compressed += snap.Compressed
+		out.HashTables += snap.HashTables
+		out.Invalidated += snap.Invalidated
+		out.Stale += snap.Stale
+		out.Faulted += snap.Faulted
+		out.LogBytes += snap.LogBytes
+		out.LogBytesReleased += snap.LogBytesReleased
+		out.LogBytesLive += snap.LogBytesLive
+		out.LogBytesSpilled += snap.LogBytesSpilled
+		out.Spills += snap.Spills
+		out.SpillFailures += snap.SpillFailures
+		out.ColdReadErrors += snap.ColdReadErrors
+		out.DegradedObjects += snap.DegradedObjects
+		out.DroppedRegistrations += snap.DroppedRegistrations
+	}
+	return out, firstErr
+}
+
+// Disrupt injects a failure mode into shard i's current worker: slow
+// (requests crawl), hang (requests never answered), kill (worker exits on
+// next request). The chaos stages drive this.
+func (s *Service) Disrupt(shard int, mode string) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("service: no shard %d", shard)
+	}
+	w := s.shards[shard].worker.Load()
+	switch mode {
+	case "slow":
+		w.mode.Store(int32(disruptSlow))
+	case "hang":
+		w.mode.Store(int32(disruptHang))
+	case "kill":
+		w.mode.Store(int32(disruptKill))
+	case "none", "heal":
+		w.mode.Store(int32(disruptNone))
+	default:
+		return fmt.Errorf("service: unknown disruption %q", mode)
+	}
+	return nil
+}
+
+// Violations returns invariant violations the service itself observed
+// (audit identity broken after a rebuild, replay failures). The chaos
+// harness folds these into its verdict.
+func (s *Service) Violations() []string {
+	s.violationMu.Lock()
+	defer s.violationMu.Unlock()
+	out := make([]string, len(s.violations))
+	copy(out, s.violations)
+	return out
+}
+
+func (s *Service) recordViolation(format string, args ...any) {
+	s.violationMu.Lock()
+	defer s.violationMu.Unlock()
+	s.violations = append(s.violations, fmt.Sprintf(format, args...))
+}
+
+// Counters is the service's own gauge set — the numbers the CLI, bench,
+// and dangsan-stats surface.
+type Counters struct {
+	Requests        uint64 `json:"requests"`
+	Degraded        uint64 `json:"degraded_requests"`
+	Retries         uint64 `json:"retries"`
+	Timeouts        uint64 `json:"timeouts"`
+	Failovers       uint64 `json:"failovers"`
+	HeartbeatMisses uint64 `json:"heartbeat_misses"`
+	WorkerPanics    uint64 `json:"worker_panics"`
+	Abandoned       uint64 `json:"abandoned_workers"`
+	RecoveredLocs   uint64 `json:"recovered_spilled_locs"`
+	ReplayedObjects uint64 `json:"replayed_objects"`
+	ReplayErrors    uint64 `json:"replay_errors"`
+	BreakerTrips    uint64 `json:"breaker_trips"`
+}
+
+// Counters snapshots the service-level counters.
+func (s *Service) Counters() Counters {
+	var trips uint64
+	for _, sh := range s.shards {
+		trips += sh.breaker.Trips()
+	}
+	return Counters{
+		Requests:        s.requests.Load(),
+		Degraded:        s.degraded.Load(),
+		Retries:         s.retries.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Failovers:       s.failovers.Load(),
+		HeartbeatMisses: s.heartbeatMisses.Load(),
+		WorkerPanics:    s.workerPanics.Load(),
+		Abandoned:       s.abandoned.Load(),
+		RecoveredLocs:   s.recoveredLocs.Load(),
+		ReplayedObjects: s.replayedObjects.Load(),
+		ReplayErrors:    s.replayErrors.Load(),
+		BreakerTrips:    trips,
+	}
+}
+
+// RecoveryTimes returns the duration of every completed failover.
+func (s *Service) RecoveryTimes() []time.Duration {
+	s.recoveryMu.Lock()
+	defer s.recoveryMu.Unlock()
+	out := make([]time.Duration, len(s.recoveries))
+	copy(out, s.recoveries)
+	return out
+}
+
+// registerMetrics exposes the supervision state as func gauges so metrics
+// snapshots see live values without a second set of counters.
+func (s *Service) registerMetrics() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	u := func(a *atomic.Uint64) func() int64 {
+		return func() int64 { return int64(a.Load()) }
+	}
+	reg.RegisterFunc("service.requests", u(&s.requests))
+	reg.RegisterFunc("service.degraded_requests", u(&s.degraded))
+	reg.RegisterFunc("service.retries", u(&s.retries))
+	reg.RegisterFunc("service.timeouts", u(&s.timeouts))
+	reg.RegisterFunc("service.failovers", u(&s.failovers))
+	reg.RegisterFunc("service.heartbeat_misses", u(&s.heartbeatMisses))
+	reg.RegisterFunc("service.worker_panics", u(&s.workerPanics))
+	reg.RegisterFunc("service.recovered_spilled_locs", u(&s.recoveredLocs))
+	reg.RegisterFunc("service.replayed_objects", u(&s.replayedObjects))
+	reg.RegisterFunc("service.breaker_trips", func() int64 {
+		var t uint64
+		for _, sh := range s.shards {
+			t += sh.breaker.Trips()
+		}
+		return int64(t)
+	})
+	for _, sh := range s.shards {
+		sh := sh
+		reg.RegisterFunc(fmt.Sprintf("service.shard%d.heartbeat_age_ms", sh.idx), func() int64 {
+			return (time.Now().UnixNano() - sh.lastBeat.Load()) / int64(time.Millisecond)
+		})
+		reg.RegisterFunc(fmt.Sprintf("service.shard%d.breaker_state", sh.idx), func() int64 {
+			return int64(sh.breaker.State())
+		})
+		reg.RegisterFunc(fmt.Sprintf("service.shard%d.failovers", sh.idx), func() int64 {
+			return int64(sh.failovers.Load())
+		})
+	}
+}
+
+// Close stops the supervisors and every worker. Requests issued after
+// Close fail with ClosedError (degraded verdict).
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.supStop)
+	s.supWG.Wait()
+	for _, sh := range s.shards {
+		// Serialize with any in-flight failover so we stop the final
+		// worker, not a mid-swap one.
+		sh.failMu.Lock()
+		w := sh.worker.Load()
+		w.shutdown()
+		if waitClosed(w.done, s.cfg.FailoverDrain) {
+			w.close()
+		} else {
+			s.abandoned.Add(1)
+		}
+		sh.failMu.Unlock()
+	}
+}
+
+// waitClosed waits for ch to close, up to d. Returns false on timeout.
+func waitClosed(ch <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}

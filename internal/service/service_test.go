@@ -1,0 +1,295 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dangsan/internal/obs"
+	"dangsan/internal/pointerlog"
+)
+
+// testConfig returns a service config with test-scale timings: failures
+// surface in milliseconds instead of the production-ish defaults.
+func testConfig(t *testing.T, shards int) Config {
+	t.Helper()
+	return Config{
+		Shards:            shards,
+		HeapBytes:         32 << 20,
+		Audit:             true,
+		QuarantineBytes:   256 << 10,
+		QuarantineEpoch:   8,
+		ColdSpillBytes:    pointerlog.MinColdSpillBytes,
+		ColdDir:           t.TempDir(),
+		Seed:              42,
+		RequestTimeout:    25 * time.Millisecond,
+		Retry:             RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, MaxElapsed: 100 * time.Millisecond},
+		HeartbeatInterval: 2 * time.Millisecond,
+		HeartbeatTimeout:  10 * time.Millisecond,
+		HeartbeatMisses:   2,
+		BreakerThreshold:  3,
+		BreakerCooldown:   10 * time.Millisecond,
+		SlowDelay:         60 * time.Millisecond,
+		FreedWindow:       128,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitUntil polls cond up to timeout.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServiceLifecycle: the basic contract — allocs are visible, live-key
+// checks never fault, frees quarantine, a post-Quiesce probe detects the
+// UAF, and the audit identity holds on every shard.
+func TestServiceLifecycle(t *testing.T) {
+	s := mustNew(t, testConfig(t, 2))
+	for k := uint64(1); k <= 40; k++ {
+		if v, err := s.Alloc("acme", k, 256, 4); err != nil || v.Degraded {
+			t.Fatalf("alloc %d: v=%+v err=%v", k, v, err)
+		}
+	}
+	for k := uint64(1); k <= 40; k++ {
+		v, err := s.Check("acme", k)
+		if err != nil {
+			t.Fatalf("live check %d faulted (false UAF): %v", k, err)
+		}
+		if !v.Known || v.Freed {
+			t.Fatalf("live check %d: %+v", k, v)
+		}
+	}
+	for k := uint64(1); k <= 20; k++ {
+		if v, err := s.Free("acme", k); err != nil || v.Degraded {
+			t.Fatalf("free %d: v=%+v err=%v", k, v, err)
+		}
+	}
+	if err := s.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	detected := 0
+	for k := uint64(1); k <= 20; k++ {
+		v, err := s.Check("acme", k)
+		if err != nil {
+			t.Fatalf("freed probe %d errored: %v", k, err)
+		}
+		if !v.Known || !v.Freed {
+			t.Fatalf("freed probe %d: %+v", k, v)
+		}
+		if v.UAF {
+			detected++
+		}
+	}
+	if detected != 20 {
+		t.Fatalf("post-quiesce probes detected %d/20 UAFs", detected)
+	}
+	// Live keys still clean after the drain.
+	for k := uint64(21); k <= 40; k++ {
+		if _, err := s.Check("acme", k); err != nil {
+			t.Fatalf("live check %d after drain faulted: %v", k, err)
+		}
+	}
+	for i := 0; i < s.Shards(); i++ {
+		snap, _, audit, err := s.DetectorStats(i)
+		if err != nil {
+			t.Fatalf("stats shard %d: %v", i, err)
+		}
+		if len(audit) > 0 {
+			t.Fatalf("shard %d audit violations: %v", i, audit)
+		}
+		if snap.ObjectsTracked == 0 {
+			t.Fatalf("shard %d tracked nothing — routing is broken", i)
+		}
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("service violations: %v", v)
+	}
+}
+
+// TestServiceRoutingCoversShards: the tenant/key hash must spread keys
+// over every shard.
+func TestServiceRoutingCoversShards(t *testing.T) {
+	s := mustNew(t, testConfig(t, 4))
+	seen := make(map[int]int)
+	for k := uint64(0); k < 256; k++ {
+		seen[s.ShardOf("tenant", k)]++
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("shard %d received no keys: %v", i, seen)
+		}
+	}
+}
+
+// TestServiceDegradedFailOpen: with supervision effectively disabled (so
+// nothing rebuilds the shard), killing a worker must turn that shard's
+// requests into degraded verdicts — typed, prompt, never a hang or a
+// false answer — while other shards keep answering.
+func TestServiceDegradedFailOpen(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.HeartbeatInterval = time.Hour // supervisor idle: no failover
+	cfg.Retry.MaxElapsed = 20 * time.Millisecond
+	s := mustNew(t, cfg)
+
+	// Find keys for both shards.
+	var k0, k1 uint64
+	for k := uint64(1); k0 == 0 || k1 == 0; k++ {
+		if s.ShardOf("t", k) == 0 {
+			if k0 == 0 {
+				k0 = k
+			}
+		} else if k1 == 0 {
+			k1 = k
+		}
+	}
+	if v, err := s.Alloc("t", k1, 64, 2); err != nil || v.Degraded {
+		t.Fatalf("healthy alloc: %+v %v", v, err)
+	}
+
+	if err := s.Disrupt(0, "kill"); err != nil {
+		t.Fatal(err)
+	}
+	// First request crashes the worker; the response is a typed timeout
+	// or down error internally, surfaced as a degraded verdict.
+	start := time.Now()
+	v, err := s.Alloc("t", k0, 64, 2)
+	if err != nil {
+		t.Fatalf("killed-shard alloc returned error instead of failing open: %v", err)
+	}
+	if !v.Degraded {
+		t.Fatalf("killed-shard alloc verdict: %+v, want degraded", v)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fail-open took %v — the deadline/retry caps are not bounding", elapsed)
+	}
+	// Subsequent requests hit the tripped breaker / dead worker and stay
+	// degraded without accumulating latency.
+	for i := 0; i < 5; i++ {
+		if v, err := s.Check("t", k0); err != nil || !v.Degraded {
+			t.Fatalf("degraded check %d: %+v %v", i, v, err)
+		}
+	}
+	if c := s.Counters(); c.Degraded == 0 {
+		t.Fatal("degraded requests not counted")
+	}
+	// The healthy shard is unaffected.
+	if v, err := s.Check("t", k1); err != nil || v.Degraded || !v.Known {
+		t.Fatalf("healthy shard affected by the dead one: %+v %v", v, err)
+	}
+}
+
+// TestServiceRetryWallTimeCap: a hung shard makes every attempt eat the
+// full request deadline; the retry loop must give up on wall-time, not
+// grind through MaxAttempts × deadline.
+func TestServiceRetryWallTimeCap(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.HeartbeatInterval = time.Hour // keep failover out of the timing
+	cfg.RequestTimeout = 30 * time.Millisecond
+	cfg.Retry = RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, MaxElapsed: 80 * time.Millisecond}
+	s := mustNew(t, cfg)
+	if err := s.Disrupt(0, "hang"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v, err := s.Alloc("t", 1, 64, 1)
+	elapsed := time.Since(start)
+	if err != nil || !v.Degraded {
+		t.Fatalf("hung shard: %+v %v, want degraded fail-open", v, err)
+	}
+	// Wall cap 80ms + one in-flight attempt (≤30ms) + slack. Without the
+	// cap this would be ≥ 100 × 30ms = 3s.
+	if elapsed > time.Second {
+		t.Fatalf("request took %v; the wall-time cap is not enforced", elapsed)
+	}
+	if c := s.Counters(); c.Timeouts == 0 {
+		t.Fatal("deadline errors not counted")
+	}
+}
+
+// TestServiceClosed: requests after Close fail with the typed ClosedError
+// and a degraded verdict.
+func TestServiceClosed(t *testing.T) {
+	s := mustNew(t, testConfig(t, 1))
+	s.Close()
+	v, err := s.Alloc("t", 1, 64, 1)
+	var closed *ClosedError
+	if !errors.As(err, &closed) {
+		t.Fatalf("post-close error = %v, want ClosedError", err)
+	}
+	if !v.Degraded {
+		t.Fatalf("post-close verdict: %+v", v)
+	}
+	s.Close() // idempotent
+}
+
+// TestServiceLoadGenClean: an undisrupted load run must be violation-free:
+// zero false UAFs, zero unexpected errors, zero unknown live keys, and —
+// after an explicit drain — freed-key probes do detect.
+func TestServiceLoadGenClean(t *testing.T) {
+	cfg := testConfig(t, 2)
+	s := mustNew(t, cfg)
+	res := RunLoad(s, LoadConfig{Clients: 4, Requests: 500, Seed: 7, HeavyStores: 200})
+	if v := res.Violations(); len(v) > 0 {
+		t.Fatalf("clean load run produced violations: %v", v)
+	}
+	if res.Unknown > 0 {
+		t.Fatalf("clean run lost %d live keys", res.Unknown)
+	}
+	if res.Degraded > 0 {
+		t.Fatalf("clean run degraded %d requests", res.Degraded)
+	}
+	if res.Detected == 0 {
+		t.Fatal("no UAF probe detected anything across the whole run")
+	}
+	if res.Issued != res.Confirmed+res.Degraded {
+		t.Fatalf("accounting: issued=%d confirmed=%d degraded=%d", res.Issued, res.Confirmed, res.Degraded)
+	}
+	snap, err := s.AggregateStats()
+	if err != nil {
+		t.Fatalf("aggregate stats: %v", err)
+	}
+	if snap.HashTables == 0 || snap.Spills == 0 {
+		t.Fatalf("heavy keys exercised neither hash mode (%d) nor the cold tier (%d)", snap.HashTables, snap.Spills)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("service violations: %v", v)
+	}
+}
+
+// TestServiceMetricsGauges: the service registers its gauges and they
+// reflect traffic.
+func TestServiceMetricsGauges(t *testing.T) {
+	cfg := testConfig(t, 2)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	s := mustNew(t, cfg)
+	if _, err := s.Alloc("t", 1, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["service.requests"] == 0 {
+		t.Fatalf("service.requests gauge missing or zero: %v", snap.Gauges)
+	}
+	for _, name := range []string{"service.degraded_requests", "service.failovers", "service.shard0.breaker_state", "service.shard0.heartbeat_age_ms", "service.shard1.failovers"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %s not registered (have %v)", name, snap.Gauges)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"time"
+
+	"dangsan/internal/pointerlog"
+)
+
+// supervise is one shard's supervisor loop: it pings the worker every
+// HeartbeatInterval (bypassing the breaker — health checking must keep
+// probing precisely when requests are being rejected), feeds the results
+// into the breaker, and triggers failover after HeartbeatMisses
+// consecutive misses or as soon as the worker goroutine is seen dead.
+func (s *Service) supervise(sh *shardState) {
+	defer s.supWG.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-s.supStop:
+			return
+		case <-ticker.C:
+		}
+		if sh.rebuilding.Load() {
+			continue
+		}
+		w := sh.worker.Load()
+		select {
+		case <-w.done:
+			// Dead worker: no point counting misses.
+			s.failover(sh, "worker exited")
+			misses = 0
+			continue
+		default:
+		}
+		resp := w.send(request{kind: opPing, resp: make(chan response, 1)}, s.cfg.HeartbeatTimeout)
+		if resp.err == nil {
+			misses = 0
+			sh.lastBeat.Store(time.Now().UnixNano())
+			sh.breaker.Record(true)
+			continue
+		}
+		misses++
+		s.heartbeatMisses.Add(1)
+		// A failing heartbeat is evidence against the shard like any
+		// failing request — while half-open it is the concurrent trip
+		// racing the probe (the breaker invalidates the probe's token).
+		sh.breaker.Record(false)
+		if misses >= s.cfg.HeartbeatMisses {
+			s.failover(sh, "heartbeat misses")
+			misses = 0
+		}
+	}
+}
+
+// failover replaces a shard's worker and rebuilds its state:
+//
+//  1. mark the shard rebuilding and force the breaker open, so the request
+//     path fails open into degraded verdicts instead of racing the swap;
+//  2. stop the old worker and wait (bounded) for its goroutine to exit —
+//     hang-mode workers unblock on stop, so abandonment is rare;
+//  3. recover the old worker's cold tier through the offline
+//     pointerlog.ReadSegments path (the same fail-closed decoder
+//     invalidation uses), counting the locations that survived on disk;
+//  4. build a fresh worker (next incarnation) and replay the journal
+//     synchronously through direct handle calls — live keys as
+//     allocations, the freed window as allocation+free so quarantine
+//     custody is re-established — before the worker loop starts;
+//  5. with audit armed, cross-check the rebuilt worker's accounting
+//     identity (LogBytes == live + quarantined + released + spilled); a
+//     violation here is a service-level invariant failure;
+//  6. swap the worker in, reset the breaker, and reopen the shard.
+//
+// Concurrent failovers for one shard serialize on failMu; the rebuilding
+// flag keeps the supervisor and request path out during the rebuild.
+func (s *Service) failover(sh *shardState, reason string) {
+	sh.failMu.Lock()
+	defer sh.failMu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	old := sh.worker.Load()
+	// Another failover may have already replaced the worker while this
+	// trigger was waiting on failMu; only proceed if the observed-dead
+	// worker is still current.
+	select {
+	case <-old.done:
+	default:
+		// Worker alive: heartbeat-miss trigger. Proceed — stop will kill
+		// it below — unless a concurrent failover just swapped in a fresh
+		// incarnation (its heartbeat history does not transfer).
+		if old.incarnation != int(sh.incarn.Load()) {
+			return
+		}
+	}
+	start := time.Now()
+	sh.rebuilding.Store(true)
+	defer sh.rebuilding.Store(false)
+	sh.breaker.ForceOpen()
+
+	old.shutdown()
+	exited := waitClosed(old.done, s.cfg.FailoverDrain)
+	if old.panicked.Load() {
+		s.workerPanics.Add(1)
+	}
+
+	// Recover the cold tier from the dead worker's spill file. The frames
+	// already on disk survive the "crash"; ReadSegments streams every
+	// intact segment and fails closed at the first torn one.
+	var recovered int
+	if exited {
+		if path := old.coldPath(); path != "" {
+			// An error here means ReadSegments stopped at a torn or
+			// corrupt frame; the intact prefix still counts. Losing the
+			// tail is coverage loss, not a violation (mirrors
+			// ColdReadErrors semantics).
+			locs, _ := pointerlog.ReadSegments(path)
+			recovered = len(locs)
+		}
+	} else {
+		// The goroutine would not exit within the drain budget: abandon
+		// it (its detector keeps its spill file; Close would race).
+		s.abandoned.Add(1)
+	}
+
+	nw, err := newWorker(sh.idx, int(sh.incarn.Load())+1, s.cfg)
+	if err != nil {
+		// Cannot rebuild (globals exhausted, etc.): leave the dead worker
+		// in place; the breaker stays open, requests stay degraded, and
+		// the supervisor will retry on its next tick.
+		s.replayErrors.Add(1)
+		s.recordViolation("shard %d: rebuild failed: %v", sh.idx, err)
+		return
+	}
+
+	// Replay the journal against the fresh worker before it serves
+	// traffic. handle runs on this goroutine; the worker is unreachable,
+	// so the single-threaded contract holds.
+	live, freed := sh.journal.snapshot()
+	replayed := 0
+	for _, e := range live {
+		if rerr := nw.handleAlloc(e.key, e.size, e.stores); rerr != nil {
+			s.replayErrors.Add(1)
+		} else {
+			replayed++
+		}
+	}
+	for _, e := range freed {
+		if rerr := nw.handleAlloc(e.key, e.size, e.stores); rerr != nil {
+			s.replayErrors.Add(1)
+			continue
+		}
+		if rerr := nw.handleFree(e.key); rerr != nil {
+			s.replayErrors.Add(1)
+			continue
+		}
+		replayed++
+	}
+	if s.cfg.Audit {
+		// Stats triggers the logger's AuditCheck; any recorded violation
+		// means the rebuilt state broke the accounting identity.
+		nw.det.Stats()
+		if v := nw.det.AuditViolations(); len(v) > 0 {
+			s.recordViolation("shard %d: audit identity broken after rebuild: %s", sh.idx, v[0])
+		}
+	}
+
+	if exited {
+		// Release the old detector's resources (unlinks its spill file)
+		// only after recovery read it.
+		old.close()
+	}
+
+	nw.start()
+	sh.worker.Store(nw)
+	sh.incarn.Add(1)
+	sh.breaker.Reset()
+	sh.lastBeat.Store(time.Now().UnixNano())
+	sh.failovers.Add(1)
+	s.failovers.Add(1)
+	s.recoveredLocs.Add(uint64(recovered))
+	s.replayedObjects.Add(uint64(replayed))
+	d := time.Since(start)
+	s.recoveryMu.Lock()
+	s.recoveries = append(s.recoveries, d)
+	s.recoveryMu.Unlock()
+}

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dangsan/internal/detectors/dangsan"
+	"dangsan/internal/faultinject"
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/proc"
+	"dangsan/internal/tcmalloc"
+)
+
+// opKind enumerates the worker's request vocabulary.
+type opKind uint8
+
+const (
+	opAlloc opKind = iota
+	opFree
+	opCheck
+	opPing
+	opStats
+	opQuiesce
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opAlloc:
+		return "alloc"
+	case opFree:
+		return "free"
+	case opCheck:
+		return "check"
+	case opPing:
+		return "ping"
+	case opStats:
+		return "stats"
+	case opQuiesce:
+		return "quiesce"
+	}
+	return "unknown"
+}
+
+// Verdict is the service-level answer to a request. Degraded verdicts are
+// the fail-open outcome: the shard could not answer (breaker open, retries
+// exhausted, rebuild in progress) and the coordinator says so instead of
+// guessing — never a false UAF claim, never a hang.
+type Verdict struct {
+	// Known: the shard has a record for the key.
+	Known bool
+	// Freed: the key's object has been freed (check verdicts only).
+	Freed bool
+	// UAF: a dereference through the key's anchor pointer faulted — for a
+	// freed key this is the detector catching the use-after-free.
+	UAF bool
+	// Degraded: the shard could not be consulted; all other fields are
+	// meaningless.
+	Degraded bool
+}
+
+// request is one message on a worker's queue.
+type request struct {
+	kind   opKind
+	key    uint64
+	size   uint64
+	stores int
+	resp   chan response
+}
+
+// response carries the worker's answer. err is always one of the typed
+// errors (ShardDownError/DeadlineError from the transport, the allocator's
+// OutOfMemoryError, proc's ExhaustedError, or a vmem.Fault from a live-key
+// check) — an untyped error escaping a worker is a contract violation the
+// chaos harness would flag.
+type response struct {
+	verdict Verdict
+	stats   pointerlog.Snapshot
+	cold    pointerlog.ColdStats
+	audit   []string
+	err     error
+}
+
+// disruptMode is the injected failure a worker is currently simulating.
+type disruptMode int32
+
+const (
+	disruptNone disruptMode = iota
+	// disruptSlow: every request takes SlowDelay before being served.
+	disruptSlow
+	// disruptHang: the worker blocks on its next request and never
+	// replies; only the supervisor's stop (failover) releases it.
+	disruptHang
+	// disruptKill: the worker exits on its next request without replying —
+	// a crash, from the coordinator's perspective.
+	disruptKill
+)
+
+// keyRec is the worker-side state for one key.
+type keyRec struct {
+	anchor uint64 // globals slot holding the object pointer (deref target)
+	base   uint64
+	size   uint64
+	stores int
+	freed  bool
+}
+
+// worker owns one shard: an isolated address space, allocator, shadow
+// table, pointer log, and detector, driven by a single goroutine so the
+// audit identity is exact (all detector work, including synchronous
+// quarantine drains, happens on this goroutine). Clients never touch the
+// worker directly — the coordinator routes requests over reqCh with
+// deadlines, and the supervisor owns stop/done.
+type worker struct {
+	shard       int
+	incarnation int
+
+	proc  *proc.Process
+	det   *dangsan.Detector
+	th    *proc.Thread
+	plane *faultinject.Plane
+
+	reqCh    chan request
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	mode     atomic.Int32
+	panicked atomic.Bool
+
+	slowDelay   time.Duration
+	freedWindow int
+
+	recs         map[uint64]*keyRec
+	freedFIFO    []uint64
+	anchorFree   []uint64
+	scratch      uint64
+	scratchSlots uint64
+}
+
+// newWorker builds a shard worker with a fresh isolated stack. The worker
+// goroutine is NOT started — failover replays the journal through direct
+// handle calls first, then calls start.
+func newWorker(shard, incarnation int, cfg Config) (*worker, error) {
+	var plane *faultinject.Plane
+	if cfg.FaultRate > 0 {
+		// Distinct deterministic stream per shard and incarnation so a
+		// rebuilt worker does not replay its predecessor's failures.
+		plane = faultinject.New(cfg.FaultSeed + int64(shard)*1000003 + int64(incarnation)*7919)
+		plane.EnableAll(cfg.FaultRate, cfg.FaultBudget)
+	}
+	plCfg := pointerlog.DefaultConfig()
+	plCfg.Audit = cfg.Audit
+	plCfg.MaxMetadataBytes = cfg.MaxMetadataBytes
+	if cfg.QuarantineBytes > 0 {
+		plCfg.QuarantineBytes = cfg.QuarantineBytes
+		plCfg.QuarantineEpoch = cfg.QuarantineEpoch
+		// Synchronous drains keep the worker single-threaded end to end:
+		// the audit identity stays exact and failover never races a
+		// background drain goroutine.
+		plCfg.QuarantineSync = true
+	}
+	if cfg.ColdSpillBytes > 0 {
+		plCfg.ColdSpillBytes = cfg.ColdSpillBytes
+		plCfg.ColdDir = cfg.ColdDir
+	}
+	det := dangsan.NewWithOptions(dangsan.Options{Config: plCfg, Faults: plane})
+	p := proc.NewWithOptions(det, proc.Options{HeapBytes: cfg.HeapBytes, Faults: plane})
+	w := &worker{
+		shard:        shard,
+		incarnation:  incarnation,
+		proc:         p,
+		det:          det,
+		th:           p.NewThread(),
+		plane:        plane,
+		reqCh:        make(chan request, cfg.QueueDepth),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		slowDelay:    cfg.SlowDelay,
+		freedWindow:  cfg.FreedWindow,
+		recs:         make(map[uint64]*keyRec),
+		scratchSlots: uint64(cfg.ScratchSlots),
+	}
+	scratch, err := p.TryAllocGlobal(w.scratchSlots * 8)
+	if err != nil {
+		det.Close()
+		return nil, err
+	}
+	w.scratch = scratch
+	return w, nil
+}
+
+// start launches the worker loop. Called exactly once, after any replay.
+func (w *worker) start() { go w.run() }
+
+// shutdown asks the worker loop to exit; safe to call repeatedly.
+func (w *worker) shutdown() { w.stopOnce.Do(func() { close(w.stop) }) }
+
+// coldPath returns the worker's spill file location ("" if the cold tier
+// never spilled).
+func (w *worker) coldPath() string {
+	return w.det.Logger().ColdLogStats().Path
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+	defer func() {
+		if r := recover(); r != nil {
+			// A worker panic must never take the process down: record it
+			// and exit; the supervisor notices done and rebuilds the
+			// shard. The panic value is intentionally not re-raised.
+			w.panicked.Store(true)
+		}
+	}()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case req := <-w.reqCh:
+			switch disruptMode(w.mode.Load()) {
+			case disruptSlow:
+				t := time.NewTimer(w.slowDelay)
+				select {
+				case <-t.C:
+				case <-w.stop:
+					t.Stop()
+					return
+				}
+			case disruptHang:
+				// Never reply; hold the goroutine until failover stops us.
+				<-w.stop
+				return
+			case disruptKill:
+				// Crash: exit without replying.
+				return
+			}
+			req.resp <- w.handle(req)
+		}
+	}
+}
+
+// send routes one request with a deadline covering both the enqueue and
+// the reply. Every failure is typed; send never blocks past timeout.
+func (w *worker) send(req request, timeout time.Duration) response {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case w.reqCh <- req:
+	case <-w.done:
+		return response{err: &ShardDownError{Shard: w.shard, Reason: "worker exited"}}
+	case <-timer.C:
+		return response{err: &DeadlineError{Shard: w.shard, Op: req.kind.String(), Timeout: timeout}}
+	}
+	select {
+	case resp := <-req.resp:
+		return resp
+	case <-w.done:
+		return response{err: &ShardDownError{Shard: w.shard, Reason: "worker exited mid-request"}}
+	case <-timer.C:
+		return response{err: &DeadlineError{Shard: w.shard, Op: req.kind.String(), Timeout: timeout}}
+	}
+}
+
+// handle executes one request on the worker goroutine (or, during replay,
+// on the failover goroutine before the loop starts — the worker is
+// unreachable then, so single-threadedness holds either way).
+func (w *worker) handle(req request) response {
+	switch req.kind {
+	case opAlloc:
+		return response{err: w.handleAlloc(req.key, req.size, req.stores)}
+	case opFree:
+		return response{err: w.handleFree(req.key)}
+	case opCheck:
+		v, err := w.handleCheck(req.key)
+		return response{verdict: v, err: err}
+	case opPing:
+		return response{}
+	case opStats:
+		return response{stats: w.det.Stats(), cold: w.det.Logger().ColdLogStats(), audit: w.det.AuditViolations()}
+	case opQuiesce:
+		w.proc.Quiesce()
+		return response{}
+	}
+	return response{err: fmt.Errorf("service: unknown op %d", req.kind)}
+}
+
+// handleAlloc creates the key's object: a malloc, an anchor pointer in the
+// globals segment (the slot later checks dereference through), and
+// `stores` scattered pointer stores into the scratch arena so the pointer
+// log sees realistic fan-out — heavy keys cross the hash fallback and the
+// cold spill threshold. Idempotent: re-allocating a live key is a no-op,
+// so a retry after a lost reply is safe.
+func (w *worker) handleAlloc(key, size uint64, stores int) error {
+	if rec, ok := w.recs[key]; ok && !rec.freed {
+		return nil
+	}
+	if size < 8 {
+		size = 8
+	}
+	base, err := w.th.Malloc(size)
+	if err != nil {
+		var oom *tcmalloc.OutOfMemoryError
+		if !errors.As(err, &oom) {
+			return err
+		}
+		// One local relief attempt: drain the quarantine and return idle
+		// pages, then retry. Further retries are the coordinator's call.
+		w.proc.ReclaimMemory()
+		base, err = w.th.Malloc(size)
+		if err != nil {
+			return err
+		}
+	}
+	anchor, err := w.takeAnchor()
+	if err != nil {
+		// Undo the malloc so the failed registration does not leak.
+		_ = w.th.Free(base)
+		return err
+	}
+	if f := w.th.StorePtr(anchor, base); f != nil {
+		return f
+	}
+	for i := 0; i < stores; i++ {
+		// Stride 97 scatters consecutive stores across the arena so the
+		// log sees distinct, non-adjacent locations (adjacent ones would
+		// compress 3-into-1 and never reach hash mode).
+		slot := w.scratch + ((key*2654435761 + uint64(i)*97) % w.scratchSlots * 8)
+		val := base + (uint64(i)*8)%size
+		if f := w.th.StorePtr(slot, val); f != nil {
+			return f
+		}
+	}
+	if rec, ok := w.recs[key]; ok {
+		// Reincarnation of a freed key: the new object replaces the old
+		// record; the old anchor goes back to the pool.
+		w.anchorFree = append(w.anchorFree, rec.anchor)
+		w.dropFreed(key)
+	}
+	w.recs[key] = &keyRec{anchor: anchor, base: base, size: size, stores: stores}
+	return nil
+}
+
+// handleFree frees the key's object. With quarantine armed the detector
+// takes custody and invalidation happens at the epoch drain — until then a
+// probe through the anchor legitimately still succeeds (the memory has not
+// been reused; there is no hazard yet). Idempotent on absent/freed keys.
+func (w *worker) handleFree(key uint64) error {
+	rec, ok := w.recs[key]
+	if !ok || rec.freed {
+		return nil
+	}
+	if err := w.th.Free(rec.base); err != nil {
+		return err
+	}
+	rec.freed = true
+	w.freedFIFO = append(w.freedFIFO, key)
+	for len(w.freedFIFO) > w.freedWindow {
+		old := w.freedFIFO[0]
+		w.freedFIFO = w.freedFIFO[1:]
+		if orec, ok := w.recs[old]; ok && orec.freed {
+			w.anchorFree = append(w.anchorFree, orec.anchor)
+			delete(w.recs, old)
+		}
+	}
+	return nil
+}
+
+// handleCheck dereferences through the key's anchor. For a freed key a
+// fault is the detector working (the anchor pointer was invalidated); for
+// a live key a fault is a FALSE UAF — surfaced as the error so the caller
+// (and the chaos harness) can flag it.
+func (w *worker) handleCheck(key uint64) (Verdict, error) {
+	rec, ok := w.recs[key]
+	if !ok {
+		return Verdict{}, nil
+	}
+	_, fault := w.th.Deref(rec.anchor)
+	if rec.freed {
+		return Verdict{Known: true, Freed: true, UAF: fault != nil}, nil
+	}
+	if fault != nil {
+		return Verdict{Known: true}, fault
+	}
+	return Verdict{Known: true}, nil
+}
+
+func (w *worker) takeAnchor() (uint64, error) {
+	if n := len(w.anchorFree); n > 0 {
+		a := w.anchorFree[n-1]
+		w.anchorFree = w.anchorFree[:n-1]
+		return a, nil
+	}
+	return w.proc.TryAllocGlobal(8)
+}
+
+func (w *worker) dropFreed(key uint64) {
+	for i, k := range w.freedFIFO {
+		if k == key {
+			w.freedFIFO = append(w.freedFIFO[:i], w.freedFIFO[i+1:]...)
+			return
+		}
+	}
+}
+
+// close releases the worker's detector resources (the cold spill file).
+// Only safe after the loop has exited; an abandoned (hung) worker is
+// deliberately never closed.
+func (w *worker) close() { w.det.Close() }

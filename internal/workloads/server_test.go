@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dangsan/internal/detectors/dangsan"
 	"dangsan/internal/faultinject"
@@ -61,6 +62,39 @@ func TestServerSurvivesTransientPressure(t *testing.T) {
 	}
 	if live := p.Allocator().Stats().LiveObjects; live != 0 {
 		t.Fatalf("%d objects leaked across the pressured run", live)
+	}
+}
+
+// TestServerPersistentOOMGivesUpWithTypedError: when memory pressure is
+// NOT transient — every allocator path fails, reclaim buys nothing — the
+// retry loop must give up promptly with the typed OutOfMemoryError. This
+// is the regression test for the retry wall-time deadline: the loop is
+// bounded by mallocRetryDeadline, not merely by the attempt counter whose
+// per-attempt cost (quarantine drain + page release + backoff) is
+// unbounded.
+func TestServerPersistentOOMGivesUpWithTypedError(t *testing.T) {
+	plane := faultinject.New(7)
+	plane.EnableAll(1.0, -1) // every injection site, unlimited budget
+	det := dangsan.New()
+	p := proc.NewWithOptions(det, proc.Options{HeapBytes: 1 << 20, Faults: plane})
+	prof, err := ServerProfileByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	runErr := RunServer(p, prof, 2, 50, 7)
+	elapsed := time.Since(start)
+	var oom *tcmalloc.OutOfMemoryError
+	if !errors.As(runErr, &oom) {
+		t.Fatalf("persistent OOM surfaced as %v, want typed OutOfMemoryError", runErr)
+	}
+	// Two workers × one failed allocation each, deadline-capped at 5ms of
+	// retrying apiece. Seconds here would mean the loop is spinning.
+	if elapsed > 3*time.Second {
+		t.Fatalf("worker spent %v in the retry loop under persistent OOM", elapsed)
+	}
+	if plane.TotalInjected() == 0 {
+		t.Fatal("no failures injected; the test exercised nothing")
 	}
 }
 
