@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|tiered|fiveway|service|exploits|ablation|chaos|fuzz
+//	dangsan-bench -experiment all|fig9|fig10|fig11|fig12|table1|servers|freelat|tiered|fiveway|service|wire|exploits|ablation|chaos|fuzz
 //	              [-scale 1.0] [-seed 1] [-threads 1,2,4,8,16,32,64] [-v]
 //	              [-metrics out.json] [-metrics-interval 1s] [-audit]
 //	              [-faultrate 0] [-faultseed 0] [-faultbudget 256]
@@ -66,11 +66,15 @@ import (
 	"dangsan/internal/detectors"
 	"dangsan/internal/obs"
 	"dangsan/internal/proc"
+	"dangsan/internal/service"
 	"dangsan/internal/workloads"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, tiered, fiveway, service, exploits, ablation, chaos, fuzz")
+	// The wire experiments spawn worker processes by re-execing this
+	// binary; a spawned copy must become a shard worker, not a bench run.
+	service.RunWorkerIfSpawned()
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig9, fig10, fig11, fig12, table1, servers, freelat, tiered, fiveway, service, wire, exploits, ablation, chaos, fuzz")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0.1 for a quick run)")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	repeat := flag.Int("repeat", 1, "measurements per data point; the fastest is kept")
@@ -252,6 +256,13 @@ func main() {
 		check(err)
 		benchJSON.Add("service", rep)
 		fmt.Println(bench.FormatService(rep))
+	}
+	if want("wire") {
+		ran = true
+		rep, err := bench.RunWire(opts, progress)
+		check(err)
+		benchJSON.Add("wire", rep)
+		fmt.Println(bench.FormatWire(rep))
 	}
 	if want("exploits") {
 		ran = true

@@ -7,18 +7,28 @@
 // Usage:
 //
 //	dangsan-serve [-shards 4] [-clients 8] [-requests 2000] [-seed 1]
-//	              [-kill-rate 0] [-hang-rate 0] [-slow-rate 0]
+//	              [-transport chan|unix|tcp] [-worker-bin path]
+//	              [-kill-rate 0] [-hang-rate 0] [-slow-rate 0] [-sigkill-rate 0]
 //	              [-heap-bytes N] [-audit] [-cold-spill-bytes N]
 //	              [-quarantine-bytes N] [-metrics out.json]
 //
+// -transport selects where the workers live: "chan" (the default) keeps
+// them as in-process goroutines; "unix" and "tcp" spawn one OS process
+// per shard, reached over the wire codec (unix sockets or loopback TCP).
+// Wire workers are spawned by re-execing this binary (or -worker-bin,
+// e.g. a dangsan-worker build) and are supervised exactly like in-process
+// ones: heartbeats, breakers, and failover with journal replay work
+// unchanged across the process boundary.
+//
 // The disruption rates are per-tick probabilities (one tick every 20ms of
 // the run): -kill-rate 0.5 kills a random shard's worker roughly every
-// other tick. The supervisor restarts dead workers and rebuilds their
-// state from the journal and any cold spill segments; clients ride
-// through on retries or fail-open degraded verdicts. The run exits
-// nonzero if any invariant broke: a false UAF verdict on a live key, an
-// untyped client error, or (with -audit) accounting drift on any worker,
-// including rebuilt ones.
+// other tick; -sigkill-rate delivers real SIGKILLs to wire worker
+// processes (the immediate in-process stop for chan). The supervisor
+// restarts dead workers and rebuilds their state from the journal and any
+// cold spill segments; clients ride through on retries or fail-open
+// degraded verdicts. The run exits nonzero if any invariant broke: a
+// false UAF verdict on a live key, an untyped client error, or (with
+// -audit) accounting drift on any worker, including rebuilt ones.
 //
 // -metrics writes a final obs snapshot to the given file ("-" for
 // stdout); feed it to `dangsan-stats service` for the supervision view or
@@ -36,13 +46,19 @@ import (
 )
 
 func main() {
+	// A spawned copy of this binary must become a shard worker, not a
+	// second coordinator.
+	service.RunWorkerIfSpawned()
 	shards := flag.Int("shards", 4, "worker shard count")
 	clients := flag.Int("clients", 8, "concurrent load-generator clients")
 	requests := flag.Int("requests", 2000, "operations per client")
 	seed := flag.Int64("seed", 1, "load and disruption seed")
+	transport := flag.String("transport", service.TransportChan, "worker transport: chan (in-process), unix, or tcp (worker processes)")
+	workerBin := flag.String("worker-bin", "", "binary to spawn as wire workers (default: re-exec this binary)")
 	killRate := flag.Float64("kill-rate", 0, "per-tick probability of killing a random shard's worker")
 	hangRate := flag.Float64("hang-rate", 0, "per-tick probability of hanging a random shard's worker")
 	slowRate := flag.Float64("slow-rate", 0, "per-tick probability of slowing a random shard's worker")
+	sigkillRate := flag.Float64("sigkill-rate", 0, "per-tick probability of SIGKILLing a random shard's worker process")
 	heapBytes := flag.Uint64("heap-bytes", 0, "per-worker heap size (0: default)")
 	audit := flag.Bool("audit", false, "enable log-byte accounting cross-checks on every worker")
 	coldSpill := flag.Uint64("cold-spill-bytes", 0, "tiered-log spill threshold per worker (0: off)")
@@ -58,6 +74,8 @@ func main() {
 		QuarantineBytes: *quarBytes,
 		ColdSpillBytes:  *coldSpill,
 		Seed:            uint64(*seed),
+		Transport:       *transport,
+		WorkerCommand:   *workerBin,
 		Metrics:         reg,
 	}
 	if *coldSpill > 0 {
@@ -83,7 +101,7 @@ func main() {
 	}()
 
 	disrupted := map[string]int{}
-	if *killRate > 0 || *hangRate > 0 || *slowRate > 0 {
+	if *killRate > 0 || *hangRate > 0 || *slowRate > 0 || *sigkillRate > 0 {
 		rng := rng{state: uint64(*seed)*0x9e3779b97f4a7c15 + 1}
 		tick := time.NewTicker(20 * time.Millisecond)
 		defer tick.Stop()
@@ -96,7 +114,7 @@ func main() {
 				for _, d := range []struct {
 					kind string
 					rate float64
-				}{{"kill", *killRate}, {"hang", *hangRate}, {"slow", *slowRate}} {
+				}{{"kill", *killRate}, {"hang", *hangRate}, {"slow", *slowRate}, {"sigkill", *sigkillRate}} {
 					if d.rate <= 0 || rng.float() >= d.rate {
 						continue
 					}
@@ -152,8 +170,8 @@ func main() {
 		load.Issued, load.Confirmed, load.Degraded, load.Detected, load.MissedUAF, load.Unknown,
 		load.Elapsed.Seconds())
 	if len(disrupted) > 0 {
-		fmt.Printf("disruptions: %d kills, %d hangs, %d slows\n",
-			disrupted["kill"], disrupted["hang"], disrupted["slow"])
+		fmt.Printf("disruptions: %d kills, %d hangs, %d slows, %d sigkills\n",
+			disrupted["kill"], disrupted["hang"], disrupted["slow"], disrupted["sigkill"])
 	}
 	fmt.Printf("service: %d requests, %d retries, %d timeouts, %d failovers (%d objects replayed, %d spilled locs recovered), %d heartbeat misses, %d breaker trips\n",
 		c.Requests, c.Retries, c.Timeouts, c.Failovers, c.ReplayedObjects, c.RecoveredLocs,

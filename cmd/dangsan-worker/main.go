@@ -1,0 +1,25 @@
+// Command dangsan-worker is the standalone shard-worker binary for the
+// service's wire transports (unix socket / loopback TCP). It has no CLI of
+// its own: a coordinator spawns it with DANGSAN_WORKER_SPEC set to a JSON
+// worker spec, reads the READY handshake line for the bound address, and
+// supervises it from the outside — heartbeats, SIGTERM for graceful stops,
+// SIGKILL when chaos demands it.
+//
+// Any binary that embeds the service can serve the same role by calling
+// service.RunWorkerIfSpawned at the top of main (the coordinator re-execs
+// the current binary by default); this one exists so a deployment can
+// point Config.WorkerCommand / -worker-bin at a minimal dedicated binary.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dangsan/internal/service"
+)
+
+func main() {
+	service.RunWorkerIfSpawned()
+	fmt.Fprintf(os.Stderr, "dangsan-worker: not spawned by a coordinator (%s unset)\n", service.WorkerSpecEnv)
+	os.Exit(2)
+}

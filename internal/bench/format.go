@@ -343,6 +343,37 @@ func FormatService(rep *ServiceReport) string {
 		"\nShard failover under live load (4 shards, audit armed, cold tier on)\n" + f.String()
 }
 
+// FormatWire renders the transport comparison: the same load over
+// in-process channels vs unix-socket vs loopback-TCP worker processes,
+// then SIGKILL recovery latency per transport.
+func FormatWire(rep *WireReport) string {
+	var t tw
+	t.row("transport", "shards", "clients", "requests", "seconds", "ops/s", "degraded", "detected")
+	for _, r := range rep.Throughput {
+		t.row(r.Transport,
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.2f", r.Seconds),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%d", r.Degraded),
+			fmt.Sprintf("%d", r.Detected))
+	}
+	var f tw
+	f.row("transport", "sigkills", "failovers", "recovery mean", "recovery max", "replayed", "recovered locs")
+	for _, r := range rep.Failover {
+		f.row(r.Transport,
+			fmt.Sprintf("%d", r.SigKills),
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%.2fms", r.RecoveryMeanMs),
+			fmt.Sprintf("%.2fms", r.RecoveryMaxMs),
+			fmt.Sprintf("%d", r.Replayed),
+			fmt.Sprintf("%d", r.RecoveredLocs))
+	}
+	return "Wire transports: the same service load over chan vs unix vs tcp workers\n" + t.String() +
+		"\nProcess-death failover (SIGKILL under live load, audit armed, cold tier on)\n" + f.String()
+}
+
 // BenchJSON accumulates experiment results for the machine-readable
 // BENCH_<n>.json artifact: each experiment that runs adds its row structs
 // under a stable name, and Write emits one indented JSON document. The

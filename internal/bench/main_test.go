@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"dangsan/internal/service"
+)
+
+// TestMain lets this test binary be re-exec'd as a worker process: the
+// wire experiment spawns the current executable, and a spawned copy must
+// become a shard worker instead of running the bench suite.
+func TestMain(m *testing.M) {
+	service.RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dangsan/internal/pointerlog"
+	"dangsan/internal/service"
+)
+
+// WireThroughputRow is one transport point of the wire experiment: the
+// same shard count and client population driven through in-process
+// channels, unix-socket worker processes, and loopback-TCP worker
+// processes, so the column-to-column delta is the IPC tax alone.
+type WireThroughputRow struct {
+	Transport  string  `json:"transport"`
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Requests   uint64  `json:"requests"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"ops_per_sec"`
+	Degraded   uint64  `json:"degraded"`
+	Detected   uint64  `json:"detected"`
+}
+
+// WireFailoverRow is one transport's process-death recovery measurement:
+// workers SIGKILLed under live load (a real signal for wire transports,
+// the in-process analog for chan), recovery spanning respawn + cold-
+// segment read + journal replay + audit re-check on the rebuilt worker.
+type WireFailoverRow struct {
+	Transport      string  `json:"transport"`
+	SigKills       int     `json:"sigkills"`
+	Failovers      uint64  `json:"failovers"`
+	RecoveryMeanMs float64 `json:"recovery_mean_ms"`
+	RecoveryMaxMs  float64 `json:"recovery_max_ms"`
+	Issued         uint64  `json:"issued"`
+	Degraded       uint64  `json:"degraded"`
+	Replayed       uint64  `json:"replayed_objects"`
+	RecoveredLocs  uint64  `json:"recovered_spilled_locs"`
+}
+
+// WireReport bundles the wire-transport experiments for BENCH_10.json.
+type WireReport struct {
+	Throughput []WireThroughputRow `json:"throughput"`
+	Failover   []WireFailoverRow   `json:"failover"`
+}
+
+// wireTransports is the comparison axis, in-process baseline first.
+func wireTransports() []string {
+	return []string{service.TransportChan, service.TransportUnix, service.TransportTCP}
+}
+
+// wireServiceConfig is the shared service shape for the wire experiments:
+// audited, cold tier at the minimum spill threshold, and timings padded
+// enough that process exec/scheduling noise never masquerades as a
+// disruption.
+func wireServiceConfig(opts Options, shards int, dir string) service.Config {
+	return service.Config{
+		Shards:            shards,
+		HeapBytes:         opts.HeapBytes,
+		Audit:             true,
+		ColdSpillBytes:    pointerlog.MinColdSpillBytes,
+		ColdDir:           dir,
+		WorkDir:           dir,
+		Seed:              uint64(opts.Seed),
+		RequestTimeout:    250 * time.Millisecond,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  50 * time.Millisecond,
+	}
+}
+
+// RunWire runs the transport comparison: a fixed-shape load through each
+// transport for the ops/s columns, then a SIGKILL failover sweep on each
+// measuring process-death recovery latency. Any invariant violation —
+// false UAF, untyped error, audit drift across a respawn — is an error.
+func RunWire(opts Options, progress func(string)) (*WireReport, error) {
+	opts = opts.normalized()
+	rep := &WireReport{}
+	const shards = 4
+	clients := 8
+	perClient := maxi(int(1000*opts.Scale), 100)
+
+	for _, tr := range wireTransports() {
+		if progress != nil {
+			progress(fmt.Sprintf("wire throughput transport=%s", tr))
+		}
+		row, err := runWireThroughput(opts, tr, shards, clients, perClient)
+		if err != nil {
+			return nil, err
+		}
+		rep.Throughput = append(rep.Throughput, row)
+	}
+	for _, tr := range wireTransports() {
+		if progress != nil {
+			progress(fmt.Sprintf("wire failover transport=%s", tr))
+		}
+		row, err := runWireFailover(opts, tr, shards, clients)
+		if err != nil {
+			return nil, err
+		}
+		rep.Failover = append(rep.Failover, row)
+	}
+	return rep, nil
+}
+
+func runWireThroughput(opts Options, transport string, shards, clients, perClient int) (WireThroughputRow, error) {
+	row := WireThroughputRow{Transport: transport, Shards: shards, Clients: clients}
+	dir, err := os.MkdirTemp("", "dangsan-bench-wire")
+	if err != nil {
+		return row, fmt.Errorf("wire %s: %w", transport, err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := wireServiceConfig(opts, shards, dir)
+	cfg.Transport = transport
+	svc, err := service.New(cfg)
+	if err != nil {
+		return row, fmt.Errorf("wire %s: %w", transport, err)
+	}
+	start := time.Now()
+	load := service.RunLoad(svc, service.LoadConfig{
+		Clients:  clients,
+		Requests: perClient,
+		Seed:     uint64(opts.Seed)*0x9e3779b9 + 7,
+	})
+	elapsed := time.Since(start)
+	violations := append(load.Violations(), svc.Violations()...)
+	svc.Close()
+	if len(violations) > 0 {
+		return row, fmt.Errorf("wire %s: %s", transport, violations[0])
+	}
+	row.Requests = load.Issued
+	row.Seconds = elapsed.Seconds()
+	row.Degraded = load.Degraded
+	row.Detected = load.Detected
+	if elapsed > 0 {
+		row.Throughput = float64(load.Issued) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// runWireFailover SIGKILLs workers round-robin under live load and
+// measures the supervisor's recovery time per transport.
+func runWireFailover(opts Options, transport string, shards, clients int) (WireFailoverRow, error) {
+	const sigkills = 2
+	row := WireFailoverRow{Transport: transport, SigKills: sigkills}
+	dir, err := os.MkdirTemp("", "dangsan-bench-wire")
+	if err != nil {
+		return row, fmt.Errorf("wire failover %s: %w", transport, err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := wireServiceConfig(opts, shards, dir)
+	cfg.Transport = transport
+	svc, err := service.New(cfg)
+	if err != nil {
+		return row, fmt.Errorf("wire failover %s: %w", transport, err)
+	}
+	defer svc.Close()
+
+	stop := make(chan struct{})
+	loadCh := make(chan service.LoadResult, 1)
+	go func() {
+		loadCh <- service.RunLoad(svc, service.LoadConfig{
+			Clients:     clients,
+			Seed:        uint64(opts.Seed)*0x2545f491 + 11,
+			HeavyFrac:   0.05,
+			HeavyStores: 300,
+			Stop:        stop,
+		})
+	}()
+	// Build worker state worth rebuilding before the first signal.
+	time.Sleep(50 * time.Millisecond)
+	for k := 0; k < sigkills; k++ {
+		shard := k % shards
+		before := svc.Counters().Failovers
+		if derr := svc.Disrupt(shard, "sigkill"); derr != nil {
+			close(stop)
+			<-loadCh
+			return row, fmt.Errorf("wire failover %s: %w", transport, derr)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for svc.Counters().Failovers <= before {
+			if time.Now().After(deadline) {
+				close(stop)
+				<-loadCh
+				return row, fmt.Errorf("wire failover %s: shard %d never recovered", transport, shard)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	load := <-loadCh
+	if v := append(load.Violations(), svc.Violations()...); len(v) > 0 {
+		return row, fmt.Errorf("wire failover %s: %s", transport, v[0])
+	}
+	c := svc.Counters()
+	row.Failovers = c.Failovers
+	row.Issued = load.Issued
+	row.Degraded = load.Degraded
+	row.Replayed = c.ReplayedObjects
+	row.RecoveredLocs = c.RecoveredLocs
+	var sum, max time.Duration
+	times := svc.RecoveryTimes()
+	for _, d := range times {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(times) > 0 {
+		row.RecoveryMeanMs = float64(sum.Microseconds()) / float64(len(times)) / 1000
+		row.RecoveryMaxMs = float64(max.Microseconds()) / 1000
+	}
+	return row, nil
+}

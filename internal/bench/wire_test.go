@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestRunWireSmoke drives the full transport comparison at smoke scale:
+// every transport must produce throughput, and every SIGKILL failover
+// sweep must complete with measured recovery times and journal replays.
+func TestRunWireSmoke(t *testing.T) {
+	rep, err := RunWire(Options{Scale: 0.1, Seed: 7, HeapBytes: 32 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Throughput) != 3 {
+		t.Fatalf("throughput rows = %d, want 3", len(rep.Throughput))
+	}
+	for _, r := range rep.Throughput {
+		if r.Requests == 0 || r.Throughput <= 0 {
+			t.Errorf("transport %s: no throughput measured (%+v)", r.Transport, r)
+		}
+	}
+	if len(rep.Failover) != 3 {
+		t.Fatalf("failover rows = %d, want 3", len(rep.Failover))
+	}
+	for _, r := range rep.Failover {
+		if r.Failovers < uint64(r.SigKills) {
+			t.Errorf("transport %s: %d sigkills but %d failovers", r.Transport, r.SigKills, r.Failovers)
+		}
+		if r.RecoveryMeanMs <= 0 {
+			t.Errorf("transport %s: no recovery time recorded", r.Transport)
+		}
+		if r.Replayed == 0 {
+			t.Errorf("transport %s: no journal objects replayed", r.Transport)
+		}
+	}
+	out := FormatWire(rep)
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,16 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"dangsan/internal/service"
+)
+
+// TestMain lets this test binary be re-exec'd as a worker process: wire
+// transport cells spawn the current executable, and a spawned copy must
+// become a shard worker instead of running the chaos suite.
+func TestMain(m *testing.M) {
+	service.RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}

@@ -30,6 +30,12 @@ type ShardConfig struct {
 	HeapBytes uint64
 	// Timeout is the per-cell watchdog (0: 120s).
 	Timeout time.Duration
+	// Transport selects where workers live ("" / "chan": in-process
+	// goroutines; "unix" / "tcp": spawned worker processes over the wire
+	// codec). Wire cells extend the disruption script with sigkill (real
+	// SIGKILL of the worker process) and the network stages — partition,
+	// trickle, garbage — that break the wire rather than the worker.
+	Transport string
 }
 
 func (c ShardConfig) normalized() ShardConfig {
@@ -45,8 +51,14 @@ func (c ShardConfig) normalized() ShardConfig {
 	if c.Timeout == 0 {
 		c.Timeout = 120 * time.Second
 	}
+	if c.Transport == "" {
+		c.Transport = service.TransportChan
+	}
 	return c
 }
+
+// wire reports whether the cell's workers are separate processes.
+func (c ShardConfig) wire() bool { return c.Transport != service.TransportChan }
 
 // ShardResult is one sharded-service chaos cell's outcome.
 type ShardResult struct {
@@ -57,6 +69,14 @@ type ShardResult struct {
 	Kills int `json:"kills"`
 	Hangs int `json:"hangs"`
 	Slows int `json:"slows"`
+	// Wire-cell disruptions: SigKills are real SIGKILLs of worker
+	// processes; Partitions/Trickles/Garbage are network faults armed on
+	// the coordinator's connections (dropped mid-request, byte-trickled
+	// writes, non-frame bytes ahead of a request).
+	SigKills   int `json:"sigkills,omitempty"`
+	Partitions int `json:"partitions,omitempty"`
+	Trickles   int `json:"trickles,omitempty"`
+	Garbage    int `json:"garbage,omitempty"`
 	// Failovers is the completed worker rebuild count; RecoveredLocs the
 	// cold-segment locations recovered through ReadSegments across them;
 	// Replayed the journal objects re-established.
@@ -114,7 +134,7 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 		return r
 	}
 	defer os.RemoveAll(dir)
-	svc, err := service.New(service.Config{
+	scfg := service.Config{
 		Shards:            cfg.Shards,
 		HeapBytes:         cfg.HeapBytes,
 		Audit:             true,
@@ -123,6 +143,8 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 		ColdSpillBytes:    pointerlog.MinColdSpillBytes,
 		ColdDir:           dir,
 		Seed:              uint64(seed),
+		Transport:         cfg.Transport,
+		WorkDir:           dir,
 		RequestTimeout:    25 * time.Millisecond,
 		Retry:             service.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, MaxElapsed: 100 * time.Millisecond},
 		HeartbeatInterval: 2 * time.Millisecond,
@@ -132,7 +154,18 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 		BreakerCooldown:   10 * time.Millisecond,
 		SlowDelay:         60 * time.Millisecond,
 		FreedWindow:       256,
-	})
+	}
+	if cfg.wire() {
+		// Process workers pay exec/scheduling noise a goroutine never sees;
+		// padded timings keep the disruptions — not OS jitter — the thing
+		// the cell measures.
+		scfg.RequestTimeout = 100 * time.Millisecond
+		scfg.Retry = service.RetryPolicy{MaxAttempts: 3, BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond, MaxElapsed: 500 * time.Millisecond}
+		scfg.HeartbeatInterval = 10 * time.Millisecond
+		scfg.HeartbeatTimeout = 50 * time.Millisecond
+		scfg.SlowDelay = 150 * time.Millisecond
+	}
+	svc, err := service.New(scfg)
 	if err != nil {
 		r.Violations = append(r.Violations, fmt.Sprintf("service start: %v", err))
 		return r
@@ -158,7 +191,24 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 	// for the supervisor to complete the failover before the next hit.
 	rng := shardRNG{state: uint64(seed) ^ 0xc4a5}
 	reps := 1 + int(rate*10)
-	for _, kind := range []string{"kill", "hang", "slow"} {
+	// Wire cells pay process spawn + per-op replay round trips per
+	// failover (slower still under the race detector), so their recovery
+	// waits get a bigger budget than the in-process cells.
+	waitBudget := 10 * time.Second
+	if cfg.wire() {
+		waitBudget = 30 * time.Second
+	}
+	kinds := []string{"kill", "hang", "slow"}
+	if cfg.wire() {
+		// Process cells add the stages a goroutine can't model: a real
+		// SIGKILL (failover must rebuild from the dead process's spill
+		// file), and the network faults — the worker is healthy, the wire
+		// is not, so no failover is owed; the shard just has to come back
+		// clean once the one-shot faults burn off.
+		kinds = append(kinds, "sigkill", "partition", "trickle", "garbage")
+	}
+	for _, kind := range kinds {
+		netFault := kind == "partition" || kind == "trickle" || kind == "garbage"
 		for i := 0; i < reps; i++ {
 			shard := int(rng.next() % uint64(cfg.Shards))
 			before := svc.Counters().Failovers
@@ -173,8 +223,29 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 				r.Hangs++
 			case "slow":
 				r.Slows++
+			case "sigkill":
+				r.SigKills++
+			case "partition":
+				r.Partitions++
+			case "trickle":
+				r.Trickles++
+			case "garbage":
+				r.Garbage++
 			}
-			if !waitCondition(10*time.Second, func() bool { return svc.Counters().Failovers > before }) {
+			if netFault {
+				// Recovery here means the shard answers a clean stats
+				// exchange again — poisoned connections redialed, any
+				// heartbeat-triggered rebuild finished.
+				if !waitCondition(waitBudget, func() bool {
+					_, _, _, serr := svc.DetectorStats(shard)
+					return serr == nil
+				}) {
+					r.Violations = append(r.Violations,
+						fmt.Sprintf("%s shard %d (rep %d): shard never recovered from network fault", kind, shard, i))
+				}
+				continue
+			}
+			if !waitCondition(waitBudget, func() bool { return svc.Counters().Failovers > before }) {
 				r.Violations = append(r.Violations,
 					fmt.Sprintf("%s shard %d (rep %d): failover never completed", kind, shard, i))
 			}
@@ -188,13 +259,22 @@ func runShardCell(cfg ShardConfig, rate float64, seed int64) ShardResult {
 
 	// End-of-cell cross-check: drain every quarantine, then require the
 	// audit identity on every (rebuilt) worker and fold in any violations
-	// the service recorded during failovers.
-	if qerr := svc.Quiesce(); qerr != nil {
+	// the service recorded during failovers. A trailing failover (a net
+	// fault's heartbeat misses can trigger a rebuild right as the script
+	// ends) surfaces as transient typed errors here, so both checks retry
+	// until the service settles; only never settling is a violation.
+	var qerr error
+	if !waitCondition(waitBudget, func() bool { qerr = svc.Quiesce(); return qerr == nil }) {
 		r.Violations = append(r.Violations, fmt.Sprintf("quiesce: %v", qerr))
 	}
 	for i := 0; i < svc.Shards(); i++ {
-		_, _, audit, serr := svc.DetectorStats(i)
-		if serr != nil {
+		var audit []string
+		var serr error
+		ok := waitCondition(waitBudget, func() bool {
+			_, _, audit, serr = svc.DetectorStats(i)
+			return serr == nil
+		})
+		if !ok {
 			r.Violations = append(r.Violations, fmt.Sprintf("shard %d stats: %v", i, serr))
 			continue
 		}

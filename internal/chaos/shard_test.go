@@ -52,6 +52,51 @@ func TestShardSweepInvariants(t *testing.T) {
 	}
 }
 
+// TestWireShardSweepInvariants runs the sharded-service chaos grid with
+// workers as real OS processes over unix sockets. On top of the in-process
+// script it injects real SIGKILLs and the network stages — partition
+// (connection dropped mid-request), trickle (byte-at-a-time writes until
+// the deadline), garbage (non-frame bytes ahead of a request) — and holds
+// the same invariants: no false UAF, no hang, typed errors only, audit
+// identity on every rebuilt worker process.
+func TestWireShardSweepInvariants(t *testing.T) {
+	cfg := ShardConfig{
+		Shards:    2,
+		Clients:   2,
+		Timeout:   180 * time.Second,
+		Transport: "unix",
+	}
+	rates := []float64{0.0, 0.1}
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		rates = rates[:1]
+		seeds = seeds[:1]
+	}
+	results := SweepShards(cfg, rates, seeds)
+	for _, v := range FailedShards(results) {
+		t.Error(v)
+	}
+	for _, r := range results {
+		t.Logf("rate=%g seed=%d: %.2fs kills=%d hangs=%d slows=%d sigkills=%d partitions=%d trickles=%d garbage=%d failovers=%d replayed=%d recovered=%d issued=%d degraded=%d detected=%d missed=%d",
+			r.Rate, r.Seed, r.Seconds, r.Kills, r.Hangs, r.Slows,
+			r.SigKills, r.Partitions, r.Trickles, r.Garbage,
+			r.Failovers, r.Replayed, r.RecoveredLocs, r.Issued, r.Degraded, r.Detected, r.Missed)
+		if r.SigKills == 0 || r.Partitions == 0 || r.Trickles == 0 || r.Garbage == 0 {
+			t.Errorf("rate=%g seed=%d: wire stages not all injected (sigkill=%d partition=%d trickle=%d garbage=%d)",
+				r.Rate, r.Seed, r.SigKills, r.Partitions, r.Trickles, r.Garbage)
+		}
+		// Every queue-observed disruption and every SIGKILL owes a completed
+		// failover; network faults do not (the worker process never died).
+		if r.Failovers < uint64(r.Kills+r.Hangs+r.Slows+r.SigKills) {
+			t.Errorf("rate=%g seed=%d: %d process disruptions but only %d failovers",
+				r.Rate, r.Seed, r.Kills+r.Hangs+r.Slows+r.SigKills, r.Failovers)
+		}
+		if r.Issued == 0 {
+			t.Errorf("rate=%g seed=%d: load generator issued nothing", r.Rate, r.Seed)
+		}
+	}
+}
+
 // TestShardCellRebuildCoversColdTier: the heavy-key fraction of the load
 // pushes location sets across the cold spill threshold, so at least one
 // failover in a multi-kill cell must have recovered spilled locations via

@@ -1,0 +1,86 @@
+package service
+
+import "time"
+
+// Transport names for Config.Transport.
+const (
+	// TransportChan (also the "" default) keeps shard workers as
+	// goroutines in this process, reached over channels.
+	TransportChan = "chan"
+	// TransportUnix runs each shard worker as its own OS process reached
+	// over a unix-domain socket.
+	TransportUnix = "unix"
+	// TransportTCP runs each shard worker as its own OS process reached
+	// over loopback TCP.
+	TransportTCP = "tcp"
+)
+
+// validTransport reports whether name names a known transport ("" means
+// the in-process default).
+func validTransport(name string) bool {
+	switch name {
+	case "", TransportChan, TransportUnix, TransportTCP:
+		return true
+	}
+	return false
+}
+
+// wireNetwork maps a transport name onto its net-package network name, or
+// "" for the in-process transport.
+func wireNetwork(name string) string {
+	switch name {
+	case TransportUnix:
+		return "unix"
+	case TransportTCP:
+		return "tcp"
+	}
+	return ""
+}
+
+// endpoint is the coordinator's handle on one shard worker, abstracting
+// over where the worker lives: a goroutine in this process reached over
+// channels (*worker) or a separate OS process reached over the wire codec
+// (*wireEndpoint). The supervision machinery — heartbeats, breakers,
+// retry, journal replay, failover — is written against this interface
+// only, so it cannot behave differently per transport.
+type endpoint interface {
+	// send routes one request under a deadline covering the full exchange.
+	// It never blocks past timeout, and every failure is one of the typed
+	// errors.
+	send(req request, timeout time.Duration) response
+	// replay applies one request synchronously during a failover rebuild,
+	// before the endpoint serves client traffic (the rebuilding flag keeps
+	// clients away until the journal replay finishes).
+	replay(req request) response
+	// start opens the endpoint for traffic. For the in-process worker this
+	// launches the goroutine (replay must run first); process workers
+	// serve from the moment they are spawned, so it is a no-op there.
+	start()
+	// shutdown asks the worker to exit gracefully (close(stop) in-process,
+	// SIGTERM for a process). Idempotent.
+	shutdown()
+	// kill forces the worker down (SIGKILL for a process; the in-process
+	// worker has no harder stop than shutdown). Idempotent.
+	kill()
+	// close releases the worker's resources (spill file / cold dir /
+	// sockets). Only safe once doneCh has closed.
+	close()
+	// doneCh closes when the worker is dead — goroutine returned, or
+	// process reaped.
+	doneCh() <-chan struct{}
+	// didPanic reports whether the worker died panicking.
+	didPanic() bool
+	// coldPath locates the dead worker's cold spill file for failover
+	// recovery ("" if it never spilled).
+	coldPath() string
+	// disrupt injects a failure mode; the chaos stages drive it.
+	disrupt(mode disruptMode) error
+	// incarnationID is the worker's incarnation, for the staleness check
+	// at failover entry.
+	incarnationID() int
+}
+
+// epBox wraps an endpoint for atomic.Pointer storage: the two concrete
+// endpoint types would make atomic.Value panic on inconsistently-typed
+// stores, and atomic.Pointer needs one concrete pointee.
+type epBox struct{ ep endpoint }

@@ -1,7 +1,7 @@
 // Package service implements a supervised, sharded detection service over
-// the in-process DangSan stack — the coordinator/worker/client split the
-// ROADMAP's "millions of users" north star calls for. A coordinator shards
-// the simulated address space across N workers, each owning an isolated
+// the DangSan stack — the coordinator/worker/client split the ROADMAP's
+// "millions of users" north star calls for. A coordinator shards the
+// simulated address space across N workers, each owning an isolated
 // vmem/tcmalloc/shadow/pointerlog instance plus a detector, and routes
 // register/free/deref-check streams by shard. Robustness is the first-class
 // design axis: every worker runs under a supervisor (heartbeat health
@@ -14,40 +14,30 @@
 // pointerlog.ReadSegments so the audit identity
 // (LogBytes == live + quarantined + released + spilled) holds across the
 // restart.
+//
+// Workers live behind a Transport: the default keeps them as goroutines in
+// this process reached over channels; the "unix" and "tcp" transports run
+// each worker as its own OS process reached over the wire codec in the
+// transport subpackage, so a worker can be killed with SIGKILL, respawned,
+// and rebuilt without the coordinator's address space ever being at risk.
+// The supervision machinery is transport-blind — the same heartbeats,
+// breakers, and journal replay drive both.
 package service
 
-import (
-	"fmt"
-	"time"
-)
+import "dangsan/internal/service/transport"
+
+// The typed error vocabulary is shared with the wire layer (the transport
+// package owns the definitions so the codec can encode them without an
+// import cycle); the aliases keep the service API unchanged.
 
 // ShardDownError reports a request that could not reach its shard because
-// the worker had exited (crash, kill injection, or mid-failover). It is
-// transient: the coordinator retries, and exhausted retries fall open into
-// a degraded verdict, never an untyped error.
-type ShardDownError struct {
-	Shard  int
-	Reason string
-}
+// the worker had exited (crash, kill injection, or mid-failover) or its
+// connection died. Transient: retried, then degraded.
+type ShardDownError = transport.ShardDownError
 
-func (e *ShardDownError) Error() string {
-	return fmt.Sprintf("service: shard %d down (%s)", e.Shard, e.Reason)
-}
-
-// DeadlineError reports a request that missed its per-request deadline —
-// the worker was too slow (or hung) to enqueue or answer in time. It is
-// transient in the same sense as ShardDownError.
-type DeadlineError struct {
-	Shard   int
-	Op      string
-	Timeout time.Duration
-}
-
-func (e *DeadlineError) Error() string {
-	return fmt.Sprintf("service: shard %d %s deadline exceeded (%v)", e.Shard, e.Op, e.Timeout)
-}
+// DeadlineError reports a request that missed its per-request deadline.
+// Transient in the same sense as ShardDownError.
+type DeadlineError = transport.DeadlineError
 
 // ClosedError reports a request issued after Service.Close.
-type ClosedError struct{}
-
-func (e *ClosedError) Error() string { return "service: closed" }
+type ClosedError = transport.ClosedError

@@ -1,0 +1,14 @@
+package service
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets this test binary be re-exec'd as a worker process: the
+// wire transports spawn the current executable by default, and a spawned
+// copy must become a worker instead of running the test suite.
+func TestMain(m *testing.M) {
+	RunWorkerIfSpawned()
+	os.Exit(m.Run())
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,21 @@ type Config struct {
 	// QueueDepth is each worker's request queue capacity (0: 64).
 	QueueDepth int
 
+	// Transport selects how shard workers are reached: TransportChan ("",
+	// the default) keeps workers as goroutines in this process reached
+	// over channels; TransportUnix and TransportTCP run each worker as its
+	// own OS process reached over the wire codec in service/transport. The
+	// supervision envelope — heartbeats, breakers, retry, failover with
+	// journal replay — is identical either way.
+	Transport string
+	// WorkerCommand is the binary spawned per wire worker. Empty: the
+	// current executable is re-exec'd, which requires main (or TestMain)
+	// to call RunWorkerIfSpawned first.
+	WorkerCommand string
+	// WorkDir hosts wire-transport sockets and per-incarnation cold-spill
+	// dirs. Empty: a service-owned temp dir, removed on Close.
+	WorkDir string
+
 	// Metrics, when non-nil, receives the service gauges
 	// (service.* / service.shard<i>.*).
 	Metrics *obs.Registry
@@ -119,15 +135,18 @@ func (c Config) normalized() Config {
 	if c.QuarantineBytes > 0 && c.QuarantineEpoch <= 0 {
 		c.QuarantineEpoch = 16
 	}
+	if c.Transport == "" {
+		c.Transport = TransportChan
+	}
 	return c
 }
 
 // shardState is the coordinator's per-shard bundle: the current worker
-// (swapped atomically at failover), its breaker, the replay journal, and
-// supervision bookkeeping.
+// endpoint (swapped atomically at failover), its breaker, the replay
+// journal, and supervision bookkeeping.
 type shardState struct {
 	idx        int
-	worker     atomic.Pointer[worker]
+	ep         atomic.Pointer[epBox]
 	breaker    *Breaker
 	journal    *journal
 	rebuilding atomic.Bool
@@ -143,6 +162,12 @@ type Service struct {
 	cfg    Config
 	shards []*shardState
 	rng    jitterRNG
+
+	// spawn builds shard endpoints for the configured transport; workDir
+	// hosts wire sockets and cold dirs (service-owned when ownWorkDir).
+	spawn      func(shard, incarn int) (endpoint, error)
+	workDir    string
+	ownWorkDir bool
 
 	requests        atomic.Uint64
 	degraded        atomic.Uint64
@@ -167,21 +192,53 @@ type Service struct {
 	closed  atomic.Bool
 }
 
-// New builds the service, starts every shard worker and its supervisor,
-// and wires the service gauges into cfg.Metrics.
+// New builds the service, starts every shard worker (spawning a process
+// per shard under the wire transports) and its supervisor, and wires the
+// service gauges into cfg.Metrics.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.normalized()
+	if !validTransport(cfg.Transport) {
+		return nil, fmt.Errorf("service: unknown transport %q", cfg.Transport)
+	}
 	s := &Service{cfg: cfg, supStop: make(chan struct{})}
 	s.rng.seed(cfg.Seed ^ 0x5eed5eed5eed5eed)
+	if network := wireNetwork(cfg.Transport); network != "" {
+		s.workDir = cfg.WorkDir
+		if s.workDir == "" {
+			dir, err := os.MkdirTemp("", "dangsan-wire-*")
+			if err != nil {
+				return nil, fmt.Errorf("service: work dir: %w", err)
+			}
+			s.workDir = dir
+			s.ownWorkDir = true
+		}
+		s.spawn = func(shard, incarn int) (endpoint, error) {
+			return spawnWireWorker(cfg, network, shard, incarn, s.workDir)
+		}
+	} else {
+		s.spawn = func(shard, incarn int) (endpoint, error) {
+			w, err := newWorker(shard, incarn, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		}
+	}
 	now := time.Now().UnixNano()
 	for i := 0; i < cfg.Shards; i++ {
-		w, err := newWorker(i, 0, cfg)
+		ep, err := s.spawn(i, 0)
 		if err != nil {
 			for _, sh := range s.shards {
-				old := sh.worker.Load()
+				old := sh.ep.Load().ep
 				old.shutdown()
-				<-old.done
+				if !waitClosed(old.doneCh(), cfg.FailoverDrain) {
+					old.kill()
+					waitClosed(old.doneCh(), cfg.FailoverDrain)
+				}
 				old.close()
+			}
+			if s.ownWorkDir {
+				os.RemoveAll(s.workDir)
 			}
 			return nil, fmt.Errorf("service: shard %d: %w", i, err)
 		}
@@ -191,8 +248,8 @@ func New(cfg Config) (*Service, error) {
 			journal: newJournal(cfg.FreedWindow),
 		}
 		sh.lastBeat.Store(now)
-		sh.worker.Store(w)
-		w.start()
+		sh.ep.Store(&epBox{ep: ep})
+		ep.start()
 		s.shards = append(s.shards, sh)
 	}
 	for _, sh := range s.shards {
@@ -205,6 +262,9 @@ func New(cfg Config) (*Service, error) {
 
 // Shards returns the shard count.
 func (s *Service) Shards() int { return len(s.shards) }
+
+// Transport returns the armed transport name (TransportChan/Unix/TCP).
+func (s *Service) Transport() string { return s.cfg.Transport }
 
 // keyFor folds (tenant, key) into the routing key: FNV-1a over the tenant
 // mixed with the caller key. Routing and worker-side state both use it.
@@ -267,9 +327,8 @@ func (s *Service) do(req request) (Verdict, error) {
 			}
 			break
 		}
-		w := sh.worker.Load()
-		req.resp = make(chan response, 1)
-		resp := w.send(req, s.cfg.RequestTimeout)
+		ep := sh.ep.Load().ep
+		resp := ep.send(req, s.cfg.RequestTimeout)
 		if resp.err == nil {
 			if probe != 0 {
 				sh.breaker.RecordProbe(probe, true)
@@ -338,8 +397,8 @@ func (s *Service) journalConfirmed(sh *shardState, req request) {
 func (s *Service) Quiesce() error {
 	var firstErr error
 	for _, sh := range s.shards {
-		w := sh.worker.Load()
-		resp := w.send(request{kind: opQuiesce, resp: make(chan response, 1)}, 10*s.cfg.RequestTimeout)
+		ep := sh.ep.Load().ep
+		resp := ep.send(request{kind: opQuiesce}, 10*s.cfg.RequestTimeout)
 		if resp.err != nil && firstErr == nil {
 			firstErr = resp.err
 		}
@@ -388,8 +447,8 @@ func (s *Service) DetectorStats(shard int) (pointerlog.Snapshot, pointerlog.Cold
 	if shard < 0 || shard >= len(s.shards) {
 		return pointerlog.Snapshot{}, pointerlog.ColdStats{}, nil, fmt.Errorf("service: no shard %d", shard)
 	}
-	w := s.shards[shard].worker.Load()
-	resp := w.send(request{kind: opStats, resp: make(chan response, 1)}, 10*s.cfg.RequestTimeout)
+	ep := s.shards[shard].ep.Load().ep
+	resp := ep.send(request{kind: opStats}, 10*s.cfg.RequestTimeout)
 	if resp.err != nil {
 		return pointerlog.Snapshot{}, pointerlog.ColdStats{}, nil, resp.err
 	}
@@ -433,25 +492,39 @@ func (s *Service) AggregateStats() (pointerlog.Snapshot, error) {
 
 // Disrupt injects a failure mode into shard i's current worker: slow
 // (requests crawl), hang (requests never answered), kill (worker exits on
-// next request). The chaos stages drive this.
+// next request), killafter (worker applies its next request and dies
+// before replying — the crash-consistency window), sigkill (worker dies
+// NOW; a real SIGKILL under the wire transports). The chaos stages drive
+// this.
 func (s *Service) Disrupt(shard int, mode string) error {
 	if shard < 0 || shard >= len(s.shards) {
 		return fmt.Errorf("service: no shard %d", shard)
 	}
-	w := s.shards[shard].worker.Load()
+	ep := s.shards[shard].ep.Load().ep
+	var m disruptMode
 	switch mode {
 	case "slow":
-		w.mode.Store(int32(disruptSlow))
+		m = disruptSlow
 	case "hang":
-		w.mode.Store(int32(disruptHang))
+		m = disruptHang
 	case "kill":
-		w.mode.Store(int32(disruptKill))
+		m = disruptKill
+	case "killafter":
+		m = disruptKillAfter
+	case "sigkill":
+		m = disruptSigKill
+	case "partition":
+		m = disruptNetPartition
+	case "trickle":
+		m = disruptNetTrickle
+	case "garbage":
+		m = disruptNetGarbage
 	case "none", "heal":
-		w.mode.Store(int32(disruptNone))
+		m = disruptNone
 	default:
 		return fmt.Errorf("service: unknown disruption %q", mode)
 	}
-	return nil
+	return ep.disrupt(m)
 }
 
 // Violations returns invariant violations the service itself observed
@@ -571,14 +644,24 @@ func (s *Service) Close() {
 		// Serialize with any in-flight failover so we stop the final
 		// worker, not a mid-swap one.
 		sh.failMu.Lock()
-		w := sh.worker.Load()
-		w.shutdown()
-		if waitClosed(w.done, s.cfg.FailoverDrain) {
-			w.close()
+		ep := sh.ep.Load().ep
+		ep.shutdown()
+		exited := waitClosed(ep.doneCh(), s.cfg.FailoverDrain)
+		if !exited {
+			// Escalate — for process workers this is a real SIGKILL, so a
+			// hung worker process cannot outlive its coordinator.
+			ep.kill()
+			exited = waitClosed(ep.doneCh(), s.cfg.FailoverDrain)
+		}
+		if exited {
+			ep.close()
 		} else {
 			s.abandoned.Add(1)
 		}
 		sh.failMu.Unlock()
+	}
+	if s.ownWorkDir {
+		os.RemoveAll(s.workDir)
 	}
 }
 

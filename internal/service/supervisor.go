@@ -10,7 +10,9 @@ import (
 // HeartbeatInterval (bypassing the breaker — health checking must keep
 // probing precisely when requests are being rejected), feeds the results
 // into the breaker, and triggers failover after HeartbeatMisses
-// consecutive misses or as soon as the worker goroutine is seen dead.
+// consecutive misses or as soon as the worker is seen dead. The loop is
+// transport-blind: a dead endpoint is a returned goroutine or a reaped
+// worker process, and a ping is a channel exchange or a wire round trip.
 func (s *Service) supervise(sh *shardState) {
 	defer s.supWG.Done()
 	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
@@ -25,16 +27,16 @@ func (s *Service) supervise(sh *shardState) {
 		if sh.rebuilding.Load() {
 			continue
 		}
-		w := sh.worker.Load()
+		ep := sh.ep.Load().ep
 		select {
-		case <-w.done:
+		case <-ep.doneCh():
 			// Dead worker: no point counting misses.
 			s.failover(sh, "worker exited")
 			misses = 0
 			continue
 		default:
 		}
-		resp := w.send(request{kind: opPing, resp: make(chan response, 1)}, s.cfg.HeartbeatTimeout)
+		resp := ep.send(request{kind: opPing}, s.cfg.HeartbeatTimeout)
 		if resp.err == nil {
 			misses = 0
 			sh.lastBeat.Store(time.Now().UnixNano())
@@ -58,19 +60,23 @@ func (s *Service) supervise(sh *shardState) {
 //
 //  1. mark the shard rebuilding and force the breaker open, so the request
 //     path fails open into degraded verdicts instead of racing the swap;
-//  2. stop the old worker and wait (bounded) for its goroutine to exit —
-//     hang-mode workers unblock on stop, so abandonment is rare;
+//  2. stop the old worker gracefully and wait (bounded) for it to exit;
+//     if it will not — a truly hung worker process — escalate to kill
+//     (SIGKILL) and wait again, so abandonment is the rare exception;
 //  3. recover the old worker's cold tier through the offline
 //     pointerlog.ReadSegments path (the same fail-closed decoder
-//     invalidation uses), counting the locations that survived on disk;
-//  4. build a fresh worker (next incarnation) and replay the journal
-//     synchronously through direct handle calls — live keys as
-//     allocations, the freed window as allocation+free so quarantine
-//     custody is re-established — before the worker loop starts;
+//     invalidation uses), counting the locations that survived on disk —
+//     for process workers this reads the per-incarnation cold dir the
+//     dead process left behind (workers never unlink their spill files);
+//  4. spawn a fresh endpoint (next incarnation — a new goroutine, or a
+//     new worker process with its own socket) and replay the journal
+//     synchronously — live keys as allocations, the freed window as
+//     allocation+free so quarantine custody is re-established — before
+//     the endpoint serves client traffic;
 //  5. with audit armed, cross-check the rebuilt worker's accounting
 //     identity (LogBytes == live + quarantined + released + spilled); a
 //     violation here is a service-level invariant failure;
-//  6. swap the worker in, reset the breaker, and reopen the shard.
+//  6. swap the endpoint in, reset the breaker, and reopen the shard.
 //
 // Concurrent failovers for one shard serialize on failMu; the rebuilding
 // flag keeps the supervisor and request path out during the rebuild.
@@ -80,17 +86,17 @@ func (s *Service) failover(sh *shardState, reason string) {
 	if s.closed.Load() {
 		return
 	}
-	old := sh.worker.Load()
+	old := sh.ep.Load().ep
 	// Another failover may have already replaced the worker while this
 	// trigger was waiting on failMu; only proceed if the observed-dead
 	// worker is still current.
 	select {
-	case <-old.done:
+	case <-old.doneCh():
 	default:
-		// Worker alive: heartbeat-miss trigger. Proceed — stop will kill
-		// it below — unless a concurrent failover just swapped in a fresh
-		// incarnation (its heartbeat history does not transfer).
-		if old.incarnation != int(sh.incarn.Load()) {
+		// Worker alive: heartbeat-miss trigger. Proceed — shutdown will
+		// take it down below — unless a concurrent failover just swapped in
+		// a fresh incarnation (its heartbeat history does not transfer).
+		if old.incarnationID() != int(sh.incarn.Load()) {
 			return
 		}
 	}
@@ -100,14 +106,22 @@ func (s *Service) failover(sh *shardState, reason string) {
 	sh.breaker.ForceOpen()
 
 	old.shutdown()
-	exited := waitClosed(old.done, s.cfg.FailoverDrain)
-	if old.panicked.Load() {
+	exited := waitClosed(old.doneCh(), s.cfg.FailoverDrain)
+	if !exited {
+		// Graceful stop refused within the drain budget: escalate. For a
+		// worker process this is a real SIGKILL; the in-process worker has
+		// no harder stop, so this second wait is its last chance.
+		old.kill()
+		exited = waitClosed(old.doneCh(), s.cfg.FailoverDrain)
+	}
+	if old.didPanic() {
 		s.workerPanics.Add(1)
 	}
 
 	// Recover the cold tier from the dead worker's spill file. The frames
-	// already on disk survive the "crash"; ReadSegments streams every
-	// intact segment and fails closed at the first torn one.
+	// already on disk survive the crash — even a SIGKILLed process leaves
+	// them — and ReadSegments streams every intact segment, failing closed
+	// at the first torn one.
 	var recovered int
 	if exited {
 		if path := old.coldPath(); path != "" {
@@ -119,61 +133,66 @@ func (s *Service) failover(sh *shardState, reason string) {
 			recovered = len(locs)
 		}
 	} else {
-		// The goroutine would not exit within the drain budget: abandon
-		// it (its detector keeps its spill file; Close would race).
+		// The worker would not die within two drain budgets: abandon it
+		// (its resources stay untouched; closing would race).
 		s.abandoned.Add(1)
 	}
 
-	nw, err := newWorker(sh.idx, int(sh.incarn.Load())+1, s.cfg)
+	nep, err := s.spawn(sh.idx, int(sh.incarn.Load())+1)
 	if err != nil {
-		// Cannot rebuild (globals exhausted, etc.): leave the dead worker
-		// in place; the breaker stays open, requests stay degraded, and
-		// the supervisor will retry on its next tick.
+		// Cannot rebuild (globals exhausted, spawn failed, etc.): leave
+		// the dead worker in place; the breaker stays open, requests stay
+		// degraded, and the supervisor will retry on its next tick.
 		s.replayErrors.Add(1)
 		s.recordViolation("shard %d: rebuild failed: %v", sh.idx, err)
 		return
 	}
 
-	// Replay the journal against the fresh worker before it serves
-	// traffic. handle runs on this goroutine; the worker is unreachable,
-	// so the single-threaded contract holds.
+	// Replay the journal against the fresh endpoint before it serves
+	// client traffic (the rebuilding flag keeps them out). In-process this
+	// runs handle directly on this goroutine; over the wire each op is one
+	// round trip against an otherwise idle worker — either way the replay
+	// is strictly ordered and synchronous.
 	live, freed := sh.journal.snapshot()
 	replayed := 0
 	for _, e := range live {
-		if rerr := nw.handleAlloc(e.key, e.size, e.stores); rerr != nil {
+		if resp := nep.replay(request{kind: opAlloc, key: e.key, size: e.size, stores: e.stores}); resp.err != nil {
 			s.replayErrors.Add(1)
 		} else {
 			replayed++
 		}
 	}
 	for _, e := range freed {
-		if rerr := nw.handleAlloc(e.key, e.size, e.stores); rerr != nil {
+		if resp := nep.replay(request{kind: opAlloc, key: e.key, size: e.size, stores: e.stores}); resp.err != nil {
 			s.replayErrors.Add(1)
 			continue
 		}
-		if rerr := nw.handleFree(e.key); rerr != nil {
+		if resp := nep.replay(request{kind: opFree, key: e.key}); resp.err != nil {
 			s.replayErrors.Add(1)
 			continue
 		}
 		replayed++
 	}
 	if s.cfg.Audit {
-		// Stats triggers the logger's AuditCheck; any recorded violation
-		// means the rebuilt state broke the accounting identity.
-		nw.det.Stats()
-		if v := nw.det.AuditViolations(); len(v) > 0 {
-			s.recordViolation("shard %d: audit identity broken after rebuild: %s", sh.idx, v[0])
+		// A stats op triggers the logger's AuditCheck on the rebuilt
+		// worker; any violation means the rebuilt state broke the
+		// accounting identity.
+		resp := nep.replay(request{kind: opStats})
+		if resp.err != nil {
+			s.recordViolation("shard %d: post-rebuild audit unavailable: %v", sh.idx, resp.err)
+		} else if len(resp.audit) > 0 {
+			s.recordViolation("shard %d: audit identity broken after rebuild: %s", sh.idx, resp.audit[0])
 		}
 	}
 
 	if exited {
-		// Release the old detector's resources (unlinks its spill file)
-		// only after recovery read it.
+		// Release the old worker's resources (spill file / cold dir /
+		// sockets) only after recovery read them.
 		old.close()
 	}
 
-	nw.start()
-	sh.worker.Store(nw)
+	nep.start()
+	sh.ep.Store(&epBox{ep: nep})
 	sh.incarn.Add(1)
 	sh.breaker.Reset()
 	sh.lastBeat.Store(time.Now().UnixNano())

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetFault is a one-shot network disruption armed on a client: the next
+// request triggers it and the fault clears. The chaos network stages use
+// these to prove the coordinator's fail-open contract covers the wire.
+type NetFault int32
+
+const (
+	// NetNone: no disruption.
+	NetNone NetFault = iota
+	// NetPartition writes a partial frame and slams the connection shut
+	// mid-request — the worker may or may not have seen the request.
+	NetPartition
+	// NetTrickle writes the request one byte at a time until the request
+	// deadline expires — a pathological slow writer.
+	NetTrickle
+	// NetGarbage injects non-frame bytes ahead of the request, forcing the
+	// server's framing validation to fail closed and drop the connection.
+	NetGarbage
+)
+
+// Client is one coordinator-side connection to a worker endpoint. Requests
+// are serialized (the worker is single-threaded anyway), each mapped onto
+// socket read/write deadlines; any error — deadline, connection loss, bad
+// frame — poisons the connection, which is re-dialed lazily on the next
+// request. All failures surface as the service's typed transport errors.
+type Client struct {
+	network string
+	addr    string
+	shard   int
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+
+	fault atomic.Int32
+}
+
+// NewClient builds a client for the worker at (network, addr). No
+// connection is made until the first Do.
+func NewClient(network, addr string, shard int) *Client {
+	return &Client{network: network, addr: addr, shard: shard}
+}
+
+// InjectNetFault arms a one-shot network disruption for the next request.
+func (c *Client) InjectNetFault(f NetFault) { c.fault.Store(int32(f)) }
+
+// Close drops the connection. A Do in flight fails; later Dos re-dial.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropLocked()
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// down wraps a transport-level failure as the typed shard-down error.
+func (c *Client) down(format string, args ...any) error {
+	return &ShardDownError{Shard: c.shard, Reason: fmt.Sprintf(format, args...)}
+}
+
+// classify maps an I/O error onto the typed contract: deadline expiries
+// become DeadlineError (the per-request deadline was mapped onto the
+// socket), everything else ShardDownError.
+func (c *Client) classify(err error, op string, timeout time.Duration) error {
+	if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		return &DeadlineError{Shard: c.shard, Op: op, Timeout: timeout}
+	}
+	return c.down("%v", err)
+}
+
+// Do sends one request and reads its response under the given deadline.
+// The transport-level error (nil on a completed exchange) is returned
+// separately from the application-level Response.Err.
+func (c *Client) Do(req Request, timeout time.Duration) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	if c.conn == nil {
+		conn, err := net.DialTimeout(c.network, c.addr, timeout)
+		if err != nil {
+			return Response{}, c.down("dial: %v", err)
+		}
+		c.conn = conn
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropLocked()
+		return Response{}, c.down("set deadline: %v", err)
+	}
+	frame := AppendFrame(nil, FrameRequest, EncodeRequest(req))
+
+	switch NetFault(c.fault.Swap(int32(NetNone))) {
+	case NetPartition:
+		// Half the frame, then gone: the server reads a truncated frame
+		// (or nothing) and drops the connection; this side reports the
+		// shard unreachable. Whether the worker applied the request is
+		// deliberately unknowable — that is the partition contract.
+		_, _ = c.conn.Write(frame[:len(frame)/2])
+		c.dropLocked()
+		return Response{}, c.down("connection dropped mid-request (partition)")
+	case NetTrickle:
+		for i := range frame {
+			if time.Now().After(deadline) {
+				c.dropLocked()
+				return Response{}, &DeadlineError{Shard: c.shard, Op: req.Op.String(), Timeout: timeout}
+			}
+			if _, err := c.conn.Write(frame[i : i+1]); err != nil {
+				c.dropLocked()
+				return Response{}, c.classify(err, req.Op.String(), timeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	case NetGarbage:
+		// Non-frame bytes first: the server's magic/length validation
+		// fails closed and the connection dies — the request itself is
+		// never parsed.
+		garbage := []byte("\x00GARBAGE-NOT-A-FRAME\xff\xfe\xfd\xfc")
+		_, _ = c.conn.Write(garbage)
+		if _, err := c.conn.Write(frame); err != nil {
+			c.dropLocked()
+			return Response{}, c.classify(err, req.Op.String(), timeout)
+		}
+	default:
+		if _, err := c.conn.Write(frame); err != nil {
+			c.dropLocked()
+			return Response{}, c.classify(err, req.Op.String(), timeout)
+		}
+	}
+
+	typ, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		// Includes FrameError: a bad frame means the stream is
+		// desynchronized, so the connection is poisoned either way.
+		c.dropLocked()
+		return Response{}, c.classify(err, req.Op.String(), timeout)
+	}
+	if typ != FrameResponse {
+		c.dropLocked()
+		return Response{}, c.down("unexpected frame type %d", typ)
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		c.dropLocked()
+		return Response{}, c.down("bad response: %v", err)
+	}
+	if resp.ID != req.ID {
+		// A stale reply from a previous (timed-out) exchange would land
+		// here if the connection were ever reused across a failure; the id
+		// echo turns that desync into a typed error instead of a wrong
+		// answer.
+		c.dropLocked()
+		return Response{}, c.down("response id %d for request %d (stream desync)", resp.ID, req.ID)
+	}
+	return resp, nil
+}

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dangsan/internal/service/transport"
+)
+
+// wireClientConns is the per-endpoint connection pool size: enough that
+// concurrent client streams and the supervisor's heartbeat don't all
+// serialize behind one in-flight exchange, small enough to stay
+// negligible per worker.
+const wireClientConns = 4
+
+// readyTimeout bounds the spawn handshake: a worker that cannot print
+// READY within this is broken, not slow.
+const readyTimeout = 10 * time.Second
+
+// wireEndpoint reaches a worker that is its own OS process, over the wire
+// codec in service/transport. It owns the process handle (spawn, SIGTERM,
+// SIGKILL, reap) and the per-incarnation cold directory the worker spills
+// into — the worker never unlinks its spill file, so a SIGKILLed worker's
+// cold tier survives for failover to read back.
+type wireEndpoint struct {
+	shard       int
+	incarnation int
+	network     string
+	addr        string
+
+	cmd     *exec.Cmd
+	clients [wireClientConns]*transport.Client
+	next    atomic.Uint64
+
+	coldDir string
+
+	done     chan struct{}
+	exitCode atomic.Int64
+
+	termOnce  sync.Once
+	killOnce  sync.Once
+	closeOnce sync.Once
+
+	replayTimeout time.Duration
+}
+
+// replayBudget sizes the per-op deadline for failover replay and other
+// coordinator-internal exchanges: generous relative to the request
+// timeout, floored so a test-shrunk timeout cannot starve a rebuild.
+func replayBudget(reqTimeout time.Duration) time.Duration {
+	d := 20 * reqTimeout
+	if d < 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// spawnWireWorker launches one worker process and completes the READY
+// handshake. The endpoint serves from the moment this returns.
+func spawnWireWorker(cfg Config, network string, shard, incarn int, workDir string) (endpoint, error) {
+	coldDir := filepath.Join(workDir, fmt.Sprintf("cold-s%d-i%d", shard, incarn))
+	if err := os.MkdirAll(coldDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: cold dir: %w", err)
+	}
+	var addr string
+	switch network {
+	case "unix":
+		// Short name: unix socket paths have a ~108-byte limit and workDir
+		// may be deep.
+		addr = filepath.Join(workDir, fmt.Sprintf("s%d-i%d.sock", shard, incarn))
+		_ = os.Remove(addr)
+	case "tcp":
+		addr = "127.0.0.1:0"
+	default:
+		return nil, fmt.Errorf("service: unknown wire network %q", network)
+	}
+	spec := WorkerSpec{
+		Shard:            shard,
+		Incarnation:      incarn,
+		Network:          network,
+		Addr:             addr,
+		HeapBytes:        cfg.HeapBytes,
+		Audit:            cfg.Audit,
+		MaxMetadataBytes: cfg.MaxMetadataBytes,
+		QuarantineBytes:  cfg.QuarantineBytes,
+		QuarantineEpoch:  cfg.QuarantineEpoch,
+		ColdSpillBytes:   cfg.ColdSpillBytes,
+		ColdDir:          coldDir,
+		FaultRate:        cfg.FaultRate,
+		FaultSeed:        cfg.FaultSeed,
+		FaultBudget:      cfg.FaultBudget,
+		SlowDelayNS:      int64(cfg.SlowDelay),
+		FreedWindow:      cfg.FreedWindow,
+		ScratchSlots:     cfg.ScratchSlots,
+		QueueDepth:       cfg.QueueDepth,
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: worker spec: %w", err)
+	}
+	bin := cfg.WorkerCommand
+	if bin == "" {
+		// Re-exec: the embedding binary routes spawned copies of itself
+		// into RunWorkerIfSpawned.
+		bin, err = os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("service: resolve worker binary: %w", err)
+		}
+	}
+	cmd := exec.Command(bin)
+	cmd.Env = append(os.Environ(), WorkerSpecEnv+"="+string(specJSON))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("service: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("service: spawn worker: %w", err)
+	}
+	ep := &wireEndpoint{
+		shard:         shard,
+		incarnation:   incarn,
+		network:       network,
+		addr:          addr,
+		cmd:           cmd,
+		coldDir:       coldDir,
+		done:          make(chan struct{}),
+		replayTimeout: replayBudget(cfg.RequestTimeout),
+	}
+	ep.exitCode.Store(-1)
+
+	readyCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, workerReadyPrefix) {
+				readyCh <- strings.TrimSpace(strings.TrimPrefix(line, workerReadyPrefix))
+				break
+			}
+		}
+		// Keep the pipe drained so a chatty worker can never block on a
+		// full stdout, then reap.
+		_, _ = io.Copy(io.Discard, stdout)
+		code := 0
+		if werr := cmd.Wait(); werr != nil {
+			code = -1
+			var ee *exec.ExitError
+			if errors.As(werr, &ee) {
+				code = ee.ExitCode()
+			}
+		}
+		ep.exitCode.Store(int64(code))
+		close(ep.done)
+	}()
+
+	select {
+	case got := <-readyCh:
+		if network == "tcp" {
+			ep.addr = got // the worker bound port 0; READY carries the real one
+		}
+	case <-ep.done:
+		ep.cleanupFiles()
+		return nil, &ShardDownError{Shard: shard, Reason: fmt.Sprintf("worker exited before READY (code %d)", ep.exitCode.Load())}
+	case <-time.After(readyTimeout):
+		ep.kill()
+		ep.cleanupFiles()
+		return nil, &ShardDownError{Shard: shard, Reason: "worker READY handshake timed out"}
+	}
+	for i := range ep.clients {
+		ep.clients[i] = transport.NewClient(network, ep.addr, shard)
+	}
+	return ep, nil
+}
+
+// pick round-robins the connection pool.
+func (ep *wireEndpoint) pick() *transport.Client {
+	return ep.clients[ep.next.Add(1)%wireClientConns]
+}
+
+// send maps one request onto one wire exchange. A local timer guards the
+// strict never-block-past-timeout contract: exchanges on one pooled
+// connection serialize, so a request queued behind a hung one must still
+// surface its own DeadlineError on time — the abandoned exchange finishes
+// against its socket deadline in the background and is discarded (the
+// response-ID echo makes a late reply impossible to misattribute).
+func (ep *wireEndpoint) send(req request, timeout time.Duration) response {
+	select {
+	case <-ep.done:
+		return response{err: &ShardDownError{Shard: ep.shard, Reason: "worker process exited"}}
+	default:
+	}
+	c := ep.pick()
+	treq := transport.Request{Op: wireOp(req.kind), Key: req.key, Size: req.size, Stores: uint32(req.stores)}
+	type result struct {
+		resp transport.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		r, err := c.Do(treq, timeout)
+		ch <- result{resp: r, err: err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return response{err: r.err}
+		}
+		return ep.decode(req.kind, r.resp)
+	case <-timer.C:
+		return response{err: &DeadlineError{Shard: ep.shard, Op: req.kind.String(), Timeout: timeout}}
+	}
+}
+
+// decode maps a wire response back onto the coordinator's response struct,
+// inflating the stats blob for stats ops.
+func (ep *wireEndpoint) decode(kind opKind, tr transport.Response) response {
+	resp := response{
+		verdict: Verdict{Known: tr.Known, Freed: tr.Freed, UAF: tr.UAF, Degraded: tr.Degraded},
+		err:     tr.Err,
+	}
+	if kind == opStats && tr.Err == nil {
+		ws, err := transport.DecodeStats(tr.StatsJSON)
+		if err != nil {
+			resp.err = &ShardDownError{Shard: ep.shard, Reason: "bad stats payload: " + err.Error()}
+			return resp
+		}
+		resp.stats, resp.cold, resp.audit = ws.Stats, ws.Cold, ws.Audit
+	}
+	return resp
+}
+
+// replay during failover is an ordinary wire exchange with a rebuild-sized
+// budget; the rebuilding flag keeps client traffic away, so the remote
+// queue is empty and each op is one clean round trip.
+func (ep *wireEndpoint) replay(req request) response {
+	return ep.send(req, ep.replayTimeout)
+}
+
+// start is a no-op: a process worker serves from the moment it is spawned.
+func (ep *wireEndpoint) start() {}
+
+// shutdown asks the worker process to exit gracefully.
+func (ep *wireEndpoint) shutdown() {
+	ep.termOnce.Do(func() { _ = ep.cmd.Process.Signal(syscall.SIGTERM) })
+}
+
+// kill is the real thing: SIGKILL, no cleanup on the worker side — which
+// is exactly what failover recovery is tested against.
+func (ep *wireEndpoint) kill() {
+	ep.killOnce.Do(func() { _ = ep.cmd.Process.Kill() })
+}
+
+func (ep *wireEndpoint) doneCh() <-chan struct{} { return ep.done }
+
+func (ep *wireEndpoint) didPanic() bool { return ep.exitCode.Load() == workerExitPanic }
+
+func (ep *wireEndpoint) incarnationID() int { return ep.incarnation }
+
+// coldPath globs the per-incarnation cold dir for the worker's spill
+// file. Normally at most one exists (compaction unlinks the old file); a
+// process killed mid-compaction can leave two, in which case the newest
+// wins — ReadSegments recovers its intact prefix either way.
+func (ep *wireEndpoint) coldPath() string {
+	matches, err := filepath.Glob(filepath.Join(ep.coldDir, "dangsan-coldlog-*.seg"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	if len(matches) > 1 {
+		sort.Slice(matches, func(i, j int) bool {
+			fi, ierr := os.Stat(matches[i])
+			fj, jerr := os.Stat(matches[j])
+			if ierr != nil || jerr != nil {
+				return matches[i] < matches[j]
+			}
+			return fi.ModTime().Before(fj.ModTime())
+		})
+	}
+	return matches[len(matches)-1]
+}
+
+// disrupt injects a failure mode. sigkill is delivered as a real signal;
+// network faults are armed locally on every pooled connection (one-shot
+// each, so the next few exchanges hit a partition/trickle/garbage wire);
+// the queue-observed modes travel as an OpDisrupt exchange, which the
+// worker process applies outside its queue (so it lands even when hung).
+func (ep *wireEndpoint) disrupt(m disruptMode) error {
+	switch m {
+	case disruptSigKill:
+		ep.kill()
+		return nil
+	case disruptNetPartition, disruptNetTrickle, disruptNetGarbage:
+		f := transport.NetPartition
+		switch m {
+		case disruptNetTrickle:
+			f = transport.NetTrickle
+		case disruptNetGarbage:
+			f = transport.NetGarbage
+		}
+		for _, c := range ep.clients {
+			c.InjectNetFault(f)
+		}
+		return nil
+	}
+	code, ok := wireDisruptCode(m)
+	if !ok {
+		return fmt.Errorf("service: disruption %d has no wire form", m)
+	}
+	resp, err := ep.pick().Do(transport.Request{Op: transport.OpDisrupt, Mode: code}, ep.replayTimeout)
+	if err != nil {
+		return err
+	}
+	return resp.Err
+}
+
+// close tears the endpoint down: the process if it is somehow still
+// alive, the client pool, the socket file, and the per-incarnation cold
+// dir. Failover calls it only after recovery has read the cold tier, so
+// removing the dir cannot lose data the rebuild wanted.
+func (ep *wireEndpoint) close() {
+	ep.closeOnce.Do(func() {
+		select {
+		case <-ep.done:
+		default:
+			ep.kill()
+			waitClosed(ep.done, 2*time.Second)
+		}
+		for _, c := range ep.clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		ep.cleanupFiles()
+	})
+}
+
+func (ep *wireEndpoint) cleanupFiles() {
+	if ep.network == "unix" {
+		_ = os.Remove(ep.addr)
+	}
+	_ = os.RemoveAll(ep.coldDir)
+}

@@ -1,0 +1,366 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dangsan/internal/pointerlog"
+)
+
+// wireConfig is testConfig with a wire transport armed. Timings stay
+// test-scale; the worker binary is this test executable (TestMain routes
+// spawned copies into RunWorkerIfSpawned).
+func wireConfig(t *testing.T, shards int, transport string) Config {
+	t.Helper()
+	cfg := testConfig(t, shards)
+	cfg.Transport = transport
+	cfg.WorkDir = t.TempDir()
+	// Wire RTTs are microseconds on loopback, but process scheduling under
+	// a loaded test machine is not; pad the per-probe deadlines.
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.HeartbeatTimeout = 50 * time.Millisecond
+	cfg.RequestTimeout = 100 * time.Millisecond
+	cfg.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond, MaxElapsed: 500 * time.Millisecond}
+	return cfg
+}
+
+// parityState is everything the conformance suite compares across
+// transports: the full outcome stream plus each shard's final detector
+// snapshot and audit verdicts.
+type parityState struct {
+	Outcomes []ScriptOutcome
+	Snaps    []pointerlog.Snapshot
+	Colds    []pointerlog.ColdStats
+	Audits   [][]string
+	Degraded uint64
+}
+
+func runParityScript(t *testing.T, transport string, script []ScriptOp) parityState {
+	t.Helper()
+	cfg := testConfig(t, 2)
+	// Generous timings: parity compares healthy-path determinism, and a
+	// degraded verdict from a loaded CI machine would be a spurious diff.
+	cfg.RequestTimeout = 2 * time.Second
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.HeartbeatTimeout = 500 * time.Millisecond
+	cfg.Transport = transport
+	if wireNetwork(transport) != "" {
+		cfg.WorkDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", transport, err)
+	}
+	defer s.Close()
+	st := parityState{Outcomes: s.RunScript(script)}
+	if err := s.Quiesce(); err != nil {
+		t.Fatalf("quiesce(%s): %v", transport, err)
+	}
+	for i := 0; i < s.Shards(); i++ {
+		snap, cold, audit, err := s.DetectorStats(i)
+		if err != nil {
+			t.Fatalf("stats(%s, shard %d): %v", transport, i, err)
+		}
+		// The spill file's path is host state, not detector state.
+		cold.Path = ""
+		st.Snaps = append(st.Snaps, snap)
+		st.Colds = append(st.Colds, cold)
+		st.Audits = append(st.Audits, audit)
+	}
+	st.Degraded = s.Counters().Degraded
+	return st
+}
+
+// TestTransportParityConformance is the wire transport's conformance
+// suite: the same deterministic script through the in-process channel
+// transport, unix sockets, and loopback TCP must produce identical
+// verdict streams, zero degraded requests, identical per-shard detector
+// snapshots (the audit identity numbers included), and clean audits.
+// Workers are single-threaded and mutations arrive in script order, so
+// any divergence is a transport bug — a verdict or typed error that did
+// not survive the wire.
+func TestTransportParityConformance(t *testing.T) {
+	script := BuildScript(42, 500)
+	base := runParityScript(t, TransportChan, script)
+	if base.Degraded != 0 {
+		t.Fatalf("chan baseline degraded %d requests", base.Degraded)
+	}
+	for i, o := range base.Outcomes {
+		if o.Err != "" {
+			t.Fatalf("chan baseline op %d errored: %s", i, o.Err)
+		}
+	}
+	for _, a := range base.Audits {
+		if len(a) > 0 {
+			t.Fatalf("chan baseline audit violations: %v", a)
+		}
+	}
+	for _, transport := range []string{TransportUnix, TransportTCP} {
+		t.Run(transport, func(t *testing.T) {
+			got := runParityScript(t, transport, script)
+			if got.Degraded != 0 {
+				t.Fatalf("%s degraded %d requests", transport, got.Degraded)
+			}
+			for i := range base.Outcomes {
+				if got.Outcomes[i] != base.Outcomes[i] {
+					t.Fatalf("op %d diverged over %s: chan=%+v wire=%+v (op %+v)",
+						i, transport, base.Outcomes[i], got.Outcomes[i], script[i])
+				}
+			}
+			if !reflect.DeepEqual(got.Snaps, base.Snaps) {
+				t.Fatalf("detector snapshots diverged over %s:\nchan: %+v\nwire: %+v", transport, base.Snaps, got.Snaps)
+			}
+			if !reflect.DeepEqual(got.Colds, base.Colds) {
+				t.Fatalf("cold-tier stats diverged over %s:\nchan: %+v\nwire: %+v", transport, base.Colds, got.Colds)
+			}
+			for i, a := range got.Audits {
+				if len(a) > 0 {
+					t.Fatalf("%s shard %d audit violations: %v", transport, i, a)
+				}
+			}
+		})
+	}
+}
+
+// TestWireLifecycleBothNetworks is the wire smoke test: spawn real worker
+// processes, run the basic alloc/check/free/quiesce/UAF cycle, verify the
+// audit identity, and shut down cleanly (graceful SIGTERM path).
+func TestWireLifecycleBothNetworks(t *testing.T) {
+	for _, transport := range []string{TransportUnix, TransportTCP} {
+		t.Run(transport, func(t *testing.T) {
+			s := mustNew(t, wireConfig(t, 2, transport))
+			for k := uint64(1); k <= 30; k++ {
+				if v, err := s.Alloc("acme", k, 256, 4); err != nil || v.Degraded {
+					t.Fatalf("alloc %d: v=%+v err=%v", k, v, err)
+				}
+			}
+			for k := uint64(1); k <= 10; k++ {
+				if v, err := s.Free("acme", k); err != nil || v.Degraded {
+					t.Fatalf("free %d: v=%+v err=%v", k, v, err)
+				}
+			}
+			if err := s.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(1); k <= 10; k++ {
+				v, err := s.Check("acme", k)
+				if err != nil {
+					t.Fatalf("freed probe %d errored: %v", k, err)
+				}
+				if !v.Known || !v.Freed || !v.UAF {
+					t.Fatalf("freed key %d: %+v, want detected UAF", k, v)
+				}
+			}
+			for k := uint64(11); k <= 30; k++ {
+				v, err := s.Check("acme", k)
+				if err != nil {
+					t.Fatalf("live key %d faulted (false UAF): %v", k, err)
+				}
+				if !v.Known || v.Freed {
+					t.Fatalf("live key %d: %+v", k, v)
+				}
+			}
+			for i := 0; i < s.Shards(); i++ {
+				if _, _, audit, err := s.DetectorStats(i); err != nil || len(audit) > 0 {
+					t.Fatalf("shard %d audit: %v %v", i, audit, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWireFailoverProcessSigkill is the tentpole's process-death
+// invariant: SIGKILL a real worker process mid-state (live keys,
+// quarantined frees, cold segments on disk), and require the supervisor
+// to respawn a fresh process, recover the dead process's cold spill
+// through ReadSegments, replay the confirmed-ops journal over the wire,
+// and re-establish the audit identity on the rebuilt process.
+func TestWireFailoverProcessSigkill(t *testing.T) {
+	s := mustNew(t, wireConfig(t, 1, TransportUnix))
+
+	for k := uint64(1); k <= 8; k++ {
+		if v, err := s.Alloc("t", k, 512, 600); err != nil || v.Degraded {
+			t.Fatalf("heavy alloc %d: %+v %v", k, v, err)
+		}
+	}
+	for k := uint64(9); k <= 40; k++ {
+		if v, err := s.Alloc("t", k, 128, 4); err != nil || v.Degraded {
+			t.Fatalf("alloc %d: %+v %v", k, v, err)
+		}
+	}
+	for k := uint64(30); k <= 40; k++ {
+		if v, err := s.Free("t", k); err != nil || v.Degraded {
+			t.Fatalf("free %d: %+v %v", k, v, err)
+		}
+	}
+	snap, cold, _, err := s.DetectorStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Spills == 0 || cold.Segments == 0 {
+		t.Fatalf("setup did not reach the cold tier: spills=%d segments=%d", snap.Spills, cold.Segments)
+	}
+
+	// The real thing: kill -9 the worker process. No warning, no cleanup —
+	// whatever is not on disk is gone.
+	if err := s.Disrupt(0, "sigkill"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "process failover", func() bool {
+		return s.Counters().Failovers >= 1
+	})
+	waitUntil(t, 10*time.Second, "shard reopen", func() bool {
+		st := s.ShardStats()[0]
+		return !st.Rebuilding && st.Breaker == BreakerClosed
+	})
+
+	c := s.Counters()
+	if c.ReplayedObjects == 0 {
+		t.Fatal("failover replayed nothing onto the respawned process")
+	}
+	if c.RecoveredLocs == 0 {
+		t.Fatal("failover recovered no cold segments from the killed process's spill file")
+	}
+	if c.ReplayErrors != 0 {
+		t.Fatalf("replay errors: %d", c.ReplayErrors)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("process failover broke service invariants: %v", v)
+	}
+
+	for k := uint64(1); k <= 29; k++ {
+		v, err := s.Check("t", k)
+		if err != nil {
+			t.Fatalf("live key %d faulted after respawn (false UAF): %v", k, err)
+		}
+		if v.Degraded || !v.Known {
+			t.Fatalf("live key %d after respawn: %+v", k, v)
+		}
+	}
+	if err := s.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(30); k <= 40; k++ {
+		v, err := s.Check("t", k)
+		if err != nil {
+			t.Fatalf("freed probe %d errored: %v", k, err)
+		}
+		if !v.Known || !v.Freed || !v.UAF {
+			t.Fatalf("freed key %d after respawn: %+v, want detected UAF", k, v)
+		}
+	}
+	// The audit identity must hold on the RESPAWNED process, with the
+	// replayed and post-failover traffic on its books.
+	_, _, audit, err := s.DetectorStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audit) > 0 {
+		t.Fatalf("audit identity broken on respawned process: %v", audit)
+	}
+}
+
+// TestCrashConsistencyKillAfterApply covers the window the journal's
+// confirmed-ops discipline exists for: the worker process APPLIES a
+// mutation and is killed before the reply, so the coordinator never
+// confirms it. The respawned worker must match the journal (the phantom
+// mutation absent), pass the audit identity, and a second failover
+// (double replay) must be idempotent.
+func TestCrashConsistencyKillAfterApply(t *testing.T) {
+	cfg := wireConfig(t, 1, TransportUnix)
+	// One attempt: a retry after the crash would re-apply the mutation and
+	// confirm it, which is legitimate but would hide the window under test.
+	cfg.Retry = RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, MaxElapsed: 50 * time.Millisecond}
+	// A long heartbeat gap so our own request, not a ping, trips killafter.
+	cfg.HeartbeatInterval = 50 * time.Millisecond
+	s := mustNew(t, cfg)
+
+	for k := uint64(1); k <= 20; k++ {
+		if v, err := s.Alloc("t", k, 128, 4); err != nil || v.Degraded {
+			t.Fatalf("alloc %d: %+v %v", k, v, err)
+		}
+	}
+	for k := uint64(1); k <= 5; k++ {
+		if v, err := s.Free("t", k); err != nil || v.Degraded {
+			t.Fatalf("free %d: %+v %v", k, v, err)
+		}
+	}
+
+	if err := s.Disrupt(0, "killafter"); err != nil {
+		t.Fatal(err)
+	}
+	// This free is applied by the worker, which then dies WITHOUT
+	// replying: it must surface as a degraded verdict (fail-open), never
+	// an untyped error, and must NOT enter the journal. (If a heartbeat
+	// ping races us into the killafter slot, the free is never applied at
+	// all — the assertions below hold either way, which is the point:
+	// observable state always matches the journal.)
+	v, err := s.Free("t", 10)
+	if err != nil {
+		t.Fatalf("unconfirmed free surfaced an error: %v", err)
+	}
+	if !v.Degraded {
+		t.Fatalf("unconfirmed free got a confirmed verdict: %+v", v)
+	}
+
+	waitUntil(t, 10*time.Second, "crash failover", func() bool {
+		return s.Counters().Failovers >= 1
+	})
+	waitUntil(t, 10*time.Second, "shard reopen", func() bool {
+		st := s.ShardStats()[0]
+		return !st.Rebuilding && st.Breaker == BreakerClosed
+	})
+
+	verify := func(round string) {
+		t.Helper()
+		// Key 10's free was never confirmed: the journal says live, so the
+		// rebuilt worker must too.
+		v, err := s.Check("t", 10)
+		if err != nil {
+			t.Fatalf("%s: journal-live key faulted (false UAF): %v", round, err)
+		}
+		if !v.Known || v.Freed || v.Degraded {
+			t.Fatalf("%s: journal-live key 10: %+v, want live", round, v)
+		}
+		// Confirmed frees stay freed.
+		for k := uint64(1); k <= 5; k++ {
+			v, err := s.Check("t", k)
+			if err != nil {
+				t.Fatalf("%s: freed probe %d errored: %v", round, k, err)
+			}
+			if !v.Known || !v.Freed {
+				t.Fatalf("%s: confirmed-freed key %d: %+v", round, k, v)
+			}
+		}
+		if c := s.Counters(); c.ReplayErrors != 0 {
+			t.Fatalf("%s: replay errors: %d", round, c.ReplayErrors)
+		}
+		if v := s.Violations(); len(v) > 0 {
+			t.Fatalf("%s: service violations: %v", round, v)
+		}
+		_, _, audit, err := s.DetectorStats(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(audit) > 0 {
+			t.Fatalf("%s: audit identity broken: %v", round, audit)
+		}
+	}
+	verify("first rebuild")
+
+	// Double replay: kill the respawned process too. Replaying the same
+	// journal a second time must reconstruct the same state — replay is
+	// idempotent, not additive.
+	if err := s.Disrupt(0, "sigkill"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "second failover", func() bool {
+		return s.Counters().Failovers >= 2
+	})
+	waitUntil(t, 10*time.Second, "second reopen", func() bool {
+		st := s.ShardStats()[0]
+		return !st.Rebuilding && st.Breaker == BreakerClosed
+	})
+	verify("double replay")
+}

@@ -96,6 +96,23 @@ const (
 	// disruptKill: the worker exits on its next request without replying —
 	// a crash, from the coordinator's perspective.
 	disruptKill
+	// disruptKillAfter: the worker APPLIES its next request and then dies
+	// without replying — the crash-consistency window between a worker
+	// committing a mutation and the coordinator journaling it.
+	disruptKillAfter
+	// disruptSigKill: the worker dies immediately, not on its next
+	// request. For a process worker this is a real SIGKILL; the in-process
+	// analog stops the goroutine on the spot.
+	disruptSigKill
+	// Network faults (wire transports only): one-shot disruptions of the
+	// coordinator→worker connections themselves — the worker is healthy,
+	// the wire is not. disruptNetPartition drops connections mid-request,
+	// disruptNetTrickle writes a byte every few milliseconds until the
+	// deadline, disruptNetGarbage injects non-frame bytes ahead of a
+	// request.
+	disruptNetPartition
+	disruptNetTrickle
+	disruptNetGarbage
 )
 
 // keyRec is the worker-side state for one key.
@@ -234,6 +251,12 @@ func (w *worker) run() {
 			case disruptKill:
 				// Crash: exit without replying.
 				return
+			case disruptKillAfter:
+				// Apply, then crash before the reply: the mutation is real
+				// but never confirmed — absent from the journal, invisible
+				// to the client. Crash-consistency tests live here.
+				w.handle(req)
+				return
 			}
 			req.resp <- w.handle(req)
 		}
@@ -243,6 +266,7 @@ func (w *worker) run() {
 // send routes one request with a deadline covering both the enqueue and
 // the reply. Every failure is typed; send never blocks past timeout.
 func (w *worker) send(req request, timeout time.Duration) response {
+	req.resp = make(chan response, 1)
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -407,3 +431,36 @@ func (w *worker) dropFreed(key uint64) {
 // Only safe after the loop has exited; an abandoned (hung) worker is
 // deliberately never closed.
 func (w *worker) close() { w.det.Close() }
+
+// The remaining endpoint methods: the in-process worker IS the channel
+// transport's endpoint.
+
+// replay applies one request on the caller's goroutine — failover runs it
+// before start, when the worker is unreachable, so the single-threaded
+// contract holds.
+func (w *worker) replay(req request) response { return w.handle(req) }
+
+// kill has nothing harder than shutdown for a goroutine.
+func (w *worker) kill() { w.shutdown() }
+
+func (w *worker) doneCh() <-chan struct{} { return w.done }
+
+func (w *worker) didPanic() bool { return w.panicked.Load() }
+
+func (w *worker) incarnationID() int { return w.incarnation }
+
+// disrupt injects a failure mode. Mode changes are a bare atomic store —
+// they must land even when the worker is hung or its queue is full.
+func (w *worker) disrupt(m disruptMode) error {
+	switch m {
+	case disruptSigKill:
+		// Immediate death, the in-process analog of SIGKILL: the goroutine
+		// unblocks on stop and exits now, not on its next request.
+		w.shutdown()
+		return nil
+	case disruptNetPartition, disruptNetTrickle, disruptNetGarbage:
+		return fmt.Errorf("service: network fault %d needs a wire transport", m)
+	}
+	w.mode.Store(int32(m))
+	return nil
+}
